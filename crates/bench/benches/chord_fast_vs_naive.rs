@@ -1,0 +1,41 @@
+//! Ablation (paper §V): the fast `O(n·(b + k·log b)·log n)` Chord solver
+//! against the reference `O(n²·k)` dynamic program, plus the Pastry greedy
+//! vs the `O(n·k²·b)` reference DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peercache_bench::{random_chord_problem, random_pastry_problem};
+use peercache_core::chord::{select_fast, select_naive};
+use peercache_core::pastry::{select_dp, select_greedy};
+
+fn chord_fast_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_fast_vs_naive");
+    for &n in &[128usize, 512, 2048] {
+        let k = (n as f64).log2().round() as usize;
+        let problem = random_chord_problem(n, k, 1.2, 13);
+        group.bench_with_input(BenchmarkId::new("fast", n), &problem, |b, p| {
+            b.iter(|| select_fast(p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &problem, |b, p| {
+            b.iter(|| select_naive(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn pastry_greedy_vs_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pastry_greedy_vs_dp");
+    for &n in &[128usize, 512] {
+        let k = (n as f64).log2().round() as usize;
+        let problem = random_pastry_problem(n, k, 1.2, 13);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &problem, |b, p| {
+            b.iter(|| select_greedy(p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reference_dp", n), &problem, |b, p| {
+            b.iter(|| select_dp(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chord_fast_vs_naive, pastry_greedy_vs_dp);
+criterion_main!(benches);

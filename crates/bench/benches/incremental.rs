@@ -1,0 +1,46 @@
+//! Ablation (paper §IV-C): the `O(k·b)` incremental update against a full
+//! `O(n·k·b)` from-scratch re-solve after a single popularity change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peercache_bench::random_pastry_problem;
+use peercache_core::pastry::{select_greedy, PastryOptimizer};
+
+fn incremental_vs_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    for &n in &[256usize, 1024, 4096] {
+        let k = (n as f64).log2().round() as usize;
+        let problem = random_pastry_problem(n, k, 1.2, 11);
+        let target = problem.candidates[n / 2].id;
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental_update", n),
+            &problem,
+            |b, p| {
+                let mut opt = PastryOptimizer::new(p).unwrap();
+                let mut w = 1.0;
+                b.iter(|| {
+                    w += 1.0;
+                    opt.update_weight(target, w).unwrap();
+                    opt.select().unwrap()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("from_scratch", n), &problem, |b, p| {
+            let mut p = p.clone();
+            let mut w = 1.0;
+            b.iter(|| {
+                w += 1.0;
+                p.candidates
+                    .iter_mut()
+                    .find(|c| c.id == target)
+                    .unwrap()
+                    .weight = w;
+                select_greedy(&p).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, incremental_vs_scratch);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Overlay routing throughput: lookups per second through stable Chord
+//! and Pastry rings, with and without auxiliary neighbors installed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peercache_id::{Id, IdSpace};
+use peercache_pastry::RoutingMode;
+use peercache_sim::{OverlayKind, SimOverlay};
+use peercache_workload::random_ids;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build(kind: OverlayKind, n: usize) -> (SimOverlay, Vec<Id>) {
+    let space = IdSpace::paper();
+    let mut rng = StdRng::seed_from_u64(17);
+    let ids = random_ids(space, n, &mut rng);
+    let overlay = SimOverlay::build(kind, space, &ids, &mut rng);
+    (overlay, ids)
+}
+
+fn routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    let kinds = [
+        ("chord", OverlayKind::Chord),
+        (
+            "pastry",
+            OverlayKind::Pastry {
+                digit_bits: 1,
+                mode: RoutingMode::LocalityAware,
+            },
+        ),
+    ];
+    for (name, kind) in kinds {
+        for &n in &[1024usize, 4096] {
+            let (mut overlay, ids) = build(kind, n);
+            let mut rng = StdRng::seed_from_u64(19);
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let from = ids[rng.gen_range(0..ids.len())];
+                    let key = Id::new(rng.gen::<u32>() as u128);
+                    overlay.query(from, key)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, routing);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Complexity-claim benchmarks (paper §I, contribution 1): selection cost
+//! scaling with `n` for the production solvers — `O(n·k·b)` Pastry greedy
+//! and `O(n·(b + k·log b)·log n)` Chord fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peercache_bench::{random_chord_problem, random_pastry_problem};
+use peercache_core::chord::select_fast;
+use peercache_core::pastry::select_greedy;
+
+fn selection_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_scaling");
+    for &n in &[256usize, 1024, 4096] {
+        let k = (n as f64).log2().round() as usize;
+        let chord = random_chord_problem(n, k, 1.2, 7);
+        group.bench_with_input(BenchmarkId::new("chord_fast", n), &chord, |b, p| {
+            b.iter(|| select_fast(p).unwrap())
+        });
+        let pastry = random_pastry_problem(n, k, 1.2, 7);
+        group.bench_with_input(BenchmarkId::new("pastry_greedy", n), &pastry, |b, p| {
+            b.iter(|| select_greedy(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, selection_scaling);
+criterion_main!(benches);

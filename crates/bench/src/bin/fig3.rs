@@ -1,0 +1,14 @@
+//! Regenerate Figure 3: Pastry, % reduction in average hops vs `n`
+//! (k = log₂ n, α ∈ {1.2, 0.91}, identical rankings, stable mode).
+
+use peercache_bench::FigureCli;
+use peercache_sim::fig3;
+
+fn main() {
+    let cli = FigureCli::parse();
+    let rows = fig3(&cli.scale, cli.seed);
+    cli.report(
+        "Figure 3 — Pastry: improvement over the frequency-oblivious scheme vs n",
+        &rows,
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerate Figure 4: Pastry, % reduction vs `k ∈ {1,2,3}·log₂ n`
+//! (n = 1024, α ∈ {1.2, 0.91}, locality-aware routing, stable mode).
+
+use peercache_bench::FigureCli;
+use peercache_sim::fig4;
+
+fn main() {
+    let cli = FigureCli::parse();
+    let rows = fig4(&cli.scale, cli.seed);
+    cli.report(
+        "Figure 4 — Pastry: improvement vs number of auxiliary neighbors",
+        &rows,
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerate Figure 5: Chord, % reduction vs `n`, stable and
+//! churn-intensive modes (k = log₂ n, α = 1.2, 5 rankings).
+
+use peercache_bench::FigureCli;
+use peercache_sim::fig5;
+
+fn main() {
+    let cli = FigureCli::parse();
+    let rows = fig5(&cli.scale, cli.seed);
+    cli.report(
+        "Figure 5 — Chord: improvement over the frequency-oblivious scheme vs n",
+        &rows,
+    );
+}

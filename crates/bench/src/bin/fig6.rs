@@ -1,0 +1,14 @@
+//! Regenerate Figure 6: Chord, % reduction vs `k ∈ {1,2,3}·log₂ n`
+//! (n = 1024, stable and churn modes).
+
+use peercache_bench::FigureCli;
+use peercache_sim::fig6;
+
+fn main() {
+    let cli = FigureCli::parse();
+    let rows = fig6(&cli.scale, cli.seed);
+    cli.report(
+        "Figure 6 — Chord: improvement vs number of auxiliary neighbors",
+        &rows,
+    );
+}

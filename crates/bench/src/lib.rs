@@ -1,0 +1,143 @@
+//! Shared plumbing for the figure-regeneration binaries and the Criterion
+//! benchmarks: random problem builders and a tiny CLI/report layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write;
+
+use peercache_core::{Candidate, ChordProblem, PastryProblem};
+use peercache_id::{Id, IdSpace};
+use peercache_sim::{FigureRow, Scale};
+use peercache_workload::{random_ids, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a random Chord selection problem: `n` candidates with Zipf(α)
+/// weights, `log₂ n` core fingers at exponentially spaced offsets.
+pub fn random_chord_problem(n: usize, k: usize, alpha: f64, seed: u64) -> ChordProblem {
+    let space = IdSpace::paper();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = random_ids(space, n + 1 + 32, &mut rng);
+    let source = ids[0];
+    let zipf = Zipf::new(n, alpha).expect("valid Zipf");
+    let candidates: Vec<Candidate> = ids[1..=n]
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| Candidate::new(id, zipf.rank_probability(i) * 1e6))
+        .collect();
+    // Core fingers: closest candidate at or after source + 2^i (re-using
+    // extra ids so cores never collide with candidates).
+    let core: Vec<Id> = ids[n + 1..]
+        .iter()
+        .copied()
+        .take((n as f64).log2().round() as usize)
+        .collect();
+    ChordProblem::new(space, source, core, candidates, k).expect("well-formed")
+}
+
+/// Build a random Pastry selection problem analogous to
+/// [`random_chord_problem`].
+pub fn random_pastry_problem(n: usize, k: usize, alpha: f64, seed: u64) -> PastryProblem {
+    let space = IdSpace::paper();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = random_ids(space, n + 1 + 32, &mut rng);
+    let source = ids[0];
+    let zipf = Zipf::new(n, alpha).expect("valid Zipf");
+    let candidates: Vec<Candidate> = ids[1..=n]
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| Candidate::new(id, zipf.rank_probability(i) * 1e6))
+        .collect();
+    let core: Vec<Id> = ids[n + 1..]
+        .iter()
+        .copied()
+        .take((n as f64).log2().round() as usize)
+        .collect();
+    PastryProblem::new(space, 1, source, core, candidates, k).expect("well-formed")
+}
+
+/// CLI options shared by the figure binaries.
+pub struct FigureCli {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional path for a JSON dump of the rows.
+    pub json: Option<String>,
+}
+
+impl FigureCli {
+    /// Parse `--quick`, `--seed N`, `--json PATH` from `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments (these are
+    /// developer-facing binaries).
+    pub fn parse() -> Self {
+        let mut scale = Scale::paper();
+        let mut seed = 1u64;
+        let mut json = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => scale = Scale::quick(),
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed takes an integer");
+                }
+                "--json" => {
+                    json = Some(args.next().expect("--json takes a path"));
+                }
+                other => {
+                    panic!("unknown argument {other}; usage: [--quick] [--seed N] [--json PATH]")
+                }
+            }
+        }
+        FigureCli { scale, seed, json }
+    }
+
+    /// Print the table and optionally dump JSON rows.
+    ///
+    /// # Panics
+    /// Panics when the JSON path cannot be written.
+    pub fn report(&self, header: &str, rows: &[FigureRow]) {
+        println!("{header}");
+        println!("{}", peercache_sim::render_table(rows));
+        if let Some(path) = &self.json {
+            let mut file = std::fs::File::create(path).expect("create JSON output");
+            let body = serde_json::to_string_pretty(rows).expect("rows serialise");
+            file.write_all(body.as_bytes()).expect("write JSON output");
+            println!("(rows written to {path})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peercache_core::chord::select_fast;
+    use peercache_core::pastry::select_greedy;
+
+    #[test]
+    fn random_problems_are_solvable() {
+        let p = random_chord_problem(64, 6, 1.2, 3);
+        assert_eq!(p.candidates.len(), 64);
+        let sel = select_fast(&p).unwrap();
+        assert_eq!(sel.aux.len(), 6);
+
+        let p = random_pastry_problem(64, 6, 1.2, 3);
+        let sel = select_greedy(&p).unwrap();
+        assert_eq!(sel.aux.len(), 6);
+    }
+
+    #[test]
+    fn problems_are_deterministic_per_seed() {
+        let a = random_chord_problem(32, 4, 1.0, 9);
+        let b = random_chord_problem(32, 4, 1.0, 9);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.candidates.len(), b.candidates.len());
+        assert_eq!(a.candidates[0].id, b.candidates[0].id);
+    }
+}

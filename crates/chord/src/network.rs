@@ -1,0 +1,483 @@
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use peercache_id::{Id, IdSpace};
+
+use crate::node::ChordNode;
+use crate::{LookupOutcome, LookupResult};
+
+/// Configuration of a Chord deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct ChordConfig {
+    /// The identifier space (the paper uses 32-bit ids).
+    pub space: IdSpace,
+    /// Successor-list length (fault tolerance under churn).
+    pub successor_list_len: usize,
+    /// Defensive per-lookup hop budget.
+    pub hop_limit: u32,
+}
+
+impl ChordConfig {
+    /// A configuration over `space` with a successor list of 8 and a hop
+    /// budget of `4·b`.
+    pub fn new(space: IdSpace) -> Self {
+        ChordConfig {
+            space,
+            successor_list_len: 8,
+            hop_limit: 4 * space.bits() as u32,
+        }
+    }
+}
+
+/// Errors from membership operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The node id is already live.
+    AlreadyPresent(Id),
+    /// The node id is not live.
+    NotPresent(Id),
+    /// The id does not fit the configured id space.
+    OutOfSpace(Id),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::AlreadyPresent(id) => write!(f, "node {id} already in the ring"),
+            NetworkError::NotPresent(id) => write!(f, "node {id} not in the ring"),
+            NetworkError::OutOfSpace(id) => write!(f, "node {id} outside the id space"),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// The whole simulated Chord ring: live nodes with their (possibly stale)
+/// routing state.
+///
+/// ```
+/// use peercache_chord::{ChordConfig, ChordNetwork};
+/// use peercache_id::{Id, IdSpace};
+///
+/// let space = IdSpace::new(8).unwrap();
+/// let ids: Vec<Id> = [10u128, 80, 150, 220].map(Id::new).to_vec();
+/// let mut ring = ChordNetwork::build(ChordConfig::new(space), &ids);
+/// // Keys belong to their predecessor: 100 → node 80.
+/// assert_eq!(ring.true_owner(Id::new(100)), Some(Id::new(80)));
+/// let result = ring.lookup(Id::new(10), Id::new(100)).unwrap();
+/// assert!(result.is_success());
+/// // An auxiliary pointer turns the lookup into a single hop.
+/// ring.set_aux(Id::new(10), vec![Id::new(80)]).unwrap();
+/// assert_eq!(ring.lookup(Id::new(10), Id::new(100)).unwrap().hops, 1);
+/// ```
+pub struct ChordNetwork {
+    config: ChordConfig,
+    nodes: BTreeMap<u128, ChordNode>,
+}
+
+impl ChordNetwork {
+    /// An empty ring.
+    pub fn new(config: ChordConfig) -> Self {
+        ChordNetwork {
+            config,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Bootstrap a stable ring: every node gets *perfect* routing state
+    /// (the steady state the paper's stable-mode experiments assume).
+    ///
+    /// # Panics
+    /// Panics on duplicate or out-of-space ids — a bootstrap set is
+    /// programmer input.
+    pub fn build(config: ChordConfig, ids: &[Id]) -> Self {
+        let mut net = ChordNetwork::new(config);
+        for &id in ids {
+            assert!(config.space.contains(id), "node id {id} outside id space");
+            let prev = net
+                .nodes
+                .insert(id.value(), ChordNode::new(id, config.space.bits()));
+            assert!(prev.is_none(), "duplicate node id {id}");
+        }
+        let all: Vec<Id> = net.live_ids();
+        for &id in &all {
+            net.refresh_from_truth(id);
+        }
+        net
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ChordConfig {
+        &self.config
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `id` is currently live.
+    pub fn is_live(&self, id: Id) -> bool {
+        self.nodes.contains_key(&id.value())
+    }
+
+    /// All live node ids in ring order.
+    pub fn live_ids(&self) -> Vec<Id> {
+        self.nodes.keys().map(|&k| Id::new(k)).collect()
+    }
+
+    /// Immutable view of a node's state.
+    pub fn node(&self, id: Id) -> Option<&ChordNode> {
+        self.nodes.get(&id.value())
+    }
+
+    /// The first live node strictly clockwise of `from`.
+    fn next_live(&self, from: Id) -> Option<Id> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        from.value()
+            .checked_add(1)
+            .and_then(|start| self.nodes.range(start..).next())
+            .or_else(|| self.nodes.iter().next())
+            .map(|(&k, _)| Id::new(k))
+    }
+
+    /// The first live node at or counter-clockwise of `at` — the **true
+    /// owner** of key `at` under the paper's predecessor assignment.
+    pub fn true_owner(&self, key: Id) -> Option<Id> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.nodes
+            .range(..=key.value())
+            .next_back()
+            .or_else(|| self.nodes.iter().next_back())
+            .map(|(&k, _)| Id::new(k))
+    }
+
+    /// The true successor list of `id` (next `len` live nodes clockwise).
+    fn true_successors(&self, id: Id) -> Vec<Id> {
+        let mut out = Vec::with_capacity(self.config.successor_list_len);
+        let mut cur = id;
+        for _ in 0..self.config.successor_list_len {
+            match self.next_live(cur) {
+                Some(s) if s != id => {
+                    out.push(s);
+                    cur = s;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// The true finger table of `id` (first live node per `[2^i, 2^{i+1})`
+    /// range, paper §II-B).
+    fn true_fingers(&self, id: Id) -> Vec<Option<Id>> {
+        let space = self.config.space;
+        let bits = space.bits();
+        let mut fingers = Vec::with_capacity(bits as usize);
+        for i in 0..bits {
+            let lo = space.add(id, 1u128 << i);
+            let hi_excl = if i + 1 == bits {
+                id // wraps the whole way: range [id + 2^(b-1), id)
+            } else {
+                space.add(id, 1u128 << (i + 1))
+            };
+            // First live node at or clockwise of `lo`, kept only if it
+            // falls inside [lo, hi_excl).
+            let candidate = self
+                .next_live(space.sub(lo, 1))
+                .filter(|&c| c != id && space.between_closed_open(lo, c, hi_excl));
+            fingers.push(candidate);
+        }
+        fingers
+    }
+
+    /// Reset a node's core state from global truth (bootstrap, or the
+    /// periodic re-initialization the paper mentions in §III-2).
+    fn refresh_from_truth(&mut self, id: Id) {
+        let successors = self.true_successors(id);
+        let fingers = self.true_fingers(id);
+        let predecessor = self.true_predecessor(id);
+        let node = self.nodes.get_mut(&id.value()).expect("live node");
+        node.successors = successors;
+        node.fingers = fingers;
+        node.predecessor = predecessor;
+    }
+
+    fn true_predecessor(&self, id: Id) -> Option<Id> {
+        if self.nodes.len() <= 1 {
+            return None;
+        }
+        self.nodes
+            .range(..id.value())
+            .next_back()
+            .or_else(|| self.nodes.iter().next_back())
+            .map(|(&k, _)| Id::new(k))
+            .filter(|&p| p != id)
+    }
+
+    // ---- membership ------------------------------------------------------
+
+    /// A node joins: it builds its own state (successor lookup + finger
+    /// initialisation, modelled as fresh truth) and notifies its
+    /// successor. Everyone else learns only through stabilization.
+    ///
+    /// # Errors
+    /// [`NetworkError::AlreadyPresent`] / [`NetworkError::OutOfSpace`].
+    pub fn join(&mut self, id: Id) -> Result<(), NetworkError> {
+        if !self.config.space.contains(id) {
+            return Err(NetworkError::OutOfSpace(id));
+        }
+        if self.nodes.contains_key(&id.value()) {
+            return Err(NetworkError::AlreadyPresent(id));
+        }
+        self.nodes
+            .insert(id.value(), ChordNode::new(id, self.config.space.bits()));
+        self.refresh_from_truth(id);
+        // Notify the successor so its predecessor pointer (and thus key
+        // hand-off) is immediate; the predecessor's successor pointer
+        // stays stale until its next stabilization.
+        if let Some(succ) = self.nodes[&id.value()].successor() {
+            if let Some(s) = self.nodes.get_mut(&succ.value()) {
+                s.predecessor = Some(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// A node crashes without notice: everyone else's entries go stale.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`].
+    pub fn fail(&mut self, id: Id) -> Result<(), NetworkError> {
+        self.nodes
+            .remove(&id.value())
+            .map(|_| ())
+            .ok_or(NetworkError::NotPresent(id))
+    }
+
+    /// A node leaves gracefully: its immediate neighbors patch their
+    /// pointers; everyone else's entries go stale.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`].
+    pub fn leave(&mut self, id: Id) -> Result<(), NetworkError> {
+        let node = self
+            .nodes
+            .remove(&id.value())
+            .ok_or(NetworkError::NotPresent(id))?;
+        let succ = node.successors.iter().find(|s| self.is_live(**s)).copied();
+        let pred = node.predecessor.filter(|p| self.is_live(*p));
+        if let (Some(succ), Some(pred)) = (succ, pred) {
+            if let Some(s) = self.nodes.get_mut(&succ.value()) {
+                s.predecessor = Some(pred);
+            }
+            if let Some(p) = self.nodes.get_mut(&pred.value()) {
+                p.forget(id);
+                if p.successors.first() != Some(&succ) {
+                    p.successors.insert(0, succ);
+                    p.successors.truncate(self.config.successor_list_len);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- maintenance -----------------------------------------------------
+
+    /// One stabilization round for `id` (the paper's periodic refresh,
+    /// §III-2): ping-and-prune dead entries, run the successor/predecessor
+    /// handshake, refresh the successor list from the successor, and
+    /// re-initialise fingers.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`].
+    pub fn stabilize(&mut self, id: Id) -> Result<(), NetworkError> {
+        if !self.nodes.contains_key(&id.value()) {
+            return Err(NetworkError::NotPresent(id));
+        }
+        // 1. Prune dead beliefs (ping).
+        let beliefs: Vec<Id> = {
+            let node = &self.nodes[&id.value()];
+            node.known_neighbors()
+                .into_iter()
+                .chain(node.predecessor)
+                .collect()
+        };
+        for b in beliefs {
+            if !self.is_live(b) {
+                self.nodes.get_mut(&id.value()).unwrap().forget(b);
+            }
+        }
+        // 2. Successor handshake: adopt successor's predecessor if closer;
+        //    refresh the tail of the successor list from the successor.
+        let succ = self.nodes[&id.value()].successor();
+        if let Some(succ) = succ {
+            let space = self.config.space;
+            let (s_pred, s_succs) = {
+                let s = &self.nodes[&succ.value()];
+                (s.predecessor, s.successors.clone())
+            };
+            let mut list = Vec::with_capacity(self.config.successor_list_len);
+            if let Some(p) = s_pred {
+                // Adopt the successor's predecessor only if it is closer
+                // *and* actually alive (its pointer may itself be stale).
+                if p != id && space.between_open(id, p, succ) && self.is_live(p) {
+                    list.push(p);
+                }
+            }
+            list.push(succ);
+            for s in s_succs {
+                // The successor's own list may be stale; verify entries
+                // before adopting them (the ping that accompanies the
+                // handshake).
+                if s != id && self.is_live(s) && !list.contains(&s) {
+                    list.push(s);
+                }
+            }
+            list.truncate(self.config.successor_list_len);
+            self.nodes.get_mut(&id.value()).unwrap().successors = list;
+            // Notify: the successor adopts us as predecessor if we are
+            // closer than its current belief.
+            let new_succ = self.nodes[&id.value()].successor().expect("just set");
+            let adopt = match self.nodes[&new_succ.value()].predecessor {
+                None => true,
+                Some(p) => p == id || space.between_open(p, id, new_succ) || !self.is_live(p),
+            };
+            if adopt {
+                self.nodes.get_mut(&new_succ.value()).unwrap().predecessor = Some(id);
+            }
+        } else {
+            // Lost every successor: re-acquire from any live belief, or —
+            // as a last resort — re-bootstrap from the ring (the node
+            // would re-join through an out-of-band bootstrap server).
+            let fallback = self.next_live(id).filter(|&s| s != id);
+            if let Some(s) = fallback {
+                self.nodes.get_mut(&id.value()).unwrap().successors = vec![s];
+            }
+        }
+        // 3. Fix fingers (periodic re-initialization).
+        let fingers = self.true_fingers(id);
+        self.nodes.get_mut(&id.value()).unwrap().fingers = fingers;
+        Ok(())
+    }
+
+    /// Stabilize every live node once (ring order).
+    pub fn stabilize_all(&mut self) {
+        for id in self.live_ids() {
+            let _ = self.stabilize(id);
+        }
+    }
+
+    /// Install the auxiliary neighbor set for `id` (dead entries are
+    /// dropped on installation, as the selection runs against possibly
+    /// stale frequency tables).
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`].
+    pub fn set_aux(&mut self, id: Id, aux: Vec<Id>) -> Result<(), NetworkError> {
+        let live: Vec<Id> = aux.into_iter().filter(|&a| self.is_live(a)).collect();
+        let node = self
+            .nodes
+            .get_mut(&id.value())
+            .ok_or(NetworkError::NotPresent(id))?;
+        node.aux = live;
+        Ok(())
+    }
+
+    // ---- routing -----------------------------------------------------------
+
+    /// Route a lookup for `key` starting at `from`, following the paper's
+    /// policy: forward to the known neighbor closest to the key among
+    /// those between the current node and the key (clockwise). Dead
+    /// neighbors probed along the way are forgotten (and counted as
+    /// `failed_probes`), and the next-best candidate is tried.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn lookup(&mut self, from: Id, key: Id) -> Result<LookupResult, NetworkError> {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        let space = self.config.space;
+        let true_owner = self.true_owner(key).expect("ring is non-empty");
+        let mut current = from;
+        let mut hops = 0u32;
+        let mut failed_probes = 0u32;
+        let mut path = vec![from];
+        loop {
+            if hops >= self.config.hop_limit {
+                return Ok(LookupResult {
+                    outcome: LookupOutcome::HopLimit,
+                    hops,
+                    failed_probes,
+                    path,
+                });
+            }
+            // Exact hit: the key is this node's own id, which it owns by
+            // the predecessor-assignment rule.
+            if current == key {
+                return Ok(LookupResult {
+                    outcome: LookupOutcome::Success,
+                    hops,
+                    failed_probes,
+                    path,
+                });
+            }
+            // Candidates between current and key, closest to the key
+            // first. Forward whenever any live one exists — a node may
+            // only claim ownership when it knows of NOTHING between
+            // itself and the key (its successor pointer might be stale
+            // while a freshly fixed finger already knows better).
+            let mut candidates: Vec<Id> = self.nodes[&current.value()]
+                .known_neighbors()
+                .into_iter()
+                .filter(|&w| space.between_open_closed(current, w, key))
+                .collect();
+            candidates.sort_by_key(|&w| space.clockwise_distance(w, key));
+            let mut next = None;
+            for w in candidates {
+                if self.is_live(w) {
+                    next = Some(w);
+                    break;
+                }
+                failed_probes += 1;
+                self.nodes.get_mut(&current.value()).unwrap().forget(w);
+            }
+            if let Some(w) = next {
+                hops += 1;
+                path.push(w);
+                current = w;
+                continue;
+            }
+            // No usable candidate. Does `current` believe it owns the
+            // key? Predecessor assignment: keys in [current, successor).
+            let owns = match self.nodes[&current.value()].successor() {
+                None => true, // believes it is alone
+                Some(s) => space.between_closed_open(current, key, s),
+            };
+            let outcome = if current == true_owner {
+                LookupOutcome::Success
+            } else if owns {
+                LookupOutcome::WrongOwner(current)
+            } else {
+                LookupOutcome::DeadEnd(current)
+            };
+            return Ok(LookupResult {
+                outcome,
+                hops,
+                failed_probes,
+                path,
+            });
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The frequency-oblivious baseline of the paper's evaluation (§VI-A).
+//!
+//! The comparison scheme picks the `k` auxiliary neighbors *without*
+//! looking at access frequencies, but still spread structurally:
+//!
+//! * **Chord**: with `k = r·log n`, pick `r` random candidates per
+//!   distance slice `(2^i, 2^{i+1}]` (equivalently: per value of the hop
+//!   estimate) for every non-empty slice;
+//! * **Pastry**: pick `r` random candidates per length of the prefix
+//!   shared with the selecting node.
+//!
+//! Slices with too few candidates donate their leftover budget to a
+//! uniform draw over the remaining pool, so exactly `min(k, n)` pointers
+//! are always returned.
+
+use std::collections::BTreeMap;
+
+use peercache_id::Id;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::cost::{chord_cost, pastry_cost};
+use crate::problem::{ChordProblem, PastryProblem, Selection};
+
+/// Draw `k` ids slice-balanced: `⌊k / #slices⌋` (+1 for the first
+/// `k mod #slices` slices) from each slice at random, then top up from
+/// the leftover pool.
+fn slice_balanced<R: Rng + ?Sized>(
+    slices: BTreeMap<u32, Vec<Id>>,
+    k: usize,
+    rng: &mut R,
+) -> Vec<Id> {
+    let total: usize = slices.values().map(Vec::len).sum();
+    let k = k.min(total);
+    if k == 0 {
+        return Vec::new();
+    }
+    let nslices = slices.len();
+    let per = k / nslices;
+    let extra = k % nslices;
+    let mut chosen = Vec::with_capacity(k);
+    let mut leftovers: Vec<Id> = Vec::new();
+    for (i, (_, mut ids)) in slices.into_iter().enumerate() {
+        let quota = per + usize::from(i < extra);
+        ids.shuffle(rng);
+        let take = quota.min(ids.len());
+        chosen.extend(ids.drain(..take));
+        leftovers.extend(ids);
+    }
+    if chosen.len() < k {
+        leftovers.shuffle(rng);
+        let need = k - chosen.len();
+        chosen.extend(leftovers.drain(..need));
+    }
+    chosen.sort();
+    chosen
+}
+
+/// Frequency-oblivious auxiliary selection for Chord: random picks per
+/// distance slice (hop-estimate value), ignoring weights.
+pub fn chord_oblivious<R: Rng + ?Sized>(problem: &ChordProblem, rng: &mut R) -> Selection {
+    let mut slices: BTreeMap<u32, Vec<Id>> = BTreeMap::new();
+    for cand in &problem.candidates {
+        let slice = problem.space.chord_hops(problem.source, cand.id);
+        slices.entry(slice).or_default().push(cand.id);
+    }
+    let aux = slice_balanced(slices, problem.effective_k(), rng);
+    let cost = chord_cost(problem, &aux);
+    Selection { aux, cost }
+}
+
+/// Frequency-oblivious auxiliary selection for Pastry: random picks per
+/// shared-prefix length with the source, ignoring weights.
+pub fn pastry_oblivious<R: Rng + ?Sized>(problem: &PastryProblem, rng: &mut R) -> Selection {
+    let mut slices: BTreeMap<u32, Vec<Id>> = BTreeMap::new();
+    for cand in &problem.candidates {
+        let slice = problem
+            .space
+            .common_prefix_digits(cand.id, problem.source, problem.digit_bits)
+            .expect("validated digit width") as u32;
+        slices.entry(slice).or_default().push(cand.id);
+    }
+    let aux = slice_balanced(slices, problem.effective_k(), rng);
+    let cost = pastry_cost(problem, &aux);
+    Selection { aux, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Candidate;
+    use peercache_id::IdSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn id(v: u128) -> Id {
+        Id::new(v)
+    }
+
+    fn chord_problem(k: usize) -> ChordProblem {
+        ChordProblem::new(
+            IdSpace::new(6).unwrap(),
+            id(0),
+            vec![id(1)],
+            (2..40u128)
+                .map(|i| Candidate::new(id(i), (i % 7) as f64 + 1.0))
+                .collect(),
+            k,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn returns_exactly_k_distinct_pointers() {
+        let p = chord_problem(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sel = chord_oblivious(&p, &mut rng);
+        assert_eq!(sel.aux.len(), 6);
+        let mut dedup = sel.aux.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6, "no duplicates");
+        assert_eq!(sel.cost, chord_cost(&p, &sel.aux));
+    }
+
+    #[test]
+    fn k_larger_than_pool_takes_everything() {
+        let p = chord_problem(1000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sel = chord_oblivious(&p, &mut rng);
+        assert_eq!(sel.aux.len(), 38);
+    }
+
+    #[test]
+    fn k_zero_selects_nothing() {
+        let p = chord_problem(0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sel = chord_oblivious(&p, &mut rng);
+        assert!(sel.aux.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = chord_problem(5);
+        let a = chord_oblivious(&p, &mut StdRng::seed_from_u64(42));
+        let b = chord_oblivious(&p, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spreads_across_distance_slices() {
+        // Candidates in three distinct slices; k = 3 must hit all three.
+        let p = ChordProblem::new(
+            IdSpace::new(6).unwrap(),
+            id(0),
+            vec![],
+            vec![
+                Candidate::new(id(2), 1.0),  // slice 2
+                Candidate::new(id(3), 1.0),  // slice 2
+                Candidate::new(id(9), 1.0),  // slice 4
+                Candidate::new(id(12), 1.0), // slice 4
+                Candidate::new(id(40), 1.0), // slice 6
+                Candidate::new(id(60), 1.0), // slice 6
+            ],
+            3,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sel = chord_oblivious(&p, &mut rng);
+        let slices: std::collections::HashSet<u32> = sel
+            .aux
+            .iter()
+            .map(|&a| p.space.chord_hops(p.source, a))
+            .collect();
+        assert_eq!(slices.len(), 3, "one per slice: {:?}", sel.aux);
+    }
+
+    #[test]
+    fn pastry_variant_spreads_across_prefix_slices() {
+        let p = PastryProblem::new(
+            IdSpace::new(4).unwrap(),
+            1,
+            id(0b0000),
+            vec![],
+            vec![
+                Candidate::new(id(0b1000), 1.0), // shares 0 bits
+                Candidate::new(id(0b1111), 1.0), // shares 0 bits
+                Candidate::new(id(0b0100), 1.0), // shares 1 bit
+                Candidate::new(id(0b0111), 1.0), // shares 1 bit
+                Candidate::new(id(0b0010), 1.0), // shares 2 bits
+                Candidate::new(id(0b0011), 1.0), // shares 2 bits
+            ],
+            3,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sel = pastry_oblivious(&p, &mut rng);
+        assert_eq!(sel.aux.len(), 3);
+        let slices: std::collections::HashSet<u8> = sel
+            .aux
+            .iter()
+            .map(|&a| p.space.common_prefix_digits(a, p.source, 1).unwrap())
+            .collect();
+        assert_eq!(slices.len(), 3, "one per prefix slice: {:?}", sel.aux);
+        assert_eq!(sel.cost, pastry_cost(&p, &sel.aux));
+    }
+
+    #[test]
+    fn shortfall_slices_donate_budget() {
+        // Slice "2" has one candidate, slice "4" has five; k = 4 must
+        // still return 4 pointers.
+        let p = ChordProblem::new(
+            IdSpace::new(6).unwrap(),
+            id(0),
+            vec![],
+            vec![
+                Candidate::new(id(2), 1.0),
+                Candidate::new(id(8), 1.0),
+                Candidate::new(id(9), 1.0),
+                Candidate::new(id(10), 1.0),
+                Candidate::new(id(11), 1.0),
+                Candidate::new(id(12), 1.0),
+            ],
+            4,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let sel = chord_oblivious(&p, &mut rng);
+        assert_eq!(sel.aux.len(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! The fast Chord dynamic program (paper §V-B).
+//!
+//! Two ingredients replace the naive `O(n²·k)` solve:
+//!
+//! 1. the [`SegmentOracle`](crate::chord::oracle) answers any `s(j, m)`
+//!    query from `O(n·b·log n)`-precomputed tables, and
+//! 2. each DP layer is solved with **divide-and-conquer optimisation**
+//!    instead of scanning all `j` per `m`. This substitutes for the
+//!    concave least-weight-subsequence algorithm of the paper's reference
+//!    \[9\] (unavailable report): `s` satisfies the inverse quadrangle
+//!    inequality — for `j < j'` and `m < m'`,
+//!    `s(j, m) + s(j', m') ≤ s(j, m') + s(j', m)`, because the only
+//!    asymmetric term is `w_{m'} · (δ(j', m') − δ(j, m')) ≤ 0` with the
+//!    per-node estimate `δ` non-increasing in the pointer's proximity —
+//!    so the per-row argmin is non-decreasing and each layer costs
+//!    `O(n log n)` oracle queries. QoS infeasibility (∞ entries) preserves
+//!    the inequality since `s(j, ·)` hits ∞ no later than `s(j', ·)` …
+//!    see `quadrangle_inequality_holds` in the crate tests.
+
+use crate::chord::naive::{selection_from, DpResult};
+use crate::chord::oracle::SegmentOracle;
+use crate::chord::ring::RingView;
+use crate::problem::{ChordProblem, SelectError, Selection};
+
+/// Solve one DP layer with divide-and-conquer over the monotone argmin.
+///
+/// `g[j]` = `C_{i−1}(j − 1)` for `j ∈ 1..=n` (`g[0]` unused); outputs
+/// `cur[m]` and the achieving `j` in `ch[m]`.
+fn layer_dc(oracle: &SegmentOracle<'_>, g: &[f64], cur: &mut [f64], ch: &mut [u32]) {
+    let n = g.len() - 1;
+    if n == 0 {
+        return;
+    }
+    // Explicit work-stack recursion: (m_lo, m_hi, j_lo, j_hi) inclusive.
+    let mut stack = vec![(1usize, n, 1usize, n)];
+    while let Some((mlo, mhi, jlo, jhi)) = stack.pop() {
+        if mlo > mhi {
+            continue;
+        }
+        let mid = mlo + (mhi - mlo) / 2;
+        let mut best = f64::INFINITY;
+        let mut best_j = 0usize;
+        #[allow(clippy::needless_range_loop)] // j is the DP column index, not a slice walk
+        for j in jlo..=jhi.min(mid) {
+            if g[j].is_infinite() {
+                continue;
+            }
+            let val = g[j] + oracle.s(j - 1, mid - 1);
+            if val < best {
+                best = val;
+                best_j = j;
+            }
+        }
+        cur[mid] = best;
+        ch[mid] = best_j as u32;
+        if best_j == 0 {
+            // Row infeasible: no information about the argmin; keep the
+            // full column range on both sides.
+            stack.push((mlo, mid.wrapping_sub(1), jlo, jhi));
+            stack.push((mid + 1, mhi, jlo, jhi));
+        } else {
+            stack.push((mlo, mid.wrapping_sub(1), jlo, best_j));
+            stack.push((mid + 1, mhi, best_j, jhi));
+        }
+    }
+}
+
+pub(crate) fn solve_fast(ring: &RingView, oracle: &SegmentOracle<'_>, k: usize) -> DpResult {
+    let n = ring.len();
+    let mut layers: Vec<Vec<f64>> = Vec::with_capacity(k + 1);
+    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(k + 1);
+    layers.push(ring.c0.clone());
+    choice.push(vec![0; n + 1]);
+    for i in 1..=k {
+        let prev = &layers[i - 1];
+        // g[j] = C_{i−1}(j − 1) with the exactly-i placement convention:
+        // C_{i−1}(0) is 0 only when i = 1.
+        let mut g = vec![f64::INFINITY; n + 1];
+        for j in 1..=n {
+            g[j] = if j == 1 {
+                if i == 1 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                prev[j - 1]
+            };
+        }
+        let mut cur = vec![f64::INFINITY; n + 1];
+        let mut ch = vec![0u32; n + 1];
+        layer_dc(oracle, &g, &mut cur, &mut ch);
+        layers.push(cur);
+        choice.push(ch);
+    }
+    DpResult { layers, choice }
+}
+
+/// The full budget schedule from one fast-DP run: the optimal selection
+/// for **every** feasible pointer budget `i ≤ k`, as `(i, selection)`
+/// pairs in increasing `i`.
+///
+/// The layered DP computes all of `C_1 … C_k` anyway, so this costs no
+/// more than [`select_fast`]; use it to explore the marginal value of
+/// each additional routing-table slot (the maintenance-cost trade-off of
+/// §I). Budgets made infeasible by QoS bounds are simply absent.
+///
+/// # Errors
+/// [`SelectError::InvalidProblem`] on malformed input.
+pub fn select_schedule(problem: &ChordProblem) -> Result<Vec<(usize, Selection)>, SelectError> {
+    let ring = RingView::new(problem)?;
+    let oracle = SegmentOracle::new(&ring);
+    let k = problem.effective_k();
+    let dp = solve_fast(&ring, &oracle, k);
+    let mut out = Vec::with_capacity(k + 1);
+    for i in 0..=k {
+        if let Ok(sel) = selection_from(&ring, &dp, i) {
+            out.push((i, sel));
+        }
+    }
+    Ok(out)
+}
+
+/// One-shot selection via the fast algorithm (paper §V-B):
+/// `O(n·b·log n)` preprocessing plus `O(k·n·log n)` DP.
+///
+/// # Errors
+/// [`SelectError::InvalidProblem`] on malformed input;
+/// [`SelectError::QosInfeasible`] when delay bounds cannot be met with
+/// `k` pointers.
+pub fn select_fast(problem: &ChordProblem) -> Result<Selection, SelectError> {
+    let ring = RingView::new(problem)?;
+    let oracle = SegmentOracle::new(&ring);
+    let k = problem.effective_k();
+    let mut dp = solve_fast(&ring, &oracle, k);
+    let n = ring.len();
+    if n > 0 && !dp.layers[k][n].is_finite() {
+        let mut i = k;
+        while i < n && !dp.layers[i][n].is_finite() {
+            i += 1;
+            dp = solve_fast(&ring, &oracle, i);
+        }
+    }
+    selection_from(&ring, &dp, k)
+}

@@ -1,0 +1,153 @@
+//! The simple `O(n²·k)` Chord dynamic program (paper §V-A).
+//!
+//! `C_i(m)` is the optimal cost of covering the first `m` successors with
+//! `i` auxiliary pointers (eq. 7); `s(j, m)` — the cost of ranks
+//! `(j..m]` when the last pointer sits at rank `j` — is accumulated
+//! incrementally while `m` advances, so no `O(n²)` table is materialised.
+//! Kept as the reference implementation the fast algorithm (§V-B) is
+//! cross-validated against.
+
+use peercache_id::Id;
+
+use crate::chord::ring::RingView;
+use crate::problem::{ChordProblem, SelectError, Selection};
+
+/// Solve the eq.-7 recurrence layer by layer; returns per-layer cost rows
+/// and the argmin choices for backtracking.
+///
+/// `layers[i][m]` = `C_i(m)`; `choice[i][m]` = the rank (1-based, i.e.
+/// `j`) achieving it, with `choice[i][m] = 0` meaning "undefined/∞".
+pub(crate) struct DpResult {
+    pub layers: Vec<Vec<f64>>,
+    pub choice: Vec<Vec<u32>>,
+}
+
+pub(crate) fn solve_naive(ring: &RingView, k: usize) -> DpResult {
+    let n = ring.len();
+    let mut layers: Vec<Vec<f64>> = Vec::with_capacity(k + 1);
+    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(k + 1);
+    layers.push(ring.c0.clone());
+    choice.push(vec![0; n + 1]);
+    for i in 1..=k {
+        let prev = &layers[i - 1];
+        // "Exactly i pointers" semantics: C_i(m) = ∞ for m < i, including
+        // C_i(0). The j = 1 transition reads C_{i−1}(0) via the special
+        // case below rather than prev[0].
+        let mut cur = vec![f64::INFINITY; n + 1];
+        let mut ch = vec![0u32; n + 1];
+        for j in 1..=n {
+            let base = if j == 1 {
+                // No nodes before the first pointer.
+                if i == 1 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                prev[j - 1]
+            };
+            if base.is_infinite() {
+                continue;
+            }
+            // Extend m from j to n, accumulating s(j, m) on the fly.
+            let mut s = 0.0;
+            let mut valid = true;
+            for m in j..=n {
+                let l = m - 1; // 0-indexed rank of the m-th successor
+                if m > j {
+                    // QoS: rank l needs a usable neighbor at distance
+                    // ≥ qos_lo; the last pointer is at rank j − 1.
+                    if let Some(lo) = ring.qos_lo[l] {
+                        if ring.dist[j - 1] < lo {
+                            valid = false;
+                        }
+                    }
+                    if valid {
+                        s += ring.weight[l] * ring.dist_via(j - 1, l) as f64;
+                    }
+                }
+                if !valid {
+                    break;
+                }
+                let total = base + s;
+                if total < cur[m] {
+                    cur[m] = total;
+                    ch[m] = j as u32;
+                }
+            }
+        }
+        layers.push(cur);
+        choice.push(ch);
+    }
+    DpResult { layers, choice }
+}
+
+/// Backtrack the chosen pointer ranks for `C_i(n)`.
+pub(crate) fn backtrack(dp: &DpResult, i: usize, n: usize) -> Vec<usize> {
+    let mut ranks = Vec::with_capacity(i);
+    let (mut i, mut m) = (i, n);
+    while i > 0 {
+        let j = dp.choice[i][m] as usize;
+        debug_assert!(j >= 1, "backtracking a feasible cell");
+        ranks.push(j - 1); // to 0-indexed rank
+        m = j - 1;
+        i -= 1;
+    }
+    ranks.reverse();
+    ranks
+}
+
+pub(crate) fn selection_from(
+    ring: &RingView,
+    dp: &DpResult,
+    k: usize,
+) -> Result<Selection, SelectError> {
+    let n = ring.len();
+    if n == 0 {
+        return Ok(Selection {
+            aux: vec![],
+            cost: 0.0,
+        });
+    }
+    if dp.layers[k][n].is_finite() {
+        let mut aux: Vec<Id> = backtrack(dp, k, n)
+            .into_iter()
+            .map(|r| ring.ids[r])
+            .collect();
+        aux.sort();
+        return Ok(Selection {
+            aux,
+            cost: ring.total_weight() + dp.layers[k][n],
+        });
+    }
+    // Infeasible at k: the smallest feasible layer (if computed) tells the
+    // caller how many pointers the QoS bounds demand.
+    let required = dp.layers.iter().position(|row| row[n].is_finite());
+    Err(SelectError::QosInfeasible {
+        required: required.map(|r| r as u32).unwrap_or(u32::MAX),
+        k: k as u32,
+    })
+}
+
+/// One-shot selection via the reference `O(n²·k)` dynamic program (§V-A).
+///
+/// # Errors
+/// [`SelectError::InvalidProblem`] on malformed input;
+/// [`SelectError::QosInfeasible`] when delay bounds cannot be met with
+/// `k` pointers (`required` reports the smallest feasible count, which
+/// always exists at `k = n`).
+pub fn select_naive(problem: &ChordProblem) -> Result<Selection, SelectError> {
+    let ring = RingView::new(problem)?;
+    let k = problem.effective_k();
+    let mut dp = solve_naive(&ring, k);
+    let n = ring.len();
+    if n > 0 && !dp.layers[k][n].is_finite() {
+        // Extend layers until feasible so `required` is exact (≤ n).
+        let mut i = k;
+        while i < n && !dp.layers[i][n].is_finite() {
+            i += 1;
+            dp = solve_naive(&ring, i);
+        }
+    }
+    selection_from(&ring, &dp, k)
+}

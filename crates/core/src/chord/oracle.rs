@@ -1,0 +1,358 @@
+//! The `s(j, m)` oracle of paper §V-B.
+//!
+//! For each potential anchor (candidate rank or core neighbor) we
+//! precompute, in `O(n·b·log n)`:
+//!
+//! * `pcount[r]` — how many candidates lie within estimated distance `r`
+//!   of the anchor (the paper's `p_j(r)` as a rank count), and
+//! * `wsum[r]` — the cumulative weighted cost `Σ_{r'≤r} r'·ΔF` of those
+//!   candidates (a prefix-aggregated form of eq. 9, making each segment
+//!   evaluation `O(1)` instead of `O(b)`).
+//!
+//! A full `s(j, m)` query then decomposes at the core neighbors between
+//! `j` and `m` (eq. 10): one partial segment from the pointer, a
+//! prefix-summed run of whole core segments, and one partial segment from
+//! the last core — a handful of binary searches in total.
+
+use crate::chord::ring::{bitlen, RingView};
+
+/// Range-maximum sparse table over the QoS thresholds, so "is `s(j, m)`
+/// feasible" is one `O(1)` query.
+struct SparseMax {
+    rows: Vec<Vec<u128>>,
+}
+
+impl SparseMax {
+    fn new(values: &[u128]) -> Self {
+        let n = values.len();
+        let mut rows = vec![values.to_vec()];
+        let mut width = 1;
+        while width * 2 <= n {
+            let prev = rows.last().unwrap();
+            let next: Vec<u128> = (0..=n - width * 2)
+                .map(|i| prev[i].max(prev[i + width]))
+                .collect();
+            rows.push(next);
+            width *= 2;
+        }
+        SparseMax { rows }
+    }
+
+    /// Max over `values[lo..hi)`; 0 when the range is empty.
+    fn max(&self, lo: usize, hi: usize) -> u128 {
+        if lo >= hi {
+            return 0;
+        }
+        let level = (usize::BITS - 1 - (hi - lo).leading_zeros()) as usize;
+        let width = 1usize << level;
+        self.rows[level][lo].max(self.rows[level][hi - width])
+    }
+}
+
+/// Anchor tables, flattened: entry `a * (bits + 1) + r`.
+struct AnchorTables {
+    pcount: Vec<u32>,
+    wsum: Vec<f64>,
+}
+
+impl AnchorTables {
+    fn build(ring: &RingView, anchors: &[u128]) -> Self {
+        let bits = ring.bits as usize;
+        let stride = bits + 1;
+        let mut pcount = Vec::with_capacity(anchors.len() * stride);
+        let mut wsum = Vec::with_capacity(anchors.len() * stride);
+        for &a in anchors {
+            let mut prev_count = ring.dist.partition_point(|&d| d <= a);
+            pcount.push(prev_count as u32);
+            wsum.push(0.0);
+            let mut acc = 0.0;
+            for r in 1..=bits {
+                let span = if r >= 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << r) - 1
+                };
+                let reach = a.saturating_add(span);
+                let count = ring.dist.partition_point(|&d| d <= reach);
+                acc += r as f64 * (ring.prefix_w[count] - ring.prefix_w[prev_count]);
+                pcount.push(count as u32);
+                wsum.push(acc);
+                prev_count = count;
+            }
+        }
+        AnchorTables { pcount, wsum }
+    }
+}
+
+/// The oracle: precomputed structures answering `s(j, m)` queries.
+pub(crate) struct SegmentOracle<'a> {
+    ring: &'a RingView,
+    stride: usize,
+    cand: AnchorTables,
+    core: AnchorTables,
+    /// `core_seg_prefix[q]` = Σ over core indices `q' < q` of the whole
+    /// segment cost from core `q'` to just before core `q' + 1`.
+    core_seg_prefix: Vec<f64>,
+    qos: Option<SparseMax>,
+}
+
+impl<'a> SegmentOracle<'a> {
+    pub fn new(ring: &'a RingView) -> Self {
+        let stride = ring.bits as usize + 1;
+        let cand = AnchorTables::build(ring, &ring.dist);
+        let core = AnchorTables::build(ring, &ring.core_dist);
+        let n = ring.len();
+        let c = ring.core_dist.len();
+        let mut core_seg_prefix = Vec::with_capacity(c + 1);
+        core_seg_prefix.push(0.0);
+        let mut oracle = SegmentOracle {
+            ring,
+            stride,
+            cand,
+            core,
+            core_seg_prefix,
+            qos: None,
+        };
+        for q in 0..c {
+            // Whole segment: ranks after core q, before core q + 1 (or the
+            // end of the ring for the last core).
+            let seg_end = if q + 1 < c {
+                ring.dist.partition_point(|&d| d < ring.core_dist[q + 1])
+            } else {
+                n
+            };
+            let seg_start = ring.dist.partition_point(|&d| d <= ring.core_dist[q]);
+            let cost = if seg_start >= seg_end {
+                0.0 // no candidates between this core and the next
+            } else {
+                oracle.pure_from_core(q, seg_end - 1)
+            };
+            oracle
+                .core_seg_prefix
+                .push(oracle.core_seg_prefix[q] + cost);
+        }
+        if ring.qos_lo.iter().any(|q| q.is_some()) {
+            let values: Vec<u128> = ring.qos_lo.iter().map(|q| q.unwrap_or(0)).collect();
+            oracle.qos = Some(SparseMax::new(&values));
+        }
+        oracle
+    }
+
+    /// Cost of ranks `l` with `anchor_dist < dist[l] ≤ dist[m0]`, priced
+    /// from the anchor (eq. 9 in prefix-aggregated form).
+    fn pure(&self, tables: &AnchorTables, idx: usize, anchor_dist: u128, m0: usize) -> f64 {
+        debug_assert!(
+            anchor_dist <= self.ring.dist[m0],
+            "anchor must not lie past the segment end"
+        );
+        let d = bitlen(self.ring.dist[m0] - anchor_dist) as usize;
+        if d == 0 {
+            return 0.0;
+        }
+        let base = idx * self.stride;
+        let inner = tables.wsum[base + d - 1];
+        let covered = tables.pcount[base + d - 1] as usize;
+        inner + d as f64 * (self.ring.prefix_w[m0 + 1] - self.ring.prefix_w[covered])
+    }
+
+    fn pure_from_cand(&self, j0: usize, m0: usize) -> f64 {
+        self.pure(&self.cand, j0, self.ring.dist[j0], m0)
+    }
+
+    fn pure_from_core(&self, q: usize, m0: usize) -> f64 {
+        self.pure(&self.core, q, self.ring.core_dist[q], m0)
+    }
+
+    /// `s(j, m)` over 0-indexed ranks: the cost of ranks `(j0 .. m0]` when
+    /// the nearest auxiliary pointer is at rank `j0` (∞ when a QoS bound
+    /// inside the range is out of the pointer's reach).
+    pub fn s(&self, j0: usize, m0: usize) -> f64 {
+        debug_assert!(j0 <= m0);
+        if j0 == m0 {
+            return 0.0;
+        }
+        if let Some(qos) = &self.qos {
+            if qos.max(j0 + 1, m0 + 1) > self.ring.dist[j0] {
+                return f64::INFINITY;
+            }
+        }
+        let ring = self.ring;
+        // Core neighbors strictly between the pointer and the target.
+        let q1 = ring.core_dist.partition_point(|&c| c <= ring.dist[j0]);
+        let q2 = ring.core_dist.partition_point(|&c| c <= ring.dist[m0]);
+        if q1 == q2 {
+            return self.pure_from_cand(j0, m0);
+        }
+        // eq. 10: pointer segment + whole core segments + partial last.
+        let mut total = 0.0;
+        let r1 = ring.dist.partition_point(|&d| d < ring.core_dist[q1]);
+        debug_assert!(r1 > j0);
+        if r1 - 1 > j0 {
+            total += self.pure_from_cand(j0, r1 - 1);
+        }
+        total += self.core_seg_prefix[q2 - 1] - self.core_seg_prefix[q1];
+        total += self.pure_from_core(q2 - 1, m0);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Candidate, ChordProblem};
+    use peercache_id::{Id, IdSpace};
+
+    /// Direct (quadratic) evaluation of s(j, m) for cross-checking.
+    fn s_direct(ring: &RingView, j0: usize, m0: usize) -> f64 {
+        let mut total = 0.0;
+        for l in j0 + 1..=m0 {
+            if let Some(lo) = ring.qos_lo[l] {
+                if ring.dist[j0] < lo {
+                    return f64::INFINITY;
+                }
+            }
+            total += ring.weight[l] * ring.dist_via(j0, l) as f64;
+        }
+        total
+    }
+
+    fn ring_of(bits: u8, core: Vec<u128>, cands: Vec<(u128, f64)>) -> RingView {
+        let problem = ChordProblem::new(
+            IdSpace::new(bits).unwrap(),
+            Id::ZERO,
+            core.into_iter().map(Id::new).collect(),
+            cands
+                .into_iter()
+                .map(|(i, w)| Candidate::new(Id::new(i), w))
+                .collect(),
+            1,
+        )
+        .unwrap();
+        RingView::new(&problem).unwrap()
+    }
+
+    #[test]
+    fn sparse_max_matches_scan() {
+        let values = vec![3u128, 1, 4, 1, 5, 9, 2, 6];
+        let sm = SparseMax::new(&values);
+        for lo in 0..values.len() {
+            for hi in lo..=values.len() {
+                let expected = values[lo..hi].iter().copied().max().unwrap_or(0);
+                assert_eq!(sm.max(lo, hi), expected, "range {lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_direct_no_cores() {
+        let ring = ring_of(
+            6,
+            vec![],
+            vec![
+                (3, 2.0),
+                (7, 1.0),
+                (12, 4.0),
+                (30, 3.0),
+                (45, 0.5),
+                (61, 2.5),
+            ],
+        );
+        let oracle = SegmentOracle::new(&ring);
+        for j in 0..ring.len() {
+            for m in j..ring.len() {
+                let (fast, direct) = (oracle.s(j, m), s_direct(&ring, j, m));
+                assert!(
+                    (fast - direct).abs() < 1e-9,
+                    "s({j},{m}) = {fast} vs {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_direct_with_cores() {
+        let ring = ring_of(
+            6,
+            vec![5, 16, 33, 50],
+            vec![
+                (3, 2.0),
+                (7, 1.0),
+                (12, 4.0),
+                (30, 3.0),
+                (45, 0.5),
+                (61, 2.5),
+                (18, 1.5),
+            ],
+        );
+        let oracle = SegmentOracle::new(&ring);
+        for j in 0..ring.len() {
+            for m in j..ring.len() {
+                let (fast, direct) = (oracle.s(j, m), s_direct(&ring, j, m));
+                assert!(
+                    (fast - direct).abs() < 1e-9,
+                    "s({j},{m}) = {fast} vs {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_handles_empty_core_segments() {
+        // Regression: consecutive core neighbors with NO candidate between
+        // them used to anchor a segment past its end and underflow.
+        let ring = ring_of(
+            6,
+            vec![10, 12, 14, 40],
+            vec![(5, 2.0), (50, 3.0), (62, 1.0)],
+        );
+        let oracle = SegmentOracle::new(&ring);
+        for j in 0..ring.len() {
+            for m in j..ring.len() {
+                let (fast, direct) = (oracle.s(j, m), s_direct(&ring, j, m));
+                assert!(
+                    (fast - direct).abs() < 1e-9,
+                    "s({j},{m}) = {fast} vs {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_handles_cores_past_all_candidates() {
+        let ring = ring_of(6, vec![60, 62], vec![(5, 2.0), (20, 3.0)]);
+        let oracle = SegmentOracle::new(&ring);
+        for j in 0..ring.len() {
+            for m in j..ring.len() {
+                assert!((oracle.s(j, m) - s_direct(&ring, j, m)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_direct_with_qos() {
+        let problem = ChordProblem::new(
+            IdSpace::new(6).unwrap(),
+            Id::ZERO,
+            vec![Id::new(5)],
+            vec![
+                Candidate::new(Id::new(3), 2.0),
+                Candidate::with_max_hops(Id::new(30), 3.0, 3),
+                Candidate::new(Id::new(45), 0.5),
+                Candidate::with_max_hops(Id::new(61), 2.5, 2),
+            ],
+            1,
+        )
+        .unwrap();
+        let ring = RingView::new(&problem).unwrap();
+        let oracle = SegmentOracle::new(&ring);
+        for j in 0..ring.len() {
+            for m in j..ring.len() {
+                let (fast, direct) = (oracle.s(j, m), s_direct(&ring, j, m));
+                assert!(
+                    fast == direct || (fast - direct).abs() < 1e-9,
+                    "s({j},{m}) = {fast} vs {direct}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The re-based ring view shared by the Chord selection algorithms.
+//!
+//! All ids are re-based so the selecting node sits at the origin — the
+//! paper's "zero-node" convention (§V) — and candidates are indexed by
+//! rank in increasing clockwise distance. The hop estimate from a
+//! neighbor `w` to a target `v` with `dist(w) ≤ dist(v)` is
+//! `bitlen(dist(v) − dist(w))`, the position of the leftmost 1 (eq. 6);
+//! neighbors *past* `v` are unusable because Chord only ever forwards to a
+//! neighbor between the current node and the target.
+
+use peercache_id::Id;
+
+use crate::problem::{ChordProblem, SelectError};
+
+/// Position of the leftmost 1 bit: `⌊log₂ x⌋ + 1`, and 0 for `x = 0`.
+#[inline]
+pub(crate) fn bitlen(x: u128) -> u32 {
+    128 - x.leading_zeros()
+}
+
+/// Candidates and core neighbors of a [`ChordProblem`], re-based to the
+/// source and sorted by clockwise distance.
+pub(crate) struct RingView {
+    /// Identifier width `b` — also the "unreachable" distance estimate.
+    pub bits: u32,
+    /// Candidate ids by rank (rank 0 = closest successor).
+    pub ids: Vec<Id>,
+    /// Clockwise distance from the source, by rank (strictly increasing).
+    pub dist: Vec<u128>,
+    /// Access frequency by rank.
+    pub weight: Vec<f64>,
+    /// `prefix_w[i] = Σ_{r < i} weight[r]` (length n + 1).
+    pub prefix_w: Vec<f64>,
+    /// Sorted clockwise distances of the core neighbors.
+    pub core_dist: Vec<u128>,
+    /// Per rank: hop estimate from the best *preceding* core neighbor
+    /// (saturated to `bits` when no core precedes).
+    pub dcore: Vec<u32>,
+    /// Per rank: minimum distance a covering auxiliary pointer must have
+    /// (QoS). `None` when the rank is unconstrained or its bound is
+    /// already satisfied by a core neighbor.
+    pub qos_lo: Vec<Option<u128>>,
+    /// `c0[m]` = cost of ranks `0..m` using core neighbors only
+    /// (`∞` once an unsatisfied QoS bound appears). Length n + 1.
+    pub c0: Vec<f64>,
+}
+
+impl RingView {
+    pub fn new(problem: &ChordProblem) -> Result<Self, SelectError> {
+        let space = problem.space;
+        let bits = space.bits() as u32;
+        let mut order: Vec<usize> = (0..problem.candidates.len()).collect();
+        let cand_dist: Vec<u128> = problem
+            .candidates
+            .iter()
+            .map(|c| space.clockwise_distance(problem.source, c.id))
+            .collect();
+        order.sort_by_key(|&i| cand_dist[i]);
+
+        let n = order.len();
+        let mut ids = Vec::with_capacity(n);
+        let mut dist = Vec::with_capacity(n);
+        let mut weight = Vec::with_capacity(n);
+        let mut bounds = Vec::with_capacity(n);
+        for &i in &order {
+            ids.push(problem.candidates[i].id);
+            dist.push(cand_dist[i]);
+            weight.push(problem.candidates[i].weight);
+            bounds.push(problem.candidates[i].max_hops);
+        }
+
+        let mut prefix_w = Vec::with_capacity(n + 1);
+        prefix_w.push(0.0);
+        for &w in &weight {
+            prefix_w.push(prefix_w.last().unwrap() + w);
+        }
+
+        let mut core_dist: Vec<u128> = problem
+            .core
+            .iter()
+            .map(|&c| space.clockwise_distance(problem.source, c))
+            .collect();
+        core_dist.sort_unstable();
+
+        // Best preceding core neighbor per rank.
+        let dcore: Vec<u32> = dist
+            .iter()
+            .map(|&d| match core_dist.partition_point(|&c| c <= d) {
+                0 => bits,
+                idx => bitlen(d - core_dist[idx - 1]),
+            })
+            .collect();
+
+        // QoS: a bound of x hops means d(v, N ∪ A) ≤ x − 1, i.e. a usable
+        // neighbor within clockwise distance window
+        // [dist(v) − (2^(x−1) − 1), dist(v)].
+        let mut qos_lo = Vec::with_capacity(n);
+        for (r, bound) in bounds.iter().enumerate() {
+            let lo = match bound {
+                None => None,
+                Some(x) => {
+                    let allowed = x - 1;
+                    if allowed >= bits {
+                        None // vacuous: even b hops satisfy it
+                    } else {
+                        let reach = (1u128 << allowed) - 1;
+                        let lo = dist[r].saturating_sub(reach);
+                        // Satisfied outright by a core neighbor in window?
+                        let covered = match core_dist.partition_point(|&c| c <= dist[r]) {
+                            0 => false,
+                            idx => core_dist[idx - 1] >= lo,
+                        };
+                        if covered {
+                            None
+                        } else {
+                            // Any pointer at distance ≥ max(lo, 1) works
+                            // (pointers all have distance ≥ 1).
+                            Some(lo.max(1))
+                        }
+                    }
+                }
+            };
+            qos_lo.push(lo);
+        }
+
+        // Core-only cost prefix (the DP's C_0), ∞ once a bound is unmet.
+        let mut c0 = Vec::with_capacity(n + 1);
+        c0.push(0.0);
+        let mut acc: f64 = 0.0;
+        for r in 0..n {
+            if acc.is_finite() && qos_lo[r].is_some() {
+                acc = f64::INFINITY;
+            }
+            if acc.is_finite() {
+                acc += weight[r] * dcore[r] as f64;
+            }
+            c0.push(acc);
+        }
+
+        Ok(RingView {
+            bits,
+            ids,
+            dist,
+            weight,
+            prefix_w,
+            core_dist,
+            dcore,
+            qos_lo,
+            c0,
+        })
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Total candidate weight `Σ_v f_v`.
+    pub fn total_weight(&self) -> f64 {
+        *self.prefix_w.last().unwrap()
+    }
+
+    /// Hop estimate for target rank `l` with the nearest auxiliary pointer
+    /// at rank `j ≤ l` (core neighbors still compete): the paper's
+    /// per-node term inside `s(j, m)`.
+    pub fn dist_via(&self, j: usize, l: usize) -> u32 {
+        debug_assert!(j <= l);
+        bitlen(self.dist[l] - self.dist[j]).min(self.dcore[l])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Candidate;
+    use peercache_id::IdSpace;
+
+    fn id(v: u128) -> Id {
+        Id::new(v)
+    }
+
+    fn view(source: u128, core: Vec<u128>, cands: Vec<(u128, f64)>) -> RingView {
+        let problem = ChordProblem::new(
+            IdSpace::new(4).unwrap(),
+            id(source),
+            core.into_iter().map(id).collect(),
+            cands
+                .into_iter()
+                .map(|(i, w)| Candidate::new(id(i), w))
+                .collect(),
+            1,
+        )
+        .unwrap();
+        RingView::new(&problem).unwrap()
+    }
+
+    #[test]
+    fn bitlen_matches_leftmost_one() {
+        assert_eq!(bitlen(0), 0);
+        assert_eq!(bitlen(1), 1);
+        assert_eq!(bitlen(2), 2);
+        assert_eq!(bitlen(3), 2);
+        assert_eq!(bitlen(4), 3);
+        assert_eq!(bitlen(u128::MAX), 128);
+    }
+
+    #[test]
+    fn ranks_sorted_by_clockwise_distance_with_wrap() {
+        // Source 14 on a 16-ring: candidate 1 is at distance 3, candidate
+        // 13 at distance 15.
+        let v = view(14, vec![], vec![(13, 1.0), (1, 2.0), (15, 3.0)]);
+        assert_eq!(v.dist, vec![1, 3, 15]);
+        assert_eq!(v.ids, vec![id(15), id(1), id(13)]);
+        assert_eq!(v.weight, vec![3.0, 2.0, 1.0]);
+        assert_eq!(v.prefix_w, vec![0.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn dcore_uses_best_preceding_core() {
+        // Core at distance 4; candidate at distance 5 → bitlen(1) = 1;
+        // candidate at distance 2 → no preceding core → saturates at b = 4.
+        let v = view(0, vec![4], vec![(5, 1.0), (2, 1.0)]);
+        assert_eq!(v.dist, vec![2, 5]);
+        assert_eq!(v.dcore, vec![4, 1]);
+    }
+
+    #[test]
+    fn dist_via_takes_min_of_pointer_and_core() {
+        let v = view(0, vec![4], vec![(5, 1.0), (6, 1.0)]);
+        // Pointer at rank 0 (dist 5), target rank 1 (dist 6): bitlen(1)=1;
+        // core gives bitlen(6−4)=2 → min 1.
+        assert_eq!(v.dist_via(0, 1), 1);
+        // Self-distance is 0.
+        assert_eq!(v.dist_via(0, 0), 0);
+    }
+
+    #[test]
+    fn c0_accumulates_core_only_costs() {
+        let v = view(0, vec![1], vec![(2, 2.0), (9, 3.0)]);
+        // rank 0: dist 2, core at 1 → bitlen(1) = 1 → 2·1 = 2
+        // rank 1: dist 9, core at 1 → bitlen(8) = 4 → 3·4 = 12
+        assert_eq!(v.c0, vec![0.0, 2.0, 14.0]);
+    }
+
+    #[test]
+    fn qos_vacuous_and_core_covered_bounds_are_none() {
+        let problem = ChordProblem::new(
+            IdSpace::new(4).unwrap(),
+            id(0),
+            vec![id(7)],
+            vec![
+                Candidate::with_max_hops(id(3), 1.0, 5), // vacuous (b = 4)
+                Candidate::with_max_hops(id(9), 1.0, 2), // core at 7: bitlen(2)=2 > 1
+            ],
+            1,
+        )
+        .unwrap();
+        let v = RingView::new(&problem).unwrap();
+        assert_eq!(v.qos_lo[0], None, "vacuous bound");
+        // rank 1 = dist 9, bound 2 → window [9−1, 9] = [8,9]; core at 7 is
+        // outside → needs a pointer at distance ≥ 8.
+        assert_eq!(v.qos_lo[1], Some(8));
+        assert!(v.c0[2].is_infinite());
+    }
+
+    #[test]
+    fn qos_bound_covered_by_core_in_window() {
+        let problem = ChordProblem::new(
+            IdSpace::new(4).unwrap(),
+            id(0),
+            vec![id(8)],
+            vec![Candidate::with_max_hops(id(9), 1.0, 2)],
+            1,
+        )
+        .unwrap();
+        let v = RingView::new(&problem).unwrap();
+        assert_eq!(v.qos_lo[0], None, "core at 8 within [8, 9]");
+        assert!(v.c0[1].is_finite());
+    }
+}

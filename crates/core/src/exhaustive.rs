@@ -1,0 +1,223 @@
+//! Exhaustive-search reference optimisers.
+//!
+//! These enumerate every size-`k` candidate subset and evaluate eq. (1)
+//! directly. They are exponential and exist to validate the polynomial
+//! algorithms (and for users who want certainty on tiny instances).
+
+use peercache_id::Id;
+
+use crate::cost::{chord_cost, chord_qos_satisfied, pastry_cost, pastry_qos_satisfied};
+use crate::problem::{ChordProblem, PastryProblem, SelectError, Selection};
+
+/// Visit all `C(n, k)` index subsets of `0..n` of size `k`.
+fn for_each_subset<F: FnMut(&[usize])>(n: usize, k: usize, mut f: F) {
+    let mut idx: Vec<usize> = (0..k).collect();
+    if k > n {
+        return;
+    }
+    loop {
+        f(&idx);
+        // Advance to the next combination in lexicographic order.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+fn best_subset<C, Q>(
+    n: usize,
+    k: usize,
+    ids: &[Id],
+    cost: C,
+    feasible: Q,
+) -> Result<(Vec<Id>, f64), SelectError>
+where
+    C: Fn(&[Id]) -> f64,
+    Q: Fn(&[Id]) -> bool,
+{
+    let mut best: Option<(Vec<Id>, f64)> = None;
+    let mut any_feasible = false;
+    for_each_subset(n, k, |subset| {
+        let aux: Vec<Id> = subset.iter().map(|&i| ids[i]).collect();
+        if !feasible(&aux) {
+            return;
+        }
+        any_feasible = true;
+        let c = cost(&aux);
+        let better = match &best {
+            None => true,
+            Some((_, bc)) => c < *bc,
+        };
+        if better {
+            best = Some((aux, c));
+        }
+    });
+    if k == 0 {
+        // The empty selection — still subject to feasibility.
+        if feasible(&[]) {
+            return Ok((vec![], cost(&[])));
+        }
+        return Err(SelectError::QosInfeasible {
+            required: u32::MAX,
+            k: 0,
+        });
+    }
+    match best {
+        Some((mut aux, c)) => {
+            aux.sort();
+            Ok((aux, c))
+        }
+        None => {
+            debug_assert!(!any_feasible);
+            Err(SelectError::QosInfeasible {
+                required: u32::MAX,
+                k: k as u32,
+            })
+        }
+    }
+}
+
+/// Optimal Pastry auxiliary set by exhaustive search. Exponential; only
+/// use on tiny instances.
+///
+/// # Errors
+/// [`SelectError::QosInfeasible`] when no size-`k` subset meets every
+/// delay bound.
+pub fn pastry_exhaustive(problem: &PastryProblem) -> Result<Selection, SelectError> {
+    let ids: Vec<Id> = problem.candidates.iter().map(|c| c.id).collect();
+    let k = problem.effective_k();
+    let (aux, cost) = best_subset(
+        ids.len(),
+        k,
+        &ids,
+        |aux| pastry_cost(problem, aux),
+        |aux| pastry_qos_satisfied(problem, aux),
+    )?;
+    Ok(Selection { aux, cost })
+}
+
+/// Optimal Chord auxiliary set by exhaustive search. Exponential; only
+/// use on tiny instances.
+///
+/// # Errors
+/// [`SelectError::QosInfeasible`] when no size-`k` subset meets every
+/// delay bound.
+pub fn chord_exhaustive(problem: &ChordProblem) -> Result<Selection, SelectError> {
+    let ids: Vec<Id> = problem.candidates.iter().map(|c| c.id).collect();
+    let k = problem.effective_k();
+    let (aux, cost) = best_subset(
+        ids.len(),
+        k,
+        &ids,
+        |aux| chord_cost(problem, aux),
+        |aux| chord_qos_satisfied(problem, aux),
+    )?;
+    Ok(Selection { aux, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Candidate;
+    use peercache_id::IdSpace;
+
+    fn id(v: u128) -> Id {
+        Id::new(v)
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let mut count = 0;
+        for_each_subset(5, 3, |_| count += 1);
+        assert_eq!(count, 10);
+        count = 0;
+        for_each_subset(4, 4, |_| count += 1);
+        assert_eq!(count, 1);
+        count = 0;
+        for_each_subset(3, 5, |_| count += 1);
+        assert_eq!(count, 0, "k > n yields nothing");
+        count = 0;
+        for_each_subset(3, 0, |_| count += 1);
+        assert_eq!(count, 1, "the empty subset");
+    }
+
+    #[test]
+    fn picks_the_heavy_candidate() {
+        let s = IdSpace::new(4).unwrap();
+        let problem = ChordProblem::new(
+            s,
+            id(0),
+            vec![],
+            vec![Candidate::new(id(8), 100.0), Candidate::new(id(9), 1.0)],
+            1,
+        )
+        .unwrap();
+        let sel = chord_exhaustive(&problem).unwrap();
+        assert_eq!(sel.aux, vec![id(8)]);
+    }
+
+    #[test]
+    fn k_zero_returns_core_only_cost() {
+        let s = IdSpace::new(4).unwrap();
+        let problem =
+            ChordProblem::new(s, id(0), vec![id(1)], vec![Candidate::new(id(2), 1.0)], 0).unwrap();
+        let sel = chord_exhaustive(&problem).unwrap();
+        assert!(sel.aux.is_empty());
+        assert_eq!(sel.cost, 2.0); // f=1, d from core 1 → 1, cost 1·(1+1)
+    }
+
+    #[test]
+    fn infeasible_qos_is_reported() {
+        let s = IdSpace::new(4).unwrap();
+        // Two nodes demand to BE the pointer (bound 1 hop) but k = 1.
+        let problem = ChordProblem::new(
+            s,
+            id(0),
+            vec![],
+            vec![
+                Candidate::with_max_hops(id(4), 1.0, 1),
+                Candidate::with_max_hops(id(8), 1.0, 1),
+            ],
+            1,
+        )
+        .unwrap();
+        assert!(matches!(
+            chord_exhaustive(&problem),
+            Err(SelectError::QosInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn qos_constrains_choice_away_from_pure_optimum() {
+        let s = IdSpace::new(4).unwrap();
+        // Unconstrained optimum would pick the heavy node 8; the QoS bound
+        // on node 4 forces the single pointer to node 4.
+        let problem = ChordProblem::new(
+            s,
+            id(0),
+            vec![],
+            vec![
+                Candidate::with_max_hops(id(4), 0.001, 1),
+                Candidate::new(id(8), 100.0),
+            ],
+            1,
+        )
+        .unwrap();
+        let sel = chord_exhaustive(&problem).unwrap();
+        assert_eq!(sel.aux, vec![id(4)]);
+    }
+}

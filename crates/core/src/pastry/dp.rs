@@ -1,0 +1,146 @@
+//! The simple `O(n·k²·b)` dynamic program of paper §IV-A.
+//!
+//! Each vertex keeps, for every pointer count `j ≤ k`, the minimum cost
+//! `C(T_a, j)` *and* the achieving leaf set (eq. 3) — the quadratic-in-`k`
+//! storage the greedy algorithm of §IV-B eliminates. Kept as the reference
+//! implementation: the greedy optimiser is cross-validated against it, and
+//! the ablation benchmark measures the gap the paper's property (P) buys.
+
+use peercache_id::Id;
+
+use crate::pastry::trie::Trie;
+use crate::problem::{PastryProblem, SelectError, Selection};
+
+struct Table {
+    /// `costs[j]` = min cost with exactly `j` pointers in the subtree
+    /// (`∞` when infeasible or `j` exceeds the candidate supply).
+    costs: Vec<f64>,
+    /// The achieving pointer sets, parallel to `costs`.
+    sets: Vec<Vec<Id>>,
+}
+
+fn solve(trie: &Trie, v: u32, k: usize) -> Table {
+    let vert = trie.vertex(v);
+    if let Some(leaf) = &vert.leaf {
+        let mut costs = vec![f64::INFINITY; k + 1];
+        let mut sets = vec![Vec::new(); k + 1];
+        costs[0] = 0.0;
+        if !leaf.is_core {
+            if k >= 1 {
+                costs[1] = 0.0;
+                sets[1] = vec![leaf.id];
+            }
+            // A marked candidate leaf must be selected itself.
+            if vert.mark_count > 0 {
+                costs[0] = f64::INFINITY;
+            }
+        }
+        return Table { costs, sets };
+    }
+
+    let mut acc = Table {
+        costs: vec![f64::INFINITY; k + 1],
+        sets: vec![Vec::new(); k + 1],
+    };
+    acc.costs[0] = 0.0;
+    for (_, c) in trie.children_of(v) {
+        let child = solve(trie, c, k);
+        let cv = trie.vertex(c);
+        // Effective child cost with the eq.-2 edge-indicator term.
+        let d_child = |t: usize| -> f64 {
+            let edge = if t == 0 && cv.core_count == 0 {
+                cv.weight
+            } else {
+                0.0
+            };
+            child.costs[t] + edge
+        };
+        let mut next = Table {
+            costs: vec![f64::INFINITY; k + 1],
+            sets: vec![Vec::new(); k + 1],
+        };
+        for j in 0..=k {
+            for i in 0..=j {
+                let (a, b) = (acc.costs[i], d_child(j - i));
+                if a.is_infinite() || b.is_infinite() {
+                    continue;
+                }
+                if a + b < next.costs[j] {
+                    next.costs[j] = a + b;
+                    let mut set = acc.sets[i].clone();
+                    set.extend_from_slice(&child.sets[j - i]);
+                    next.sets[j] = set;
+                }
+            }
+        }
+        acc = next;
+    }
+    // §IV-D: a marked subtree without a core neighbor needs ≥ 1 pointer.
+    if vert.mark_count > 0 && vert.core_count == 0 {
+        acc.costs[0] = f64::INFINITY;
+        acc.sets[0].clear();
+    }
+    acc
+}
+
+/// Refresh per-vertex aggregates (`weight`, counts) bottom-up; the DP needs
+/// `F(T_a)` and the core-presence flags.
+fn refresh_aggregates(trie: &mut Trie) {
+    for v in trie.post_order() {
+        let (weight, cand, core) = match &trie.vertex(v).leaf {
+            Some(leaf) => (leaf.weight, !leaf.is_core as u32, leaf.is_core as u32),
+            None => {
+                let mut acc = (0.0, 0, 0);
+                for (_, c) in trie.children_of(v) {
+                    let cv = trie.vertex(c);
+                    acc.0 += cv.weight;
+                    acc.1 += cv.cand_count;
+                    acc.2 += cv.core_count;
+                }
+                acc
+            }
+        };
+        let vert = trie.vertex_mut(v);
+        vert.weight = weight;
+        vert.cand_count = cand;
+        vert.core_count = core;
+    }
+}
+
+/// One-shot selection via the reference `O(n·k²·b)` dynamic program
+/// (paper §IV-A).
+///
+/// # Errors
+/// [`SelectError::InvalidProblem`] on malformed input;
+/// [`SelectError::QosInfeasible`] when the delay bounds cannot be met
+/// with `k` pointers.
+pub fn select_dp(problem: &PastryProblem) -> Result<Selection, SelectError> {
+    let mut trie = Trie::new(problem.space, problem.digit_bits)?;
+    for cand in &problem.candidates {
+        trie.insert_leaf(cand.id, cand.weight, false, cand.max_hops)?;
+    }
+    for &core in &problem.core {
+        trie.insert_leaf(core, 0.0, true, None)?;
+    }
+    refresh_aggregates(&mut trie);
+    let k = problem.effective_k();
+    let table = solve(&trie, Trie::ROOT, k);
+    if table.costs[k].is_infinite() {
+        let required = table
+            .costs
+            .iter()
+            .position(|c| c.is_finite())
+            .map(|j| j as u32)
+            .unwrap_or(u32::MAX);
+        return Err(SelectError::QosInfeasible {
+            required,
+            k: k as u32,
+        });
+    }
+    let mut aux = table.sets[k].clone();
+    aux.sort();
+    Ok(Selection {
+        aux,
+        cost: trie.total_weight() + table.costs[k],
+    })
+}

@@ -1,0 +1,397 @@
+//! Auxiliary-neighbor selection for Pastry (paper §IV).
+//!
+//! Three interchangeable solvers over the same id-trie model:
+//!
+//! * [`select_dp`] — the simple `O(n·k²·b)` dynamic program (§IV-A);
+//!   reference implementation.
+//! * [`select_greedy`] — the `O(n·k·b)` greedy algorithm built on the
+//!   subset property (P) (§IV-B); the production path.
+//! * [`PastryOptimizer`] — the greedy solver kept warm for `O(k·b)`
+//!   incremental maintenance under popularity changes and churn (§IV-C).
+//!
+//! All three honour per-candidate QoS delay bounds (§IV-D).
+
+mod dp;
+mod greedy;
+pub(crate) mod trie;
+
+pub use dp::select_dp;
+pub use greedy::{select_greedy, PastryOptimizer};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::pastry_cost;
+    use crate::exhaustive::pastry_exhaustive;
+    use crate::problem::{Candidate, PastryProblem, SelectError};
+    use peercache_id::{Id, IdSpace};
+
+    fn id(v: u128) -> Id {
+        Id::new(v)
+    }
+
+    fn problem(bits: u8, core: Vec<u128>, cands: Vec<(u128, f64)>, k: usize) -> PastryProblem {
+        PastryProblem::new(
+            IdSpace::new(bits).unwrap(),
+            1,
+            Id::ZERO,
+            core.into_iter().map(id).collect(),
+            cands
+                .into_iter()
+                .map(|(i, w)| Candidate::new(id(i), w))
+                .collect(),
+            k,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_picks_the_heavy_subtree() {
+        // Source 0000; candidates 1000 (heavy) and 0001 (close already).
+        let p = problem(4, vec![], vec![(0b1000, 10.0), (0b0001, 1.0)], 1);
+        let sel = select_greedy(&p).unwrap();
+        assert_eq!(sel.aux, vec![id(0b1000)]);
+        assert_eq!(sel.cost, pastry_cost(&p, &sel.aux));
+    }
+
+    #[test]
+    fn greedy_cost_matches_direct_evaluation() {
+        let p = problem(
+            5,
+            vec![0b10000],
+            vec![
+                (0b00001, 3.0),
+                (0b01100, 7.0),
+                (0b11010, 2.0),
+                (0b10101, 4.5),
+            ],
+            2,
+        );
+        let sel = select_greedy(&p).unwrap();
+        assert_eq!(sel.aux.len(), 2);
+        let direct = pastry_cost(&p, &sel.aux);
+        assert!((sel.cost - direct).abs() < 1e-9, "{} vs {direct}", sel.cost);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_small() {
+        let p = problem(
+            4,
+            vec![0b1100],
+            vec![
+                (0b0001, 3.0),
+                (0b0110, 7.0),
+                (0b1010, 2.0),
+                (0b1111, 4.0),
+                (0b0011, 1.0),
+            ],
+            2,
+        );
+        let greedy = select_greedy(&p).unwrap();
+        let best = pastry_exhaustive(&p).unwrap();
+        assert!((greedy.cost - best.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_small() {
+        let p = problem(
+            4,
+            vec![0b0100],
+            vec![(0b0001, 3.0), (0b0110, 7.0), (0b1010, 2.0), (0b1111, 4.0)],
+            2,
+        );
+        let dp = select_dp(&p).unwrap();
+        let best = pastry_exhaustive(&p).unwrap();
+        assert!((dp.cost - best.cost).abs() < 1e-9);
+        assert_eq!(dp.cost, pastry_cost(&p, &dp.aux));
+    }
+
+    #[test]
+    fn core_neighbor_suppresses_redundant_pointer() {
+        // Core already covers subtree 1xxx; the single auxiliary pointer
+        // should go to the *other* half even though 1xxx is heavier.
+        let p = problem(4, vec![0b1010], vec![(0b1011, 10.0), (0b0010, 6.0)], 1);
+        let sel = select_greedy(&p).unwrap();
+        assert_eq!(sel.aux, vec![id(0b0010)]);
+    }
+
+    #[test]
+    fn k_zero_gives_core_only_cost() {
+        let p = problem(4, vec![0b1000], vec![(0b1001, 2.0), (0b0001, 3.0)], 0);
+        let sel = select_greedy(&p).unwrap();
+        assert!(sel.aux.is_empty());
+        assert_eq!(sel.cost, pastry_cost(&p, &[]));
+    }
+
+    #[test]
+    fn k_exceeding_candidates_selects_everything() {
+        let p = problem(4, vec![], vec![(1, 1.0), (2, 1.0), (3, 1.0)], 10);
+        let sel = select_greedy(&p).unwrap();
+        assert_eq!(sel.aux.len(), 3);
+        // Every candidate selected → every distance 0 → cost = Σ f_v.
+        assert_eq!(sel.cost, 3.0);
+    }
+
+    #[test]
+    fn empty_candidates_is_fine() {
+        let p = problem(4, vec![0b1000], vec![], 3);
+        let sel = select_greedy(&p).unwrap();
+        assert!(sel.aux.is_empty());
+        assert_eq!(sel.cost, 0.0);
+    }
+
+    #[test]
+    fn optimizer_selection_is_monotone_in_j() {
+        let p = problem(
+            6,
+            vec![0b100000],
+            vec![
+                (0b000001, 3.0),
+                (0b000110, 7.0),
+                (0b101010, 2.0),
+                (0b111100, 4.0),
+                (0b010101, 5.0),
+                (0b001100, 1.0),
+            ],
+            4,
+        );
+        let opt = PastryOptimizer::new(&p).unwrap();
+        let mut prev_cost = f64::INFINITY;
+        let mut prev_set: Vec<Id> = vec![];
+        for j in 0..=4 {
+            let sel = opt.selection(j).unwrap();
+            assert_eq!(sel.aux.len(), j);
+            assert!(sel.cost <= prev_cost + 1e-9, "cost weakly decreasing");
+            // Property (P): the (j−1)-optimal set is a subset of the j-set.
+            for prev_id in &prev_set {
+                assert!(sel.aux.contains(prev_id), "property P violated at j={j}");
+            }
+            prev_cost = sel.cost;
+            prev_set = sel.aux;
+        }
+    }
+
+    #[test]
+    fn selection_schedule_nests_and_matches_per_budget() {
+        let p = problem(
+            6,
+            vec![0b100000],
+            vec![
+                (0b000001, 3.0),
+                (0b000110, 7.0),
+                (0b101010, 2.0),
+                (0b111100, 4.0),
+                (0b010101, 5.0),
+            ],
+            4,
+        );
+        let opt = PastryOptimizer::new(&p).unwrap();
+        let schedule = opt.selection_schedule();
+        assert_eq!(schedule.len(), 5, "budgets 0..=4");
+        for (w, sel) in schedule.windows(2).map(|w| (&w[0], &w[1].1)) {
+            for id in &w.1.aux {
+                assert!(sel.aux.contains(id), "schedule must nest");
+            }
+        }
+        for (j, sel) in &schedule {
+            let direct = opt.selection(*j).unwrap();
+            assert_eq!(sel.aux, direct.aux);
+        }
+    }
+
+    #[test]
+    fn schedule_stops_at_candidate_supply() {
+        let p = problem(4, vec![], vec![(1, 1.0), (2, 1.0)], 5);
+        let opt = PastryOptimizer::new(&p).unwrap();
+        let schedule = opt.selection_schedule();
+        assert_eq!(schedule.len(), 3, "budgets 0, 1, 2 only");
+    }
+
+    #[test]
+    fn incremental_update_tracks_from_scratch() {
+        let p = problem(
+            5,
+            vec![0b10000],
+            vec![
+                (0b00001, 3.0),
+                (0b01100, 7.0),
+                (0b11010, 2.0),
+                (0b10101, 4.0),
+            ],
+            2,
+        );
+        let mut opt = PastryOptimizer::new(&p).unwrap();
+        opt.update_weight(id(0b11010), 50.0).unwrap();
+        let incremental = opt.select().unwrap();
+
+        let mut p2 = p.clone();
+        p2.candidates
+            .iter_mut()
+            .find(|c| c.id == id(0b11010))
+            .unwrap()
+            .weight = 50.0;
+        let scratch = select_greedy(&p2).unwrap();
+        assert!((incremental.cost - scratch.cost).abs() < 1e-9);
+        assert!(incremental.aux.contains(&id(0b11010)));
+    }
+
+    #[test]
+    fn incremental_insert_and_remove_track_from_scratch() {
+        let p = problem(5, vec![], vec![(0b00001, 3.0), (0b01100, 7.0)], 2);
+        let mut opt = PastryOptimizer::new(&p).unwrap();
+        opt.insert(Candidate::new(id(0b11111), 9.0)).unwrap();
+        opt.remove(id(0b00001)).unwrap();
+
+        let p2 = problem(5, vec![], vec![(0b01100, 7.0), (0b11111, 9.0)], 2);
+        let scratch = select_greedy(&p2).unwrap();
+        let incr = opt.select().unwrap();
+        assert!((incr.cost - scratch.cost).abs() < 1e-9);
+        assert_eq!(incr.aux, scratch.aux);
+    }
+
+    #[test]
+    fn incremental_core_churn_tracks_from_scratch() {
+        let p = problem(5, vec![0b10000], vec![(0b10001, 5.0), (0b00011, 4.0)], 1);
+        let mut opt = PastryOptimizer::new(&p).unwrap();
+        // Losing core 10000 makes the 1xxxx subtree uncovered.
+        opt.remove_core(id(0b10000)).unwrap();
+        opt.add_core(id(0b00010)).unwrap();
+
+        let p2 = problem(5, vec![0b00010], vec![(0b10001, 5.0), (0b00011, 4.0)], 1);
+        let scratch = select_greedy(&p2).unwrap();
+        let incr = opt.select().unwrap();
+        assert!((incr.cost - scratch.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_rejects_bad_operations() {
+        let p = problem(4, vec![0b1000], vec![(0b0001, 1.0)], 1);
+        let mut opt = PastryOptimizer::new(&p).unwrap();
+        assert!(opt.update_weight(id(0b0010), 1.0).is_err(), "unknown id");
+        assert!(opt.update_weight(id(0b1000), 1.0).is_err(), "core id");
+        assert!(opt.update_weight(id(0b0001), f64::NAN).is_err());
+        assert!(opt.remove(id(0b1000)).is_err(), "core via remove");
+        assert!(
+            opt.remove_core(id(0b0001)).is_err(),
+            "candidate via remove_core"
+        );
+        assert!(opt.insert(Candidate::new(id(0b0001), 1.0)).is_err(), "dup");
+    }
+
+    #[test]
+    fn qos_bound_forces_selection() {
+        // Node 0b1111 (weight tiny) demands ≤ 2 hops; node 0b0001 is heavy.
+        // With k = 1, QoS forces the pointer into 0b1111's height-1 subtree.
+        let space = IdSpace::new(4).unwrap();
+        let p = PastryProblem::new(
+            space,
+            1,
+            Id::ZERO,
+            vec![],
+            vec![
+                Candidate::with_max_hops(id(0b1111), 0.1, 2),
+                Candidate::new(id(0b0001), 100.0),
+            ],
+            1,
+        )
+        .unwrap();
+        let sel = select_greedy(&p).unwrap();
+        // The only candidate inside 0b111x is 0b1111 itself.
+        assert_eq!(sel.aux, vec![id(0b1111)]);
+        let dp = select_dp(&p).unwrap();
+        assert_eq!(dp.aux, sel.aux);
+    }
+
+    #[test]
+    fn qos_satisfied_by_core_neighbor_is_free() {
+        let space = IdSpace::new(4).unwrap();
+        let p = PastryProblem::new(
+            space,
+            1,
+            Id::ZERO,
+            vec![id(0b1110)], // covers the height-1 subtree of 0b1111
+            vec![
+                Candidate::with_max_hops(id(0b1111), 0.1, 2),
+                Candidate::new(id(0b0001), 100.0),
+            ],
+            1,
+        )
+        .unwrap();
+        let sel = select_greedy(&p).unwrap();
+        assert_eq!(sel.aux, vec![id(0b0001)], "core covers the bound");
+    }
+
+    #[test]
+    fn qos_infeasible_when_k_too_small() {
+        let space = IdSpace::new(4).unwrap();
+        let p = PastryProblem::new(
+            space,
+            1,
+            Id::ZERO,
+            vec![],
+            vec![
+                Candidate::with_max_hops(id(0b1111), 1.0, 1),
+                Candidate::with_max_hops(id(0b0001), 1.0, 1),
+            ],
+            1,
+        )
+        .unwrap();
+        match select_greedy(&p) {
+            Err(SelectError::QosInfeasible { required, k }) => {
+                assert_eq!(required, 2);
+                assert_eq!(k, 1);
+            }
+            other => panic!("expected QosInfeasible, got {other:?}"),
+        }
+        assert!(matches!(
+            select_dp(&p),
+            Err(SelectError::QosInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn qos_feasibility_restored_by_incremental_removal() {
+        let space = IdSpace::new(4).unwrap();
+        let p = PastryProblem::new(
+            space,
+            1,
+            Id::ZERO,
+            vec![],
+            vec![
+                Candidate::with_max_hops(id(0b1111), 1.0, 1),
+                Candidate::with_max_hops(id(0b0001), 1.0, 1),
+            ],
+            1,
+        )
+        .unwrap();
+        let mut opt = PastryOptimizer::new(&p).unwrap();
+        assert!(opt.select().is_err());
+        assert_eq!(opt.required_pointers(), 2);
+        opt.remove(id(0b0001)).unwrap();
+        let sel = opt.select().unwrap();
+        assert_eq!(sel.aux, vec![id(0b1111)]);
+    }
+
+    #[test]
+    fn wider_digits_change_the_metric() {
+        // With d = 2 over b = 4, ids are 2 digits; 0b1110 and 0b1111 differ
+        // in the last digit only → distance 1 digit.
+        let space = IdSpace::new(4).unwrap();
+        let p = PastryProblem::new(
+            space,
+            2,
+            Id::ZERO,
+            vec![],
+            vec![
+                Candidate::new(id(0b1110), 1.0),
+                Candidate::new(id(0b1111), 1.0),
+            ],
+            1,
+        )
+        .unwrap();
+        let sel = select_greedy(&p).unwrap();
+        // Either choice covers the other at distance 1: cost = 1·1 + 1·2 = 3.
+        assert_eq!(sel.cost, 3.0);
+        assert_eq!(sel.cost, pastry_cost(&p, &sel.aux));
+    }
+}

@@ -1,0 +1,446 @@
+//! The trie of observed ids underlying the Pastry selection algorithms.
+//!
+//! Each observed peer (and each core neighbor) is a leaf at depth `⌈b/d⌉`;
+//! interior vertices correspond to id prefixes. Proposition 4.1: the hop
+//! estimate between two nodes equals the height of their lowest common
+//! ancestor, so the objective decomposes over trie edges (eq. 2): an edge
+//! from vertex `a` down to child subtree `T_c` contributes `F(T_c)` to the
+//! cost exactly when `T_c` contains no neighbor (core or auxiliary).
+//!
+//! The trie also carries the QoS machinery of §IV-D: a delay bound of `x`
+//! hops on leaf `v` marks `v`'s ancestor at height `x − 1`; a marked
+//! subtree without a core neighbor must receive at least one auxiliary
+//! pointer (`req`).
+
+use std::collections::HashMap;
+
+use peercache_id::{Id, IdSpace};
+
+use crate::problem::SelectError;
+
+/// Sentinel for "no vertex".
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Leaf payload: one observed peer or core neighbor.
+#[derive(Clone, Debug)]
+pub(crate) struct Leaf {
+    pub id: Id,
+    /// Access frequency `f_v`; zero for pure core-neighbor leaves.
+    pub weight: f64,
+    pub is_core: bool,
+    /// QoS delay bound in total hops (≥ 1), as in [`crate::Candidate`].
+    pub max_hops: Option<u32>,
+}
+
+/// One trie vertex. Aggregates (`weight`, `cand_count`, `core_count`) cover
+/// the whole subtree; `mark_count` counts QoS marks anchored *at* this
+/// vertex. Solver fields (`req`, `base`, `costs`, `alloc`) are maintained
+/// by the greedy optimiser.
+#[derive(Clone, Debug)]
+pub(crate) struct Vertex {
+    pub parent: u32,
+    /// Which child slot of `parent` this vertex occupies.
+    pub slot: u16,
+    /// Child vertex per digit value (`NONE` = absent).
+    pub children: Vec<u32>,
+    /// Depth in digits (root = 0); structural metadata used by tests and
+    /// diagnostics.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub depth: u8,
+    pub leaf: Option<Leaf>,
+    /// `F(T_a)`: total candidate weight in the subtree.
+    pub weight: f64,
+    /// Number of candidate (selectable) leaves in the subtree.
+    pub cand_count: u32,
+    /// Number of core-neighbor leaves in the subtree.
+    pub core_count: u32,
+    /// QoS marks anchored at this vertex (subtree must hold a neighbor).
+    pub mark_count: u32,
+    /// Minimum auxiliary pointers any feasible solution places in `T_a`.
+    pub req: u32,
+    /// `Σ_children req` — the index of the first entry of `costs`.
+    pub base: u32,
+    /// True when some subtree requirement exceeds its candidate supply.
+    pub impossible: bool,
+    /// `C(T_a, j)` for `j ∈ base ..= cap`; empty when unsatisfiable at
+    /// this `k`.
+    pub costs: Vec<f64>,
+    /// `alloc[i]`: child slot receiving the `(base + 1 + i)`-th pointer.
+    pub alloc: Vec<u16>,
+}
+
+impl Vertex {
+    fn new(parent: u32, slot: u16, depth: u8, arity: usize) -> Self {
+        Vertex {
+            parent,
+            slot,
+            children: vec![NONE; arity],
+            depth,
+            leaf: None,
+            weight: 0.0,
+            cand_count: 0,
+            core_count: 0,
+            mark_count: 0,
+            req: 0,
+            base: 0,
+            impossible: false,
+            costs: Vec::new(),
+            alloc: Vec::new(),
+        }
+    }
+
+    /// Largest pointer count this vertex has a cost for, if any.
+    pub(crate) fn cap(&self) -> Option<u32> {
+        if self.costs.is_empty() {
+            None
+        } else {
+            Some(self.base + self.costs.len() as u32 - 1)
+        }
+    }
+
+    /// `C(T_a, t)` — only valid for `t` within `[base, cap]`.
+    pub(crate) fn cost_at(&self, t: u32) -> f64 {
+        self.costs[(t - self.base) as usize]
+    }
+}
+
+/// The trie of observed ids, with slab storage and a free list so that
+/// churn (insert/remove) does not leak vertices.
+pub(crate) struct Trie {
+    pub space: IdSpace,
+    pub digit_bits: u8,
+    pub digit_count: u8,
+    pub arity: usize,
+    vertices: Vec<Vertex>,
+    free: Vec<u32>,
+    /// id → leaf vertex.
+    leaves: HashMap<Id, u32>,
+}
+
+impl Trie {
+    pub fn new(space: IdSpace, digit_bits: u8) -> Result<Self, SelectError> {
+        let digit_count = space
+            .digit_count(digit_bits)
+            .map_err(|e| SelectError::InvalidProblem(e.to_string()))?;
+        let arity = 1usize << digit_bits;
+        let root = Vertex::new(NONE, 0, 0, arity);
+        Ok(Trie {
+            space,
+            digit_bits,
+            digit_count,
+            arity,
+            vertices: vec![root],
+            free: Vec::new(),
+            leaves: HashMap::new(),
+        })
+    }
+
+    pub const ROOT: u32 = 0;
+
+    pub fn vertex(&self, v: u32) -> &Vertex {
+        &self.vertices[v as usize]
+    }
+
+    pub fn vertex_mut(&mut self, v: u32) -> &mut Vertex {
+        &mut self.vertices[v as usize]
+    }
+
+    pub fn leaf_vertex(&self, id: Id) -> Option<u32> {
+        self.leaves.get(&id).copied()
+    }
+
+    /// Number of live vertices (diagnostics / tests).
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len() - self.free.len()
+    }
+
+    fn alloc_vertex(&mut self, parent: u32, slot: u16, depth: u8) -> u32 {
+        let arity = self.arity;
+        match self.free.pop() {
+            Some(idx) => {
+                self.vertices[idx as usize] = Vertex::new(parent, slot, depth, arity);
+                idx
+            }
+            None => {
+                let idx = self.vertices.len() as u32;
+                self.vertices.push(Vertex::new(parent, slot, depth, arity));
+                idx
+            }
+        }
+    }
+
+    /// Insert a leaf for `id`, creating the digit path from the root.
+    ///
+    /// # Errors
+    /// `InvalidProblem` if a leaf for `id` already exists.
+    pub fn insert_leaf(
+        &mut self,
+        id: Id,
+        weight: f64,
+        is_core: bool,
+        max_hops: Option<u32>,
+    ) -> Result<u32, SelectError> {
+        if self.leaves.contains_key(&id) {
+            return Err(SelectError::InvalidProblem(format!(
+                "leaf {id} already present in trie"
+            )));
+        }
+        let mut v = Self::ROOT;
+        for depth in 0..self.digit_count {
+            let digit = self
+                .space
+                .digit(id, depth, self.digit_bits)
+                .expect("depth < digit_count") as usize;
+            let child = self.vertices[v as usize].children[digit];
+            v = if child == NONE {
+                let c = self.alloc_vertex(v, digit as u16, depth + 1);
+                self.vertices[v as usize].children[digit] = c;
+                c
+            } else {
+                child
+            };
+        }
+        self.vertices[v as usize].leaf = Some(Leaf {
+            id,
+            weight,
+            is_core,
+            max_hops,
+        });
+        self.leaves.insert(id, v);
+        if let Some(bound) = max_hops {
+            let mark = self.mark_vertex_for(v, bound);
+            if let Some(m) = mark {
+                self.vertices[m as usize].mark_count += 1;
+            }
+        }
+        Ok(v)
+    }
+
+    /// The vertex a delay bound of `max_hops` total hops marks: the
+    /// ancestor of `leaf` at height `max_hops − 1`. `None` when the bound
+    /// is loose enough to be vacuous (`max_hops − 1 ≥ digit_count`).
+    fn mark_vertex_for(&self, leaf: u32, max_hops: u32) -> Option<u32> {
+        debug_assert!(max_hops >= 1);
+        let allowed = max_hops - 1;
+        if allowed >= self.digit_count as u32 {
+            return None;
+        }
+        let mut v = leaf;
+        for _ in 0..allowed {
+            v = self.vertices[v as usize].parent;
+            debug_assert_ne!(v, NONE);
+        }
+        Some(v)
+    }
+
+    /// Remove the leaf for `id`, pruning now-empty ancestors. Returns the
+    /// deepest *surviving* ancestor (always at least the root), from which
+    /// solver state must be refreshed.
+    ///
+    /// # Errors
+    /// `InvalidProblem` if no leaf for `id` exists.
+    pub fn remove_leaf(&mut self, id: Id) -> Result<u32, SelectError> {
+        let v = self
+            .leaves
+            .remove(&id)
+            .ok_or_else(|| SelectError::InvalidProblem(format!("leaf {id} not present in trie")))?;
+        let leaf = self.vertices[v as usize]
+            .leaf
+            .take()
+            .expect("leaf map points at leaf vertices");
+        if let Some(bound) = leaf.max_hops {
+            if let Some(m) = self.mark_vertex_for(v, bound) {
+                debug_assert!(self.vertices[m as usize].mark_count > 0);
+                self.vertices[m as usize].mark_count -= 1;
+            }
+        }
+        // Prune upward while a vertex has no leaf, no children, and no marks.
+        let mut cur = v;
+        loop {
+            let vert = &self.vertices[cur as usize];
+            let prunable = vert.leaf.is_none()
+                && vert.mark_count == 0
+                && vert.children.iter().all(|&c| c == NONE)
+                && cur != Self::ROOT;
+            if !prunable {
+                return Ok(cur);
+            }
+            let parent = vert.parent;
+            let slot = vert.slot as usize;
+            self.vertices[parent as usize].children[slot] = NONE;
+            self.free.push(cur);
+            cur = parent;
+        }
+    }
+
+    /// Iterate the live children of `v`.
+    pub fn children_of(&self, v: u32) -> impl Iterator<Item = (u16, u32)> + '_ {
+        self.vertices[v as usize]
+            .children
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != NONE)
+            .map(|(slot, &c)| (slot as u16, c))
+    }
+
+    /// Vertices from `v` (inclusive) up to the root (inclusive).
+    pub fn path_to_root(&self, v: u32) -> Vec<u32> {
+        let mut path = Vec::with_capacity(self.digit_count as usize + 1);
+        let mut cur = v;
+        while cur != NONE {
+            path.push(cur);
+            cur = self.vertices[cur as usize].parent;
+        }
+        path
+    }
+
+    /// All vertices in post-order (children before parents).
+    pub fn post_order(&self) -> Vec<u32> {
+        let mut order = Vec::with_capacity(self.vertex_count());
+        let mut stack = vec![(Self::ROOT, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                order.push(v);
+            } else {
+                stack.push((v, true));
+                for (_, c) in self.children_of(v) {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Total candidate weight in the trie (root aggregate).
+    pub fn total_weight(&self) -> f64 {
+        self.vertices[Self::ROOT as usize].weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trie(bits: u8, d: u8) -> Trie {
+        Trie::new(IdSpace::new(bits).unwrap(), d).unwrap()
+    }
+
+    fn id(v: u128) -> Id {
+        Id::new(v)
+    }
+
+    #[test]
+    fn insert_creates_full_depth_path() {
+        let mut t = trie(4, 1);
+        let v = t.insert_leaf(id(0b1010), 1.0, false, None).unwrap();
+        assert_eq!(t.vertex(v).depth, 4);
+        assert_eq!(t.vertex_count(), 5, "root + 4 path vertices");
+        assert_eq!(t.leaf_vertex(id(0b1010)), Some(v));
+    }
+
+    #[test]
+    fn shared_prefixes_share_vertices() {
+        let mut t = trie(4, 1);
+        t.insert_leaf(id(0b1010), 1.0, false, None).unwrap();
+        t.insert_leaf(id(0b1011), 1.0, false, None).unwrap();
+        // Shared path of 3 + two distinct leaves + root = 6.
+        assert_eq!(t.vertex_count(), 6);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = trie(4, 1);
+        t.insert_leaf(id(3), 1.0, false, None).unwrap();
+        assert!(t.insert_leaf(id(3), 2.0, false, None).is_err());
+    }
+
+    #[test]
+    fn remove_prunes_exclusive_path() {
+        let mut t = trie(4, 1);
+        t.insert_leaf(id(0b1010), 1.0, false, None).unwrap();
+        t.insert_leaf(id(0b0101), 1.0, false, None).unwrap();
+        let survivor = t.remove_leaf(id(0b1010)).unwrap();
+        assert_eq!(survivor, Trie::ROOT);
+        assert_eq!(t.vertex_count(), 5, "root + remaining path");
+        assert_eq!(t.leaf_vertex(id(0b1010)), None);
+        assert!(t.remove_leaf(id(0b1010)).is_err(), "double remove");
+    }
+
+    #[test]
+    fn remove_stops_at_shared_vertex() {
+        let mut t = trie(4, 1);
+        t.insert_leaf(id(0b1010), 1.0, false, None).unwrap();
+        t.insert_leaf(id(0b1011), 1.0, false, None).unwrap();
+        let survivor = t.remove_leaf(id(0b1011)).unwrap();
+        assert_eq!(t.vertex(survivor).depth, 3, "the shared prefix vertex");
+        assert_eq!(t.vertex_count(), 5);
+    }
+
+    #[test]
+    fn free_list_recycles_vertices() {
+        let mut t = trie(8, 1);
+        t.insert_leaf(id(0xAA), 1.0, false, None).unwrap();
+        let before = t.vertex_count();
+        t.remove_leaf(id(0xAA)).unwrap();
+        t.insert_leaf(id(0x55), 1.0, false, None).unwrap();
+        assert_eq!(t.vertex_count(), before, "recycled, not grown");
+    }
+
+    #[test]
+    fn qos_mark_lands_at_height_bound_minus_one() {
+        let mut t = trie(4, 1);
+        let leaf = t.insert_leaf(id(0b1010), 1.0, false, Some(3)).unwrap();
+        // max_hops 3 → allowed distance 2 → ancestor at height 2 (depth 2).
+        let mut v = leaf;
+        v = t.vertex(v).parent;
+        v = t.vertex(v).parent;
+        assert_eq!(t.vertex(v).depth, 2);
+        assert_eq!(t.vertex(v).mark_count, 1);
+    }
+
+    #[test]
+    fn vacuous_qos_bound_adds_no_mark() {
+        let mut t = trie(4, 1);
+        t.insert_leaf(id(0b1010), 1.0, false, Some(5)).unwrap();
+        let marks: u32 = t.post_order().iter().map(|&v| t.vertex(v).mark_count).sum();
+        assert_eq!(marks, 0);
+    }
+
+    #[test]
+    fn tight_qos_bound_marks_the_leaf() {
+        let mut t = trie(4, 1);
+        let leaf = t.insert_leaf(id(0b1010), 1.0, false, Some(1)).unwrap();
+        assert_eq!(t.vertex(leaf).mark_count, 1);
+    }
+
+    #[test]
+    fn remove_clears_qos_mark() {
+        let mut t = trie(4, 1);
+        t.insert_leaf(id(0b1010), 1.0, false, Some(2)).unwrap();
+        t.remove_leaf(id(0b1010)).unwrap();
+        assert_eq!(t.vertex_count(), 1, "everything pruned back to root");
+    }
+
+    #[test]
+    fn post_order_visits_children_first() {
+        let mut t = trie(3, 1);
+        t.insert_leaf(id(0b101), 1.0, false, None).unwrap();
+        t.insert_leaf(id(0b100), 1.0, false, None).unwrap();
+        let order = t.post_order();
+        assert_eq!(*order.last().unwrap(), Trie::ROOT);
+        let pos = |v: u32| order.iter().position(|&x| x == v).unwrap();
+        for &v in &order {
+            for (_, c) in t.children_of(v) {
+                assert!(pos(c) < pos(v), "child before parent");
+            }
+        }
+    }
+
+    #[test]
+    fn base16_digits_build_shallow_tries() {
+        let mut t = trie(8, 4);
+        let v = t.insert_leaf(id(0xAB), 1.0, false, None).unwrap();
+        assert_eq!(t.vertex(v).depth, 2, "two hex digits");
+        assert_eq!(t.arity, 16);
+    }
+}

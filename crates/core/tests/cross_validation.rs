@@ -1,0 +1,323 @@
+//! Randomised cross-validation of every optimiser in the crate.
+//!
+//! The validation lattice:
+//!
+//! * exhaustive search (ground truth, tiny instances)
+//!   ← greedy Pastry, reference Pastry DP, naive Chord DP
+//! * reference implementations (medium instances)
+//!   ← greedy Pastry (vs the §IV-A DP), fast Chord (vs the §V-A DP)
+//! * from-scratch solves ← incremental maintenance after random edits
+//!
+//! Costs are compared (optimal sets may differ on ties); the selected sets
+//! are additionally re-priced through the direct eq.-1 evaluator to catch
+//! any drift between the DP's internal accounting and the cost model.
+
+use peercache_core::chord::{select_fast, select_naive};
+use peercache_core::cost::{chord_cost, pastry_cost};
+use peercache_core::exhaustive::{chord_exhaustive, pastry_exhaustive};
+use peercache_core::pastry::{select_dp, select_greedy, PastryOptimizer};
+use peercache_core::{Candidate, ChordProblem, PastryProblem, SelectError};
+use peercache_id::{Id, IdSpace};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// A random problem skeleton: distinct ids (source excluded), a split into
+/// core/candidates, weights, and optional QoS bounds.
+#[derive(Debug, Clone)]
+struct Instance {
+    bits: u8,
+    source: u128,
+    core: Vec<u128>,
+    candidates: Vec<(u128, f64, Option<u32>)>,
+    k: usize,
+}
+
+fn instance(max_nodes: usize, with_qos: bool) -> impl Strategy<Value = Instance> {
+    (4u8..=10, 0u32..1000)
+        .prop_flat_map(move |(bits, seed)| {
+            let n_ids = max_nodes.min(1usize << (bits - 1));
+            (
+                Just(bits),
+                Just(seed),
+                proptest::collection::btree_set(0u128..(1u128 << bits), 2..=n_ids),
+                proptest::collection::vec(0.0f64..100.0, n_ids),
+                proptest::collection::vec(proptest::option::weighted(0.3, 1u32..8), n_ids),
+                0usize..4,
+                0usize..5,
+            )
+        })
+        .prop_map(move |(bits, _seed, ids, weights, bounds, n_core, k)| {
+            let ids: Vec<u128> = ids.into_iter().collect();
+            let source = ids[0];
+            let rest = &ids[1..];
+            let n_core = n_core.min(rest.len().saturating_sub(1));
+            let core = rest[..n_core].to_vec();
+            let candidates = rest[n_core..]
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    let bound = if with_qos {
+                        bounds[i % bounds.len()]
+                    } else {
+                        None
+                    };
+                    (id, weights[i % weights.len()], bound)
+                })
+                .collect();
+            Instance {
+                bits,
+                source,
+                core,
+                candidates,
+                k,
+            }
+        })
+}
+
+fn pastry_problem(inst: &Instance, digit_bits: u8) -> PastryProblem {
+    PastryProblem::new(
+        IdSpace::new(inst.bits).unwrap(),
+        digit_bits,
+        Id::new(inst.source),
+        inst.core.iter().copied().map(Id::new).collect(),
+        inst.candidates
+            .iter()
+            .map(|&(id, w, b)| Candidate {
+                id: Id::new(id),
+                weight: w,
+                max_hops: b,
+            })
+            .collect(),
+        inst.k,
+    )
+    .unwrap()
+}
+
+fn chord_problem(inst: &Instance) -> ChordProblem {
+    ChordProblem::new(
+        IdSpace::new(inst.bits).unwrap(),
+        Id::new(inst.source),
+        inst.core.iter().copied().map(Id::new).collect(),
+        inst.candidates
+            .iter()
+            .map(|&(id, w, b)| Candidate {
+                id: Id::new(id),
+                weight: w,
+                max_hops: b,
+            })
+            .collect(),
+        inst.k,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pastry_greedy_matches_exhaustive(inst in instance(9, false)) {
+        let p = pastry_problem(&inst, 1);
+        let greedy = select_greedy(&p).unwrap();
+        let best = pastry_exhaustive(&p).unwrap();
+        prop_assert!((greedy.cost - best.cost).abs() < EPS,
+            "greedy {} vs exhaustive {}", greedy.cost, best.cost);
+        prop_assert!((greedy.cost - pastry_cost(&p, &greedy.aux)).abs() < EPS,
+            "internal cost accounting disagrees with eq. 1");
+    }
+
+    #[test]
+    fn pastry_dp_matches_exhaustive(inst in instance(8, false)) {
+        let p = pastry_problem(&inst, 1);
+        let dp = select_dp(&p).unwrap();
+        let best = pastry_exhaustive(&p).unwrap();
+        prop_assert!((dp.cost - best.cost).abs() < EPS);
+        prop_assert!((dp.cost - pastry_cost(&p, &dp.aux)).abs() < EPS);
+    }
+
+    #[test]
+    fn pastry_greedy_matches_dp_medium(inst in instance(40, false)) {
+        let p = pastry_problem(&inst, 1);
+        let greedy = select_greedy(&p).unwrap();
+        let dp = select_dp(&p).unwrap();
+        prop_assert!((greedy.cost - dp.cost).abs() < EPS,
+            "greedy {} vs dp {}", greedy.cost, dp.cost);
+    }
+
+    #[test]
+    fn pastry_greedy_matches_dp_wide_digits(inst in instance(30, false), d in 2u8..=4) {
+        prop_assume!(d <= inst.bits);
+        let p = pastry_problem(&inst, d);
+        let greedy = select_greedy(&p).unwrap();
+        let dp = select_dp(&p).unwrap();
+        prop_assert!((greedy.cost - dp.cost).abs() < EPS);
+        prop_assert!((greedy.cost - pastry_cost(&p, &greedy.aux)).abs() < EPS);
+    }
+
+    #[test]
+    fn pastry_qos_greedy_matches_exhaustive(inst in instance(8, true)) {
+        let p = pastry_problem(&inst, 1);
+        match (select_greedy(&p), pastry_exhaustive(&p)) {
+            (Ok(greedy), Ok(best)) => {
+                prop_assert!((greedy.cost - best.cost).abs() < EPS,
+                    "qos greedy {} vs exhaustive {}", greedy.cost, best.cost);
+                prop_assert!(
+                    peercache_core::cost::pastry_qos_satisfied(&p, &greedy.aux),
+                    "greedy selection violates a bound"
+                );
+            }
+            (Err(SelectError::QosInfeasible { .. }), Err(SelectError::QosInfeasible { .. })) => {}
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn pastry_qos_dp_matches_exhaustive(inst in instance(8, true)) {
+        let p = pastry_problem(&inst, 1);
+        match (select_dp(&p), pastry_exhaustive(&p)) {
+            (Ok(dp), Ok(best)) => {
+                prop_assert!((dp.cost - best.cost).abs() < EPS);
+                prop_assert!(peercache_core::cost::pastry_qos_satisfied(&p, &dp.aux));
+            }
+            (Err(SelectError::QosInfeasible { .. }), Err(SelectError::QosInfeasible { .. })) => {}
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn chord_naive_matches_exhaustive(inst in instance(9, false)) {
+        let p = chord_problem(&inst);
+        let naive = select_naive(&p).unwrap();
+        let best = chord_exhaustive(&p).unwrap();
+        prop_assert!((naive.cost - best.cost).abs() < EPS,
+            "naive {} vs exhaustive {}", naive.cost, best.cost);
+        prop_assert!((naive.cost - chord_cost(&p, &naive.aux)).abs() < EPS);
+    }
+
+    #[test]
+    fn chord_fast_matches_naive_medium(inst in instance(48, false)) {
+        let p = chord_problem(&inst);
+        let naive = select_naive(&p).unwrap();
+        let fast = select_fast(&p).unwrap();
+        prop_assert!((fast.cost - naive.cost).abs() < EPS,
+            "fast {} vs naive {}", fast.cost, naive.cost);
+        prop_assert!((fast.cost - chord_cost(&p, &fast.aux)).abs() < EPS);
+    }
+
+    #[test]
+    fn chord_qos_naive_matches_exhaustive(inst in instance(8, true)) {
+        let p = chord_problem(&inst);
+        match (select_naive(&p), chord_exhaustive(&p)) {
+            (Ok(naive), Ok(best)) => {
+                prop_assert!((naive.cost - best.cost).abs() < EPS,
+                    "qos naive {} vs exhaustive {}", naive.cost, best.cost);
+                prop_assert!(peercache_core::cost::chord_qos_satisfied(&p, &naive.aux));
+            }
+            (Err(SelectError::QosInfeasible { .. }), Err(SelectError::QosInfeasible { .. })) => {}
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn chord_qos_fast_matches_naive(inst in instance(32, true)) {
+        let p = chord_problem(&inst);
+        match (select_fast(&p), select_naive(&p)) {
+            (Ok(fast), Ok(naive)) => {
+                prop_assert!((fast.cost - naive.cost).abs() < EPS,
+                    "qos fast {} vs naive {}", fast.cost, naive.cost);
+                prop_assert!(peercache_core::cost::chord_qos_satisfied(&p, &fast.aux));
+            }
+            (Err(SelectError::QosInfeasible { required: r1, .. }),
+             Err(SelectError::QosInfeasible { required: r2, .. })) => {
+                prop_assert_eq!(r1, r2, "required counts must agree");
+            }
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_tracks_scratch_after_random_edits(
+        inst in instance(24, false),
+        edits in proptest::collection::vec((0usize..32, 0.0f64..50.0), 1..12),
+    ) {
+        let p = pastry_problem(&inst, 1);
+        let mut opt = PastryOptimizer::new(&p).unwrap();
+        let mut current = p.clone();
+        for (pick, w) in edits {
+            if current.candidates.is_empty() {
+                break;
+            }
+            match pick % 3 {
+                // Re-weight an existing candidate.
+                0 => {
+                    let i = pick % current.candidates.len();
+                    let id = current.candidates[i].id;
+                    current.candidates[i].weight = w;
+                    opt.update_weight(id, w).unwrap();
+                }
+                // Remove a candidate.
+                1 => {
+                    let i = pick % current.candidates.len();
+                    let id = current.candidates[i].id;
+                    current.candidates.remove(i);
+                    opt.remove(id).unwrap();
+                }
+                // Insert a fresh candidate (skip when the id collides).
+                _ => {
+                    let space = IdSpace::new(inst.bits).unwrap();
+                    let id = space.normalize((pick as u128) * 7 + 3);
+                    let collides = id == current.source
+                        || current.core.contains(&id)
+                        || current.candidates.iter().any(|c| c.id == id);
+                    if !collides {
+                        current.candidates.push(Candidate::new(id, w));
+                        opt.insert(Candidate::new(id, w)).unwrap();
+                    }
+                }
+            }
+        }
+        let scratch = select_greedy(&current).unwrap();
+        let incr = opt.select().unwrap();
+        prop_assert!((incr.cost - scratch.cost).abs() < EPS,
+            "incremental {} vs scratch {}", incr.cost, scratch.cost);
+        prop_assert!((incr.cost - pastry_cost(&current, &incr.aux)).abs() < EPS);
+    }
+
+    #[test]
+    fn more_pointers_never_hurt(inst in instance(20, false)) {
+        let p = pastry_problem(&inst, 1);
+        let opt = PastryOptimizer::new(&p).unwrap();
+        let mut prev = f64::INFINITY;
+        for j in 0..=p.effective_k() {
+            let sel = opt.selection(j).unwrap();
+            prop_assert!(sel.cost <= prev + EPS, "cost rose at j={j}");
+            prev = sel.cost;
+        }
+
+        let c = chord_problem(&inst);
+        let mut prev_cost = f64::INFINITY;
+        for j in 0..=c.effective_k() {
+            let mut cj = c.clone();
+            cj.k = j;
+            let sel = select_naive(&cj).unwrap();
+            prop_assert!(sel.cost <= prev_cost + EPS, "chord cost rose at k={j}");
+            prev_cost = sel.cost;
+        }
+    }
+
+    #[test]
+    fn optimum_beats_oblivious_baseline(inst in instance(24, false), seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = chord_problem(&inst);
+        let opt = select_naive(&p).unwrap();
+        let obl = peercache_core::baseline::chord_oblivious(&p, &mut rng);
+        prop_assert!(opt.cost <= obl.cost + EPS,
+            "optimal {} must not lose to oblivious {}", opt.cost, obl.cost);
+
+        let pp = pastry_problem(&inst, 1);
+        let opt = select_greedy(&pp).unwrap();
+        let obl = peercache_core::baseline::pastry_oblivious(&pp, &mut rng);
+        prop_assert!(opt.cost <= obl.cost + EPS);
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests for the incremental Pastry optimiser under QoS
+//! constraints: after ANY sequence of inserts/removals/re-weightings of
+//! constrained and unconstrained candidates (plus core churn), the warm
+//! optimiser must agree with a from-scratch solve — including on
+//! feasibility.
+
+use peercache_core::cost::{pastry_cost, pastry_qos_satisfied};
+use peercache_core::pastry::{select_greedy, PastryOptimizer};
+use peercache_core::{Candidate, PastryProblem, SelectError};
+use peercache_id::{Id, IdSpace};
+use proptest::prelude::*;
+
+const BITS: u8 = 7;
+
+#[derive(Debug, Clone)]
+enum Edit {
+    Insert {
+        id: u8,
+        weight: u8,
+        bound: Option<u8>,
+    },
+    Remove(u8),
+    Reweight {
+        id: u8,
+        weight: u8,
+    },
+    AddCore(u8),
+    RemoveCore(u8),
+}
+
+fn edits() -> impl Strategy<Value = Vec<Edit>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..128, 0u8..100, proptest::option::weighted(0.3, 1u8..5))
+                .prop_map(|(id, weight, bound)| Edit::Insert { id, weight, bound }),
+            (0u8..128).prop_map(Edit::Remove),
+            ((0u8..128), (0u8..100)).prop_map(|(id, weight)| Edit::Reweight { id, weight }),
+            (0u8..128).prop_map(Edit::AddCore),
+            (0u8..128).prop_map(Edit::RemoveCore),
+        ],
+        1..40,
+    )
+}
+
+/// A mirror of the problem state maintained alongside the optimiser.
+#[derive(Default, Clone)]
+struct Mirror {
+    candidates: Vec<Candidate>,
+    core: Vec<Id>,
+}
+
+impl Mirror {
+    fn problem(&self, k: usize) -> PastryProblem {
+        PastryProblem::new(
+            IdSpace::new(BITS).unwrap(),
+            1,
+            Id::new(127), // source outside the edited id range 0..127
+            self.core.clone(),
+            self.candidates.clone(),
+            k,
+        )
+        .expect("mirror state is always valid")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn incremental_qos_agrees_with_scratch(seq in edits(), k in 0usize..5) {
+        let mirror0 = Mirror::default();
+        let mut mirror = mirror0.clone();
+        let mut opt = PastryOptimizer::new(&mirror0.problem(k)).unwrap();
+
+        for edit in seq {
+            match edit {
+                Edit::Insert { id, weight, bound } => {
+                    let id = Id::new(id as u128);
+                    let exists = mirror.candidates.iter().any(|c| c.id == id)
+                        || mirror.core.contains(&id)
+                        || id == Id::new(127);
+                    let cand = Candidate {
+                        id,
+                        weight: weight as f64,
+                        max_hops: bound.map(u32::from),
+                    };
+                    if exists {
+                        prop_assert!(opt.insert(cand).is_err(), "duplicate insert must fail");
+                    } else {
+                        opt.insert(cand).unwrap();
+                        mirror.candidates.push(cand);
+                    }
+                }
+                Edit::Remove(id) => {
+                    let id = Id::new(id as u128);
+                    match mirror.candidates.iter().position(|c| c.id == id) {
+                        Some(i) => {
+                            opt.remove(id).unwrap();
+                            mirror.candidates.remove(i);
+                        }
+                        None => prop_assert!(opt.remove(id).is_err()),
+                    }
+                }
+                Edit::Reweight { id, weight } => {
+                    let id = Id::new(id as u128);
+                    match mirror.candidates.iter_mut().find(|c| c.id == id) {
+                        Some(c) => {
+                            c.weight = weight as f64;
+                            opt.update_weight(id, weight as f64).unwrap();
+                        }
+                        None => prop_assert!(opt.update_weight(id, weight as f64).is_err()),
+                    }
+                }
+                Edit::AddCore(id) => {
+                    let id = Id::new(id as u128);
+                    let exists = mirror.candidates.iter().any(|c| c.id == id)
+                        || mirror.core.contains(&id)
+                        || id == Id::new(127);
+                    if exists {
+                        prop_assert!(opt.add_core(id).is_err());
+                    } else {
+                        opt.add_core(id).unwrap();
+                        mirror.core.push(id);
+                    }
+                }
+                Edit::RemoveCore(id) => {
+                    let id = Id::new(id as u128);
+                    match mirror.core.iter().position(|&c| c == id) {
+                        Some(i) => {
+                            opt.remove_core(id).unwrap();
+                            mirror.core.remove(i);
+                        }
+                        None => prop_assert!(opt.remove_core(id).is_err()),
+                    }
+                }
+            }
+
+            // After every edit: warm state ≡ from-scratch solve.
+            let problem = mirror.problem(k);
+            match (opt.select(), select_greedy(&problem)) {
+                (Ok(warm), Ok(scratch)) => {
+                    prop_assert!(
+                        (warm.cost - scratch.cost).abs() < 1e-9,
+                        "cost diverged: warm {} vs scratch {}",
+                        warm.cost, scratch.cost
+                    );
+                    prop_assert!(
+                        (warm.cost - pastry_cost(&problem, &warm.aux)).abs() < 1e-9,
+                        "warm accounting vs eq.1"
+                    );
+                    prop_assert!(
+                        pastry_qos_satisfied(&problem, &warm.aux),
+                        "warm selection violates a bound"
+                    );
+                }
+                (
+                    Err(SelectError::QosInfeasible { required: r1, .. }),
+                    Err(SelectError::QosInfeasible { required: r2, .. }),
+                ) => {
+                    prop_assert_eq!(r1, r2, "required counts diverged");
+                }
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "feasibility diverged: warm {a:?} vs scratch {b:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_prefix_property_holds_under_qos(seq in edits()) {
+        // Within a fixed trie state, j → j+1 selections nest (property P),
+        // also in the presence of satisfied QoS constraints.
+        let mut mirror = Mirror::default();
+        for edit in seq {
+            if let Edit::Insert { id, weight, bound } = edit {
+                let id = Id::new(id as u128);
+                if !mirror.candidates.iter().any(|c| c.id == id) && id != Id::new(127) {
+                    mirror.candidates.push(Candidate {
+                        id,
+                        weight: weight as f64,
+                        max_hops: bound.map(u32::from),
+                    });
+                }
+            }
+        }
+        let k = mirror.candidates.len().min(6);
+        let opt = PastryOptimizer::new(&mirror.problem(k)).unwrap();
+        let mut prev: Option<Vec<Id>> = None;
+        for j in 0..=k {
+            match opt.selection(j) {
+                Ok(sel) => {
+                    if let Some(prev) = &prev {
+                        for id in prev {
+                            prop_assert!(
+                                sel.aux.contains(id),
+                                "property P violated at j={j}"
+                            );
+                        }
+                    }
+                    prev = Some(sel.aux);
+                }
+                Err(SelectError::QosInfeasible { .. }) => {
+                    // Feasibility is monotone: once feasible, stays feasible.
+                    prop_assert!(prev.is_none(), "feasibility must be monotone in j");
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected {e:?}"))),
+            }
+        }
+    }
+}

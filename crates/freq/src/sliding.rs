@@ -1,0 +1,176 @@
+use std::collections::HashMap;
+
+use peercache_id::Id;
+
+use crate::FrequencySnapshot;
+
+/// Access counts restricted to a trailing time window.
+///
+/// §III describes maintaining access frequencies "based on past history of
+/// accesses within a time window". This estimator approximates an exact
+/// trailing window of length `window` with `buckets` sub-windows: counts
+/// land in the current sub-window, and sub-windows older than `window` are
+/// discarded wholesale. The approximation error is at most one sub-window's
+/// worth of the oldest counts.
+#[derive(Clone, Debug)]
+pub struct SlidingWindowCounter {
+    bucket_width: f64,
+    buckets: usize,
+    /// (bucket epoch index, counts) — newest last; at most `buckets` live.
+    ring: Vec<(u64, HashMap<Id, u64>)>,
+    observations: u64,
+}
+
+impl SlidingWindowCounter {
+    /// A counter covering a trailing window of length `window`, divided
+    /// into `buckets` sub-windows.
+    ///
+    /// # Panics
+    /// Panics when `window` is non-positive/non-finite or `buckets` is 0.
+    pub fn new(window: f64, buckets: usize) -> Self {
+        assert!(
+            window.is_finite() && window > 0.0,
+            "window must be positive and finite"
+        );
+        assert!(buckets > 0, "need at least one bucket");
+        SlidingWindowCounter {
+            bucket_width: window / buckets as f64,
+            buckets,
+            ring: Vec::new(),
+            observations: 0,
+        }
+    }
+
+    /// The trailing window length.
+    pub fn window(&self) -> f64 {
+        self.bucket_width * self.buckets as f64
+    }
+
+    /// Total observations ever recorded (including expired ones).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    fn epoch(&self, now: f64) -> u64 {
+        (now / self.bucket_width).floor().max(0.0) as u64
+    }
+
+    fn expire(&mut self, now: f64) {
+        let current = self.epoch(now);
+        let oldest_live = current.saturating_sub(self.buckets as u64 - 1);
+        self.ring.retain(|(e, _)| *e >= oldest_live);
+    }
+
+    /// Record one access to `peer` at time `now`.
+    ///
+    /// Timestamps should be non-decreasing; an access with an older
+    /// timestamp is credited to its own (possibly already-expired) bucket.
+    pub fn observe_at(&mut self, peer: Id, now: f64) {
+        self.observations += 1;
+        self.expire(now);
+        let epoch = self.epoch(now);
+        match self.ring.iter_mut().find(|(e, _)| *e == epoch) {
+            Some((_, counts)) => {
+                *counts.entry(peer).or_insert(0) += 1;
+            }
+            None => {
+                let mut counts = HashMap::new();
+                counts.insert(peer, 1);
+                self.ring.push((epoch, counts));
+                self.ring.sort_by_key(|(e, _)| *e);
+            }
+        }
+    }
+
+    /// The in-window count for `peer` as of `now`.
+    pub fn count_at(&self, peer: Id, now: f64) -> u64 {
+        let current = self.epoch(now);
+        let oldest_live = current.saturating_sub(self.buckets as u64 - 1);
+        self.ring
+            .iter()
+            .filter(|(e, _)| *e >= oldest_live && *e <= current)
+            .filter_map(|(_, counts)| counts.get(&peer))
+            .sum()
+    }
+
+    /// Freeze the in-window counts as of `now` into a snapshot.
+    pub fn snapshot_at(&self, now: f64) -> FrequencySnapshot {
+        let current = self.epoch(now);
+        let oldest_live = current.saturating_sub(self.buckets as u64 - 1);
+        let mut merged: HashMap<Id, u64> = HashMap::new();
+        for (_, counts) in self
+            .ring
+            .iter()
+            .filter(|(e, _)| *e >= oldest_live && *e <= current)
+        {
+            for (&p, &c) in counts {
+                *merged.entry(p).or_insert(0) += c;
+            }
+        }
+        FrequencySnapshot::from_counts(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u128) -> Id {
+        Id::new(v)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        let _ = SlidingWindowCounter::new(10.0, 0);
+    }
+
+    #[test]
+    fn counts_within_window() {
+        let mut c = SlidingWindowCounter::new(10.0, 5);
+        c.observe_at(id(1), 0.0);
+        c.observe_at(id(1), 5.0);
+        assert_eq!(c.count_at(id(1), 5.0), 2);
+        assert_eq!(c.observations(), 2);
+    }
+
+    #[test]
+    fn old_accesses_expire() {
+        let mut c = SlidingWindowCounter::new(10.0, 5);
+        c.observe_at(id(1), 0.0);
+        c.observe_at(id(2), 11.0);
+        assert_eq!(c.count_at(id(1), 11.0), 0, "outside the window");
+        assert_eq!(c.count_at(id(2), 11.0), 1);
+    }
+
+    #[test]
+    fn window_boundary_is_bucket_granular() {
+        // window 10, 2 buckets of width 5. Access at t=0 lands in epoch 0,
+        // which stays live while the current epoch ≤ 1, i.e. until t < 10.
+        let mut c = SlidingWindowCounter::new(10.0, 2);
+        c.observe_at(id(1), 0.0);
+        assert_eq!(c.count_at(id(1), 9.9), 1);
+        assert_eq!(c.count_at(id(1), 10.0), 0);
+    }
+
+    #[test]
+    fn snapshot_merges_buckets() {
+        let mut c = SlidingWindowCounter::new(10.0, 5);
+        c.observe_at(id(1), 0.0);
+        c.observe_at(id(1), 3.0);
+        c.observe_at(id(2), 4.0);
+        let s = c.snapshot_at(4.0);
+        assert_eq!(s.weight_of(id(1)), 2.0);
+        assert_eq!(s.weight_of(id(2)), 1.0);
+    }
+
+    #[test]
+    fn snapshot_excludes_expired() {
+        let mut c = SlidingWindowCounter::new(4.0, 2);
+        c.observe_at(id(1), 0.0);
+        c.observe_at(id(2), 5.0);
+        let s = c.snapshot_at(5.0);
+        assert_eq!(s.weight_of(id(1)), 0.0);
+        assert_eq!(s.weight_of(id(2)), 1.0);
+    }
+}

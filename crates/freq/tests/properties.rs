@@ -1,0 +1,120 @@
+//! Property tests: the streaming estimators against exact ground truth.
+
+use peercache_freq::{ExactCounter, FrequencyEstimator, SpaceSaving};
+use peercache_id::Id;
+use proptest::prelude::*;
+
+fn stream() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet so collisions (and evictions) actually happen.
+    proptest::collection::vec(0u8..32, 1..400)
+}
+
+proptest! {
+    #[test]
+    fn space_saving_never_underestimates_monitored(s in stream(), cap in 1usize..16) {
+        let mut exact = ExactCounter::new();
+        let mut ss = SpaceSaving::new(cap);
+        for &x in &s {
+            exact.observe(Id::new(x as u128));
+            ss.observe(Id::new(x as u128));
+        }
+        for x in 0u8..32 {
+            let peer = Id::new(x as u128);
+            let est = ss.estimate(peer);
+            if est > 0 {
+                prop_assert!(est >= exact.estimate(peer),
+                    "peer {x}: est {est} < true {}", exact.estimate(peer));
+            }
+        }
+    }
+
+    #[test]
+    fn space_saving_overestimate_bounded_by_n_over_m(s in stream(), cap in 1usize..16) {
+        let mut exact = ExactCounter::new();
+        let mut ss = SpaceSaving::new(cap);
+        for &x in &s {
+            exact.observe(Id::new(x as u128));
+            ss.observe(Id::new(x as u128));
+        }
+        let bound = s.len() as u64 / cap as u64;
+        for x in 0u8..32 {
+            let peer = Id::new(x as u128);
+            if ss.estimate(peer) > 0 {
+                let over = ss.estimate(peer) - exact.estimate(peer);
+                prop_assert!(over <= bound, "peer {x}: over {over} > N/m {bound}");
+                prop_assert!(ss.over_estimation(peer) >= over,
+                    "reported over-estimation must bound the actual error");
+            }
+        }
+    }
+
+    #[test]
+    fn space_saving_monitors_all_heavy_hitters(s in stream(), cap in 1usize..16) {
+        let mut exact = ExactCounter::new();
+        let mut ss = SpaceSaving::new(cap);
+        for &x in &s {
+            exact.observe(Id::new(x as u128));
+            ss.observe(Id::new(x as u128));
+        }
+        let threshold = s.len() as u64 / cap as u64;
+        for x in 0u8..32 {
+            let peer = Id::new(x as u128);
+            if exact.estimate(peer) > threshold {
+                prop_assert!(ss.estimate(peer) > 0,
+                    "heavy hitter {x} (count {}) evicted", exact.estimate(peer));
+            }
+        }
+    }
+
+    #[test]
+    fn space_saving_total_counts_conserved(s in stream(), cap in 1usize..16) {
+        // Sum of (count − over) over monitored ≤ N = sum of counts' lower
+        // bounds; and monitored set never exceeds capacity.
+        let mut ss = SpaceSaving::new(cap);
+        for &x in &s {
+            ss.observe(Id::new(x as u128));
+        }
+        prop_assert!(ss.monitored() <= cap);
+        prop_assert_eq!(ss.observations(), s.len() as u64);
+        let guaranteed: u64 = (0u8..32)
+            .map(|x| ss.guaranteed_count(Id::new(x as u128)))
+            .sum();
+        prop_assert!(guaranteed <= s.len() as u64);
+    }
+
+    #[test]
+    fn exact_counter_matches_naive(s in stream()) {
+        let mut exact = ExactCounter::new();
+        for &x in &s {
+            exact.observe(Id::new(x as u128));
+        }
+        for x in 0u8..32 {
+            let naive = s.iter().filter(|&&y| y == x).count() as u64;
+            prop_assert_eq!(exact.estimate(Id::new(x as u128)), naive);
+        }
+        let snap = exact.snapshot();
+        prop_assert_eq!(snap.total_weight(), s.len() as f64);
+    }
+
+    #[test]
+    fn snapshot_top_n_is_heaviest_subset(s in stream(), n in 1usize..8) {
+        let mut exact = ExactCounter::new();
+        for &x in &s {
+            exact.observe(Id::new(x as u128));
+        }
+        let full = exact.snapshot();
+        let top = exact.snapshot().top_n(n);
+        prop_assert!(top.len() <= n);
+        // Every kept weight ≥ every dropped weight.
+        let min_kept = top
+            .entries()
+            .iter()
+            .map(|e| e.weight)
+            .fold(f64::INFINITY, f64::min);
+        for e in full.entries() {
+            if top.weight_of(e.peer) == 0.0 {
+                prop_assert!(e.weight <= min_kept);
+            }
+        }
+    }
+}

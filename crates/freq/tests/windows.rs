@@ -1,0 +1,124 @@
+//! Property tests for the time-based estimators: the sliding window
+//! against an exact trailing-window count, and the decayed counter's
+//! ordering guarantees.
+
+use peercache_freq::{DecayingCounter, SlidingWindowCounter};
+use peercache_id::Id;
+use proptest::prelude::*;
+
+/// (peer, inter-arrival gap ×0.1s) event streams with monotone time.
+fn stream() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((0u8..8, 0u8..30), 1..200)
+}
+
+proptest! {
+    #[test]
+    fn sliding_window_bounded_by_exact_counts(s in stream(), buckets in 1usize..8) {
+        let window = 10.0;
+        let mut counter = SlidingWindowCounter::new(window, buckets);
+        let mut events: Vec<(f64, u8)> = Vec::new();
+        let mut t = 0.0;
+        for &(peer, gap) in &s {
+            t += gap as f64 * 0.1;
+            counter.observe_at(Id::new(peer as u128), t);
+            events.push((t, peer));
+        }
+        // Bucketing only UNDERCOUNTS: coverage is (lo, t] for some lo in
+        // (t − window, t − window + slack], where slack is one sub-window.
+        // Bound with small float margins around those endpoints.
+        let slack = window / buckets as f64;
+        let eps = 0.05;
+        for peer in 0u8..8 {
+            let lower = events
+                .iter()
+                .filter(|&&(et, ep)| ep == peer && et > t - window + slack + eps && et <= t)
+                .count() as u64;
+            let upper = events
+                .iter()
+                .filter(|&&(et, ep)| ep == peer && et > t - window - eps && et <= t)
+                .count() as u64;
+            let got = counter.count_at(Id::new(peer as u128), t);
+            prop_assert!(
+                got >= lower && got <= upper,
+                "peer {peer}: got {got}, bounds [{lower}, {upper}]"
+            );
+        }
+    }
+
+    #[test]
+    fn sliding_window_total_never_exceeds_observations(s in stream(), buckets in 1usize..8) {
+        let mut counter = SlidingWindowCounter::new(5.0, buckets);
+        let mut t = 0.0;
+        for &(peer, gap) in &s {
+            t += gap as f64 * 0.1;
+            counter.observe_at(Id::new(peer as u128), t);
+        }
+        let snap = counter.snapshot_at(t);
+        prop_assert!(snap.total_weight() <= s.len() as f64);
+        prop_assert_eq!(counter.observations(), s.len() as u64);
+    }
+
+    #[test]
+    fn decay_preserves_count_order_at_equal_times(s in stream()) {
+        // If two peers' accesses happen at identical times, the one with
+        // more accesses must end up with more decayed weight.
+        let mut decayed = DecayingCounter::new(7.0);
+        let mut counts = [0u64; 8];
+        let mut t = 0.0;
+        for &(peer, gap) in &s {
+            t += gap as f64 * 0.1;
+            // Mirror every event onto peer 0 as well, so peer 0's count
+            // dominates everyone at identical observation times.
+            decayed.observe_at(Id::new(peer as u128), t);
+            counts[peer as usize] += 1;
+            decayed.observe_at(Id::new(0), t);
+            counts[0] += 1;
+        }
+        let w0 = decayed.weight_at(Id::new(0), t);
+        for peer in 1u8..8 {
+            let w = decayed.weight_at(Id::new(peer as u128), t);
+            prop_assert!(
+                w0 >= w - 1e-9,
+                "peer 0 (count {}) must outweigh peer {peer} (count {})",
+                counts[0],
+                counts[peer as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn decayed_weight_never_exceeds_raw_count(s in stream()) {
+        let mut decayed = DecayingCounter::new(3.0);
+        let mut counts = [0u64; 8];
+        let mut t = 0.0;
+        for &(peer, gap) in &s {
+            t += gap as f64 * 0.1;
+            decayed.observe_at(Id::new(peer as u128), t);
+            counts[peer as usize] += 1;
+        }
+        for peer in 0u8..8 {
+            let w = decayed.weight_at(Id::new(peer as u128), t);
+            prop_assert!(
+                w <= counts[peer as usize] as f64 + 1e-9,
+                "decay can only shrink: {w} vs {}",
+                counts[peer as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn decay_is_time_consistent(s in stream(), dt in 0.0f64..50.0) {
+        // Querying later never increases any weight.
+        let mut decayed = DecayingCounter::new(5.0);
+        let mut t = 0.0;
+        for &(peer, gap) in &s {
+            t += gap as f64 * 0.1;
+            decayed.observe_at(Id::new(peer as u128), t);
+        }
+        for peer in 0u8..8 {
+            let now = decayed.weight_at(Id::new(peer as u128), t);
+            let later = decayed.weight_at(Id::new(peer as u128), t + dt);
+            prop_assert!(later <= now + 1e-12);
+        }
+    }
+}

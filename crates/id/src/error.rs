@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or using an identifier space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdError {
+    /// The requested identifier width is outside `1..=128`.
+    InvalidBits(u16),
+    /// An [`crate::Id`] value does not fit in the space's `b` bits.
+    OutOfRange {
+        /// The offending raw identifier value.
+        value: u128,
+        /// The identifier width of the space.
+        bits: u8,
+    },
+    /// A digit width `d` was requested that does not divide cleanly into the
+    /// operations that need it (zero, or larger than the id width).
+    InvalidDigitBits {
+        /// The offending digit width.
+        digit_bits: u8,
+        /// The identifier width of the space.
+        bits: u8,
+    },
+    /// A bit or digit index beyond the identifier width was requested.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u8,
+        /// The number of valid positions.
+        len: u8,
+    },
+}
+
+impl fmt::Display for IdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdError::InvalidBits(bits) => {
+                write!(f, "identifier width must be in 1..=128, got {bits}")
+            }
+            IdError::OutOfRange { value, bits } => {
+                write!(f, "id value {value:#x} does not fit in {bits} bits")
+            }
+            IdError::InvalidDigitBits { digit_bits, bits } => {
+                write!(
+                    f,
+                    "digit width {digit_bits} invalid for {bits}-bit identifiers"
+                )
+            }
+            IdError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for {len} positions")
+            }
+        }
+    }
+}
+
+impl Error for IdError {}

@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// An identifier in a `b`-bit circular id space.
+///
+/// `Id` is a thin transparent wrapper over `u128`; all semantics (ring
+/// arithmetic, prefixes, digits) live on [`crate::IdSpace`], which knows the
+/// width `b`. Ids order as plain unsigned integers — use
+/// [`crate::IdSpace::clockwise_distance`] for ring-aware comparisons.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Id(pub(crate) u128);
+
+impl Id {
+    /// Construct an id from a raw value.
+    ///
+    /// The value is *not* reduced modulo any space; pair with
+    /// [`crate::IdSpace::normalize`] or validate via
+    /// [`crate::IdSpace::contains`].
+    #[inline]
+    pub const fn new(value: u128) -> Self {
+        Id(value)
+    }
+
+    /// The raw integer value of this id.
+    #[inline]
+    pub const fn value(self) -> u128 {
+        self.0
+    }
+
+    /// The identifier `0`, i.e. the paper's "zero-node" vantage point for
+    /// the Chord algorithms (§V).
+    pub const ZERO: Id = Id(0);
+}
+
+impl From<u128> for Id {
+    #[inline]
+    fn from(value: u128) -> Self {
+        Id(value)
+    }
+}
+
+impl From<u64> for Id {
+    #[inline]
+    fn from(value: u64) -> Self {
+        Id(value as u128)
+    }
+}
+
+impl From<Id> for u128 {
+    #[inline]
+    fn from(id: Id) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Id({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let id = Id::new(0xdead_beef);
+        assert_eq!(id.value(), 0xdead_beef);
+        assert_eq!(u128::from(id), 0xdead_beef);
+        assert_eq!(Id::from(0xdead_beefu128), id);
+        assert_eq!(Id::from(0xdead_beefu64), id);
+    }
+
+    #[test]
+    fn zero_constant() {
+        assert_eq!(Id::ZERO.value(), 0);
+        assert_eq!(Id::default(), Id::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_integer_ordering() {
+        assert!(Id::new(1) < Id::new(2));
+        assert!(Id::new(u128::MAX) > Id::new(0));
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Id::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:?}", Id::new(255)), "Id(0xff)");
+    }
+}

@@ -1,0 +1,35 @@
+//! Identifier-space primitives for structured P2P overlays.
+//!
+//! Both Chord and Pastry place nodes and items in a circular identifier
+//! space of `b`-bit ids (the paper uses `b = 32`). This crate provides the
+//! shared substrate:
+//!
+//! * [`Id`] — an opaque identifier value,
+//! * [`IdSpace`] — the ring of `b`-bit identifiers with modular ("clockwise")
+//!   arithmetic, interval tests, and prefix/digit decomposition,
+//! * the id-derived **hop-distance estimates** the selection algorithms are
+//!   built on:
+//!   * [`IdSpace::pastry_hops`] — `⌈(b − l)/d⌉` where `l` is the longest
+//!     common prefix (paper §IV, with digit size `d`; `d = 1` gives the
+//!     paper's `b − l`),
+//!   * [`IdSpace::chord_hops`] — the position of the leftmost `1` in the
+//!     clockwise distance `(v − u) mod 2^b` (paper eq. 6).
+//!
+//! The estimates are *steady-state upper bounds computed only from ids*: a
+//! node selecting auxiliary neighbors cannot know the true positions of all
+//! other nodes, so it prices a candidate pointer by how many id bits remain
+//! to be fixed after taking it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod id;
+mod space;
+
+pub use error::IdError;
+pub use id::Id;
+pub use space::IdSpace;
+
+/// The identifier width used throughout the paper's experiments.
+pub const PAPER_ID_BITS: u8 = 32;

@@ -1,0 +1,511 @@
+use crate::{Id, IdError};
+
+/// A circular identifier space of `b`-bit ids (`1 ≤ b ≤ 128`).
+///
+/// All ring arithmetic, interval tests, prefix/digit decomposition and the
+/// paper's id-derived hop-distance estimates are methods on this type so
+/// that the width `b` is threaded through exactly once.
+///
+/// ```
+/// use peercache_id::{Id, IdSpace};
+///
+/// let ring = IdSpace::new(8).unwrap();
+/// // 250 → 4 wraps past zero: clockwise distance 10.
+/// assert_eq!(ring.clockwise_distance(Id::new(250), Id::new(4)), 10);
+/// // The Chord hop estimate is the position of the leftmost 1 (eq. 6).
+/// assert_eq!(ring.chord_hops(Id::new(250), Id::new(4)), 4);
+/// // The Pastry estimate counts digits left to fix.
+/// assert_eq!(ring.pastry_hops(Id::new(0b1010_0000), Id::new(0b1010_1111), 1).unwrap(), 4);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct IdSpace {
+    bits: u8,
+    mask: u128,
+}
+
+impl IdSpace {
+    /// Create a `bits`-bit identifier space.
+    ///
+    /// # Errors
+    /// Returns [`IdError::InvalidBits`] unless `1 ≤ bits ≤ 128`.
+    pub fn new(bits: u8) -> Result<Self, IdError> {
+        if bits == 0 || bits > 128 {
+            return Err(IdError::InvalidBits(bits as u16));
+        }
+        let mask = if bits == 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        };
+        Ok(IdSpace { bits, mask })
+    }
+
+    /// The identifier space used by the paper's experiments (`b = 32`).
+    pub fn paper() -> Self {
+        IdSpace::new(crate::PAPER_ID_BITS).expect("32 is a valid width")
+    }
+
+    /// The identifier width `b`.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Number of distinct identifiers, `2^b`, or `None` if it overflows
+    /// `u128` (i.e. `b = 128`).
+    #[inline]
+    pub const fn size(self) -> Option<u128> {
+        if self.bits == 128 {
+            None
+        } else {
+            Some(1u128 << self.bits)
+        }
+    }
+
+    /// Reduce an arbitrary raw value into this space (keep the low `b` bits).
+    #[inline]
+    pub const fn normalize(self, value: u128) -> Id {
+        Id(value & self.mask)
+    }
+
+    /// Whether `id` is a valid identifier of this space.
+    #[inline]
+    pub const fn contains(self, id: Id) -> bool {
+        id.0 & self.mask == id.0
+    }
+
+    /// Validate that `id` fits in this space.
+    ///
+    /// # Errors
+    /// Returns [`IdError::OutOfRange`] when `id` has bits above position `b`.
+    pub fn check(self, id: Id) -> Result<Id, IdError> {
+        if self.contains(id) {
+            Ok(id)
+        } else {
+            Err(IdError::OutOfRange {
+                value: id.0,
+                bits: self.bits,
+            })
+        }
+    }
+
+    /// `(a + delta) mod 2^b`.
+    #[inline]
+    pub const fn add(self, a: Id, delta: u128) -> Id {
+        Id(a.0.wrapping_add(delta) & self.mask)
+    }
+
+    /// `(a − delta) mod 2^b`.
+    #[inline]
+    pub const fn sub(self, a: Id, delta: u128) -> Id {
+        Id(a.0.wrapping_sub(delta) & self.mask)
+    }
+
+    /// Clockwise (modular) distance from `a` to `b`: `(b − a) mod 2^b`.
+    ///
+    /// This is the quantity the Chord distance estimate (paper eq. 6) is
+    /// defined over. It is zero iff `a == b` and is *not* symmetric.
+    #[inline]
+    pub const fn clockwise_distance(self, a: Id, b: Id) -> u128 {
+        b.0.wrapping_sub(a.0) & self.mask
+    }
+
+    /// Whether `x` lies strictly inside the clockwise open interval
+    /// `(a, b)`.
+    ///
+    /// When `a == b` the interval is the whole ring except `a` itself
+    /// (the standard Chord convention).
+    #[inline]
+    pub fn between_open(self, a: Id, x: Id, b: Id) -> bool {
+        let dx = self.clockwise_distance(a, x);
+        let db = self.clockwise_distance(a, b);
+        if a == b {
+            x != a
+        } else {
+            dx > 0 && dx < db
+        }
+    }
+
+    /// Whether `x` lies in the clockwise half-open interval `(a, b]`.
+    ///
+    /// When `a == b` the interval is the whole ring (every `x` qualifies),
+    /// matching Chord's `find_successor` convention.
+    #[inline]
+    pub fn between_open_closed(self, a: Id, x: Id, b: Id) -> bool {
+        if a == b {
+            return true;
+        }
+        let dx = self.clockwise_distance(a, x);
+        let db = self.clockwise_distance(a, b);
+        dx > 0 && dx <= db
+    }
+
+    /// Whether `x` lies in the clockwise half-open interval `[a, b)`.
+    #[inline]
+    pub fn between_closed_open(self, a: Id, x: Id, b: Id) -> bool {
+        if a == b {
+            return true;
+        }
+        let dx = self.clockwise_distance(a, x);
+        let db = self.clockwise_distance(a, b);
+        dx < db
+    }
+
+    // ---- prefix / digit decomposition (Pastry) -------------------------
+
+    /// Bit `index` of `id` counted from the most-significant end of the
+    /// `b`-bit representation (`index = 0` is the top bit).
+    ///
+    /// # Errors
+    /// Returns [`IdError::IndexOutOfRange`] if `index ≥ b`.
+    pub fn bit(self, id: Id, index: u8) -> Result<bool, IdError> {
+        if index >= self.bits {
+            return Err(IdError::IndexOutOfRange {
+                index,
+                len: self.bits,
+            });
+        }
+        let shift = self.bits - 1 - index;
+        Ok((id.0 >> shift) & 1 == 1)
+    }
+
+    /// Length (in bits) of the longest common prefix of `a` and `b` within
+    /// the `b`-bit representation. Equal ids share all `b` bits.
+    #[inline]
+    pub fn common_prefix_len(self, a: Id, b: Id) -> u8 {
+        if a == b {
+            return self.bits;
+        }
+        let diff = (a.0 ^ b.0) & self.mask;
+        // `diff` is nonzero and confined to the low `bits` positions, so
+        // leading_zeros ≥ 128 − bits; the prefix length is the excess.
+        (diff.leading_zeros() as u8) - (128 - self.bits)
+    }
+
+    /// The number of whole base-`2^digit_bits` digits in an id of this
+    /// space: `⌈b / d⌉`.
+    ///
+    /// # Errors
+    /// Returns [`IdError::InvalidDigitBits`] when `digit_bits` is zero or
+    /// exceeds the id width.
+    pub fn digit_count(self, digit_bits: u8) -> Result<u8, IdError> {
+        if digit_bits == 0 || digit_bits > self.bits {
+            return Err(IdError::InvalidDigitBits {
+                digit_bits,
+                bits: self.bits,
+            });
+        }
+        Ok(self.bits.div_ceil(digit_bits))
+    }
+
+    /// The `index`-th base-`2^digit_bits` digit of `id`, counted from the
+    /// most-significant end. The final digit may be narrower than
+    /// `digit_bits` when `d ∤ b`.
+    ///
+    /// # Errors
+    /// Propagates [`IdError::InvalidDigitBits`]; returns
+    /// [`IdError::IndexOutOfRange`] when `index ≥ ⌈b/d⌉`.
+    pub fn digit(self, id: Id, index: u8, digit_bits: u8) -> Result<u16, IdError> {
+        let count = self.digit_count(digit_bits)?;
+        if index >= count {
+            return Err(IdError::IndexOutOfRange { index, len: count });
+        }
+        let hi = self.bits - index * digit_bits; // exclusive top bit position
+        let width = digit_bits.min(hi);
+        let shift = hi - width;
+        let mask = (1u128 << width) - 1;
+        Ok(((id.0 >> shift) & mask) as u16)
+    }
+
+    /// Length (in whole digits of `digit_bits` bits) of the longest common
+    /// digit-aligned prefix of `a` and `b`: `⌊lcp_bits / d⌋` capped to the
+    /// digit count.
+    ///
+    /// # Errors
+    /// Propagates [`IdError::InvalidDigitBits`].
+    pub fn common_prefix_digits(self, a: Id, b: Id, digit_bits: u8) -> Result<u8, IdError> {
+        let count = self.digit_count(digit_bits)?;
+        let lcp = self.common_prefix_len(a, b);
+        if lcp == self.bits {
+            // Equal ids share every digit, including a ragged final digit
+            // narrower than `digit_bits`.
+            return Ok(count);
+        }
+        Ok((lcp / digit_bits).min(count))
+    }
+
+    // ---- hop-distance estimates (the paper's d_uv) ---------------------
+
+    /// Pastry hop-distance estimate between `u` and `v` (paper §IV): the
+    /// number of digits that remain to be fixed, `⌈b/d⌉ − ⌊l/d⌋` where `l`
+    /// is the common prefix length in bits. With `d = 1` this is the
+    /// paper's `b − l`. Zero iff `u == v`.
+    ///
+    /// # Errors
+    /// Propagates [`IdError::InvalidDigitBits`].
+    pub fn pastry_hops(self, u: Id, v: Id, digit_bits: u8) -> Result<u32, IdError> {
+        let count = self.digit_count(digit_bits)? as u32;
+        let shared = self.common_prefix_digits(u, v, digit_bits)? as u32;
+        Ok(count - shared)
+    }
+
+    /// Chord hop-distance estimate from `u` to `v` (paper eq. 6): the
+    /// position of the leftmost `1` in the clockwise distance
+    /// `(v − u) mod 2^b`, i.e. `⌊log₂ dist⌋ + 1`. Zero iff `u == v`.
+    ///
+    /// This is the steady-state upper bound on the number of hops a Chord
+    /// lookup from `u` to `v` takes: each hop fixes at least the current
+    /// top bit of the remaining distance. Unlike the Pastry estimate it is
+    /// not symmetric.
+    #[inline]
+    pub fn chord_hops(self, u: Id, v: Id) -> u32 {
+        let dist = self.clockwise_distance(u, v);
+        if dist == 0 {
+            0
+        } else {
+            128 - dist.leading_zeros()
+        }
+    }
+
+    /// The maximum possible value of [`IdSpace::chord_hops`], i.e. `b`.
+    #[inline]
+    pub const fn max_chord_hops(self) -> u32 {
+        self.bits as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(bits: u8) -> IdSpace {
+        IdSpace::new(bits).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_widths() {
+        assert_eq!(IdSpace::new(0).unwrap_err(), IdError::InvalidBits(0));
+        assert!(IdSpace::new(1).is_ok());
+        assert!(IdSpace::new(128).is_ok());
+    }
+
+    #[test]
+    fn size_and_mask() {
+        assert_eq!(sp(4).size(), Some(16));
+        assert_eq!(sp(127).size(), Some(1 << 127));
+        assert_eq!(sp(128).size(), None);
+    }
+
+    #[test]
+    fn normalize_wraps() {
+        let s = sp(4);
+        assert_eq!(s.normalize(16), Id::new(0));
+        assert_eq!(s.normalize(31), Id::new(15));
+        assert!(s.contains(Id::new(15)));
+        assert!(!s.contains(Id::new(16)));
+    }
+
+    #[test]
+    fn check_reports_out_of_range() {
+        let s = sp(8);
+        assert_eq!(s.check(Id::new(255)), Ok(Id::new(255)));
+        assert_eq!(
+            s.check(Id::new(256)),
+            Err(IdError::OutOfRange {
+                value: 256,
+                bits: 8
+            })
+        );
+    }
+
+    #[test]
+    fn add_sub_wrap_on_the_ring() {
+        let s = sp(4);
+        assert_eq!(s.add(Id::new(15), 1), Id::new(0));
+        assert_eq!(s.sub(Id::new(0), 1), Id::new(15));
+        assert_eq!(s.add(Id::new(3), 32), Id::new(3));
+    }
+
+    #[test]
+    fn clockwise_distance_basics() {
+        let s = sp(4);
+        assert_eq!(s.clockwise_distance(Id::new(3), Id::new(3)), 0);
+        assert_eq!(s.clockwise_distance(Id::new(3), Id::new(5)), 2);
+        assert_eq!(s.clockwise_distance(Id::new(5), Id::new(3)), 14);
+        assert_eq!(s.clockwise_distance(Id::new(15), Id::new(0)), 1);
+    }
+
+    #[test]
+    fn clockwise_distance_full_width() {
+        let s = sp(128);
+        assert_eq!(
+            s.clockwise_distance(Id::new(u128::MAX), Id::new(0)),
+            1,
+            "wraps at 2^128"
+        );
+    }
+
+    #[test]
+    fn between_open_interval() {
+        let s = sp(4);
+        // (3, 7): 4,5,6 inside; 3, 7 outside.
+        assert!(s.between_open(Id::new(3), Id::new(5), Id::new(7)));
+        assert!(!s.between_open(Id::new(3), Id::new(3), Id::new(7)));
+        assert!(!s.between_open(Id::new(3), Id::new(7), Id::new(7)));
+        // wrap-around (14, 2): 15, 0, 1 inside.
+        assert!(s.between_open(Id::new(14), Id::new(0), Id::new(2)));
+        assert!(!s.between_open(Id::new(14), Id::new(2), Id::new(2)));
+        // degenerate (a, a): whole ring minus a.
+        assert!(s.between_open(Id::new(5), Id::new(6), Id::new(5)));
+        assert!(!s.between_open(Id::new(5), Id::new(5), Id::new(5)));
+    }
+
+    #[test]
+    fn between_half_open_intervals() {
+        let s = sp(4);
+        assert!(s.between_open_closed(Id::new(3), Id::new(7), Id::new(7)));
+        assert!(!s.between_open_closed(Id::new(3), Id::new(3), Id::new(7)));
+        assert!(s.between_closed_open(Id::new(3), Id::new(3), Id::new(7)));
+        assert!(!s.between_closed_open(Id::new(3), Id::new(7), Id::new(7)));
+        // degenerate: full ring.
+        assert!(s.between_open_closed(Id::new(5), Id::new(5), Id::new(5)));
+        assert!(s.between_closed_open(Id::new(5), Id::new(9), Id::new(5)));
+    }
+
+    #[test]
+    fn bit_indexing_from_msb() {
+        let s = sp(4);
+        let id = Id::new(0b1010);
+        assert!(s.bit(id, 0).unwrap());
+        assert!(!s.bit(id, 1).unwrap());
+        assert!(s.bit(id, 2).unwrap());
+        assert!(!s.bit(id, 3).unwrap());
+        assert!(matches!(s.bit(id, 4), Err(IdError::IndexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn common_prefix_len_examples() {
+        let s = sp(4);
+        // Paper §IV example: ids 1011 and 1111 share l = 1 bit.
+        assert_eq!(s.common_prefix_len(Id::new(0b1011), Id::new(0b1111)), 1);
+        assert_eq!(s.common_prefix_len(Id::new(0b1011), Id::new(0b1011)), 4);
+        assert_eq!(s.common_prefix_len(Id::new(0b0000), Id::new(0b1000)), 0);
+        assert_eq!(s.common_prefix_len(Id::new(0b0010), Id::new(0b0011)), 3);
+    }
+
+    #[test]
+    fn common_prefix_len_wide_space() {
+        let s = sp(128);
+        assert_eq!(s.common_prefix_len(Id::new(0), Id::new(1)), 127);
+        assert_eq!(s.common_prefix_len(Id::new(0), Id::new(u128::MAX)), 0);
+    }
+
+    #[test]
+    fn digit_extraction_base4() {
+        let s = sp(8);
+        let id = Id::new(0b11_01_00_10);
+        assert_eq!(s.digit_count(2).unwrap(), 4);
+        assert_eq!(s.digit(id, 0, 2).unwrap(), 0b11);
+        assert_eq!(s.digit(id, 1, 2).unwrap(), 0b01);
+        assert_eq!(s.digit(id, 2, 2).unwrap(), 0b00);
+        assert_eq!(s.digit(id, 3, 2).unwrap(), 0b10);
+        assert!(matches!(
+            s.digit(id, 4, 2),
+            Err(IdError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn digit_extraction_ragged_tail() {
+        // b = 5, d = 2 → digits of widths 2,2,1.
+        let s = sp(5);
+        #[allow(clippy::unusual_byte_groupings)] // grouped by digit boundaries (2,2,1)
+        let id = Id::new(0b10_11_1);
+        assert_eq!(s.digit_count(2).unwrap(), 3);
+        assert_eq!(s.digit(id, 0, 2).unwrap(), 0b10);
+        assert_eq!(s.digit(id, 1, 2).unwrap(), 0b11);
+        assert_eq!(s.digit(id, 2, 2).unwrap(), 0b1);
+    }
+
+    #[test]
+    fn digit_rejects_bad_widths() {
+        let s = sp(8);
+        assert!(matches!(
+            s.digit_count(0),
+            Err(IdError::InvalidDigitBits { .. })
+        ));
+        assert!(matches!(
+            s.digit_count(9),
+            Err(IdError::InvalidDigitBits { .. })
+        ));
+    }
+
+    #[test]
+    fn pastry_hops_matches_paper_example() {
+        // Paper §IV: distance between 4-bit ids 1011 and 1111 is 3 (l = 1).
+        let s = sp(4);
+        assert_eq!(
+            s.pastry_hops(Id::new(0b1011), Id::new(0b1111), 1).unwrap(),
+            3
+        );
+        assert_eq!(
+            s.pastry_hops(Id::new(0b1011), Id::new(0b1011), 1).unwrap(),
+            0
+        );
+        assert_eq!(
+            s.pastry_hops(Id::new(0b0000), Id::new(0b1000), 1).unwrap(),
+            4
+        );
+    }
+
+    #[test]
+    fn pastry_hops_is_symmetric() {
+        let s = sp(16);
+        let (a, b) = (Id::new(0xa5a5 & 0xffff), Id::new(0xa5ff));
+        assert_eq!(
+            s.pastry_hops(a, b, 1).unwrap(),
+            s.pastry_hops(b, a, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn pastry_hops_base16_counts_digits() {
+        let s = sp(16);
+        let a = Id::new(0xab00);
+        let b = Id::new(0xab0f);
+        // Shares 3 hex digits, differs in the last → 1 digit to fix.
+        assert_eq!(s.pastry_hops(a, b, 4).unwrap(), 1);
+        // In base 2 the same pair shares 12 bits → 4 hops.
+        assert_eq!(s.pastry_hops(a, b, 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn chord_hops_is_leftmost_one_position() {
+        let s = sp(4);
+        let z = Id::ZERO;
+        assert_eq!(s.chord_hops(z, z), 0);
+        assert_eq!(s.chord_hops(z, Id::new(1)), 1); // 0001
+        assert_eq!(s.chord_hops(z, Id::new(2)), 2); // 0010
+        assert_eq!(s.chord_hops(z, Id::new(3)), 2); // 0011
+        assert_eq!(s.chord_hops(z, Id::new(4)), 3); // 0100
+        assert_eq!(s.chord_hops(z, Id::new(5)), 3); // 0101 — leftmost 1 at pos 3
+        assert_eq!(s.chord_hops(z, Id::new(8)), 4);
+        assert_eq!(s.chord_hops(z, Id::new(15)), 4);
+    }
+
+    #[test]
+    fn chord_hops_is_asymmetric() {
+        let s = sp(4);
+        assert_eq!(s.chord_hops(Id::new(1), Id::new(2)), 1);
+        assert_eq!(s.chord_hops(Id::new(2), Id::new(1)), 4); // distance 15
+    }
+
+    #[test]
+    fn chord_hops_bounded_by_bits() {
+        let s = sp(9);
+        for v in 1..512u128 {
+            let h = s.chord_hops(Id::ZERO, Id::new(v));
+            assert!(h >= 1 && h <= s.max_chord_hops());
+        }
+    }
+}

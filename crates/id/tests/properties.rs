@@ -1,0 +1,143 @@
+//! Property-based tests for the identifier-space primitives.
+
+use peercache_id::{Id, IdSpace};
+use proptest::prelude::*;
+
+fn space_and_ids() -> impl Strategy<Value = (IdSpace, Id, Id, Id)> {
+    (1u8..=64).prop_flat_map(|bits| {
+        let space = IdSpace::new(bits).unwrap();
+        let max = if bits == 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        };
+        (0..=max, 0..=max, 0..=max)
+            .prop_map(move |(a, b, c)| (space, Id::new(a), Id::new(b), Id::new(c)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn clockwise_distance_zero_iff_equal((s, a, b, _c) in space_and_ids()) {
+        let d = s.clockwise_distance(a, b);
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn clockwise_distances_sum_to_ring_size((s, a, b, _c) in space_and_ids()) {
+        prop_assume!(a != b);
+        let fwd = s.clockwise_distance(a, b);
+        let back = s.clockwise_distance(b, a);
+        match s.size() {
+            Some(n) => prop_assert_eq!(fwd + back, n),
+            None => prop_assert_eq!(fwd.wrapping_add(back), 0),
+        }
+    }
+
+    #[test]
+    fn clockwise_triangle_walk((s, a, b, c) in space_and_ids()) {
+        // Walking a→b→c clockwise covers a→c plus possibly whole laps.
+        let ab = s.clockwise_distance(a, b);
+        let bc = s.clockwise_distance(b, c);
+        let ac = s.clockwise_distance(a, c);
+        let total = ab.wrapping_add(bc);
+        let reduced = match s.size() {
+            Some(n) => total % n,
+            None => total,
+        };
+        prop_assert_eq!(reduced, ac);
+    }
+
+    #[test]
+    fn between_open_agrees_with_exhaustive_walk(
+        bits in 1u8..=8,
+        raw_a in 0u128..256,
+        raw_c in 0u128..256,
+    ) {
+        // Only for small rings: check interval membership against a walk.
+        let s = IdSpace::new(bits).unwrap();
+        let a = s.normalize(raw_a);
+        let c = s.normalize(raw_c);
+        let n = s.size().unwrap();
+        let db = s.clockwise_distance(a, c);
+        for x in 0..n {
+            let x = Id::new(x);
+            let dx = s.clockwise_distance(a, x);
+            let expected = if a == c { x != a } else { dx > 0 && dx < db };
+            prop_assert_eq!(s.between_open(a, x, c), expected);
+        }
+    }
+
+    #[test]
+    fn common_prefix_symmetric_and_bounded((s, a, b, _c) in space_and_ids()) {
+        let l = s.common_prefix_len(a, b);
+        prop_assert_eq!(l, s.common_prefix_len(b, a));
+        prop_assert!(l <= s.bits());
+        prop_assert_eq!(l == s.bits(), a == b);
+    }
+
+    #[test]
+    fn common_prefix_of_triple_is_min_pairwise((s, a, b, c) in space_and_ids()) {
+        // lcp(a, c) ≥ min(lcp(a, b), lcp(b, c)) — ultrametric-style bound.
+        let ab = s.common_prefix_len(a, b);
+        let bc = s.common_prefix_len(b, c);
+        let ac = s.common_prefix_len(a, c);
+        prop_assert!(ac >= ab.min(bc));
+    }
+
+    #[test]
+    fn digits_reassemble_id((s, a, _b, _c) in space_and_ids(), d in 1u8..=8) {
+        prop_assume!(d <= s.bits());
+        let count = s.digit_count(d).unwrap();
+        let mut rebuilt: u128 = 0;
+        let mut used = 0u8;
+        for i in 0..count {
+            let hi = s.bits() - i * d;
+            let width = d.min(hi);
+            rebuilt = (rebuilt << width) | s.digit(a, i, d).unwrap() as u128;
+            used += width;
+        }
+        prop_assert_eq!(used, s.bits());
+        prop_assert_eq!(rebuilt, a.value());
+    }
+
+    #[test]
+    fn pastry_hops_metric_properties((s, a, b, c) in space_and_ids()) {
+        let ab = s.pastry_hops(a, b, 1).unwrap();
+        let ba = s.pastry_hops(b, a, 1).unwrap();
+        prop_assert_eq!(ab, ba, "symmetry");
+        prop_assert_eq!(ab == 0, a == b, "identity of indiscernibles");
+        // Trie distances obey the strong (ultrametric) triangle inequality.
+        let bc = s.pastry_hops(b, c, 1).unwrap();
+        let ac = s.pastry_hops(a, c, 1).unwrap();
+        prop_assert!(ac <= ab.max(bc), "ultrametric inequality");
+    }
+
+    #[test]
+    fn pastry_hops_digit_width_compresses((s, a, b, _c) in space_and_ids(), d in 2u8..=8) {
+        prop_assume!(d <= s.bits());
+        let bit_hops = s.pastry_hops(a, b, 1).unwrap();
+        let digit_hops = s.pastry_hops(a, b, d).unwrap();
+        prop_assert!(digit_hops <= bit_hops);
+        prop_assert_eq!(digit_hops == 0, bit_hops == 0);
+    }
+
+    #[test]
+    fn chord_hops_matches_float_log((s, a, b, _c) in space_and_ids()) {
+        prop_assume!(a != b);
+        let dist = s.clockwise_distance(a, b);
+        let expected = 128 - dist.leading_zeros();
+        prop_assert_eq!(s.chord_hops(a, b), expected);
+        prop_assert!(expected <= s.max_chord_hops());
+    }
+
+    #[test]
+    fn chord_hops_monotone_in_distance(bits in 3u8..=16, d1 in 1u128..100, d2 in 1u128..100) {
+        let s = IdSpace::new(bits).unwrap();
+        let n = s.size().unwrap();
+        prop_assume!(d1 < n && d2 < n && d1 <= d2);
+        let h1 = s.chord_hops(Id::ZERO, s.normalize(d1));
+        let h2 = s.chord_hops(Id::ZERO, s.normalize(d2));
+        prop_assert!(h1 <= h2);
+    }
+}

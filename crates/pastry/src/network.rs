@@ -1,0 +1,573 @@
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use peercache_id::{Id, IdSpace};
+use rand::Rng;
+
+use crate::node::PastryNode;
+use crate::{RouteOutcome, RouteResult, RoutingMode};
+
+/// A point in the synthetic proximity space (FreePastry's simulation-mode
+/// topology: the unit square with Euclidean latency).
+pub type Coord = (f64, f64);
+
+/// Configuration of a Pastry deployment.
+#[derive(Copy, Clone, Debug)]
+pub struct PastryConfig {
+    /// The identifier space.
+    pub space: IdSpace,
+    /// Digit width in bits (`d`; the paper exposits `d = 1`).
+    pub digit_bits: u8,
+    /// Leaf-set entries per side.
+    pub leaf_half: usize,
+    /// Next-hop tie-breaking policy.
+    pub mode: RoutingMode,
+    /// Defensive per-route hop budget.
+    pub hop_limit: u32,
+}
+
+impl PastryConfig {
+    /// Locality-aware configuration over `space` with digit width `d`,
+    /// four leaves per side, and a `4·⌈b/d⌉` hop budget.
+    pub fn new(space: IdSpace, digit_bits: u8) -> Self {
+        let digits = space
+            .digit_count(digit_bits)
+            .expect("digit width must divide the id space") as u32;
+        PastryConfig {
+            space,
+            digit_bits,
+            leaf_half: 4,
+            mode: RoutingMode::LocalityAware,
+            hop_limit: 4 * digits,
+        }
+    }
+
+    /// The same configuration with a different routing mode.
+    pub fn with_mode(mut self, mode: RoutingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Errors from membership operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The node id is already live.
+    AlreadyPresent(Id),
+    /// The node id is not live.
+    NotPresent(Id),
+    /// The id does not fit the configured id space.
+    OutOfSpace(Id),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::AlreadyPresent(id) => write!(f, "node {id} already in the overlay"),
+            NetworkError::NotPresent(id) => write!(f, "node {id} not in the overlay"),
+            NetworkError::OutOfSpace(id) => write!(f, "node {id} outside the id space"),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// Deterministic pseudo-random priority deciding which qualifying node a
+/// routing-table cell ends up holding (stands in for the accident of
+/// which node was encountered first during joins/row exchanges).
+fn encounter_score(owner: Id, entry: Id) -> u64 {
+    let mixed = (owner.value() ^ entry.value().rotate_left(64)) as u64
+        ^ (entry.value() >> 64) as u64
+        ^ entry.value() as u64;
+    // SplitMix64 finalizer.
+    let mut z = mixed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The whole simulated Pastry overlay.
+///
+/// ```
+/// use peercache_id::{Id, IdSpace};
+/// use peercache_pastry::{PastryConfig, PastryNetwork};
+/// use rand::SeedableRng;
+///
+/// let space = IdSpace::new(8).unwrap();
+/// let ids: Vec<Id> = [0b0001_0000u128, 0b0101_0000, 0b1001_0000, 0b1101_0000]
+///     .map(Id::new)
+///     .to_vec();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut overlay = PastryNetwork::build(PastryConfig::new(space, 1), &ids, &mut rng);
+/// // Keys belong to the numerically closest node.
+/// assert_eq!(overlay.true_owner(Id::new(0b0100_0000)), Some(Id::new(0b0101_0000)));
+/// let route = overlay.route(ids[0], Id::new(0b1100_1111)).unwrap();
+/// assert!(route.is_success());
+/// assert_eq!(route.path.last(), Some(&Id::new(0b1101_0000)));
+/// ```
+pub struct PastryNetwork {
+    config: PastryConfig,
+    digit_count: u8,
+    arity: usize,
+    nodes: BTreeMap<u128, PastryNode>,
+    coords: HashMap<u128, Coord>,
+}
+
+impl PastryNetwork {
+    /// An empty overlay.
+    pub fn new(config: PastryConfig) -> Self {
+        let digit_count = config
+            .space
+            .digit_count(config.digit_bits)
+            .expect("validated by PastryConfig");
+        PastryNetwork {
+            config,
+            digit_count,
+            arity: 1usize << config.digit_bits,
+            nodes: BTreeMap::new(),
+            coords: HashMap::new(),
+        }
+    }
+
+    /// Bootstrap a stable overlay with perfect routing state and random
+    /// proximity coordinates.
+    ///
+    /// # Panics
+    /// Panics on duplicate or out-of-space ids.
+    pub fn build<R: Rng + ?Sized>(config: PastryConfig, ids: &[Id], rng: &mut R) -> Self {
+        let mut net = PastryNetwork::new(config);
+        for &id in ids {
+            assert!(config.space.contains(id), "node id {id} outside id space");
+            let node = PastryNode::new(id, net.digit_count, net.arity);
+            assert!(
+                net.nodes.insert(id.value(), node).is_none(),
+                "duplicate node id {id}"
+            );
+            net.coords.insert(id.value(), (rng.gen(), rng.gen()));
+        }
+        for &id in ids {
+            net.refresh_from_truth(id);
+        }
+        net
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PastryConfig {
+        &self.config
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the overlay has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `id` is live.
+    pub fn is_live(&self, id: Id) -> bool {
+        self.nodes.contains_key(&id.value())
+    }
+
+    /// All live node ids in ring order.
+    pub fn live_ids(&self) -> Vec<Id> {
+        self.nodes.keys().map(|&k| Id::new(k)).collect()
+    }
+
+    /// Immutable view of a node.
+    pub fn node(&self, id: Id) -> Option<&PastryNode> {
+        self.nodes.get(&id.value())
+    }
+
+    /// Synthetic latency between two live nodes.
+    pub fn proximity(&self, a: Id, b: Id) -> f64 {
+        let (ax, ay) = self.coords[&a.value()];
+        let (bx, by) = self.coords[&b.value()];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Absolute ring distance (numerical closeness metric, §II-A).
+    fn ring_abs(&self, a: Id, b: Id) -> u128 {
+        let space = self.config.space;
+        space
+            .clockwise_distance(a, b)
+            .min(space.clockwise_distance(b, a))
+    }
+
+    /// The **true owner** of `key`: the numerically closest live node
+    /// (ties broken toward the smaller id).
+    pub fn true_owner(&self, key: Id) -> Option<Id> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        // Only the ring predecessor and successor of the key can be
+        // closest.
+        let pred = self
+            .nodes
+            .range(..=key.value())
+            .next_back()
+            .or_else(|| self.nodes.iter().next_back())
+            .map(|(&k, _)| Id::new(k))?;
+        let succ = key
+            .value()
+            .checked_add(1)
+            .and_then(|s| self.nodes.range(s..).next())
+            .or_else(|| self.nodes.iter().next())
+            .map(|(&k, _)| Id::new(k))?;
+        let (dp, ds) = (self.ring_abs(pred, key), self.ring_abs(succ, key));
+        Some(match dp.cmp(&ds) {
+            std::cmp::Ordering::Less => pred,
+            std::cmp::Ordering::Greater => succ,
+            std::cmp::Ordering::Equal => {
+                if pred.value() <= succ.value() {
+                    pred
+                } else {
+                    succ
+                }
+            }
+        })
+    }
+
+    fn lcp(&self, a: Id, b: Id) -> u8 {
+        self.config
+            .space
+            .common_prefix_digits(a, b, self.config.digit_bits)
+            .expect("validated digit width")
+    }
+
+    /// True leaf set of `id`: `leaf_half` ring neighbors per side
+    /// (counter-clockwise first, ring order).
+    fn true_leaves(&self, id: Id) -> Vec<Id> {
+        let n = self.nodes.len();
+        if n <= 1 {
+            return Vec::new();
+        }
+        let take = self.config.leaf_half.min((n - 1) / 2).max(1);
+        let mut ccw = Vec::with_capacity(take);
+        let mut cw = Vec::with_capacity(take);
+        let mut cur = id.value();
+        for _ in 0..take.min(n - 1) {
+            let prev = self
+                .nodes
+                .range(..cur)
+                .next_back()
+                .or_else(|| self.nodes.iter().next_back())
+                .map(|(&k, _)| k)
+                .expect("non-empty");
+            if prev == id.value() || ccw.contains(&prev) {
+                break;
+            }
+            ccw.push(prev);
+            cur = prev;
+        }
+        cur = id.value();
+        for _ in 0..take.min(n - 1) {
+            let next = cur
+                .checked_add(1)
+                .and_then(|s| self.nodes.range(s..).next())
+                .or_else(|| self.nodes.iter().next())
+                .map(|(&k, _)| k)
+                .expect("non-empty");
+            if next == id.value() || cw.contains(&next) || ccw.contains(&next) {
+                break;
+            }
+            cw.push(next);
+            cur = next;
+        }
+        ccw.reverse();
+        ccw.into_iter().chain(cw).map(Id::new).collect()
+    }
+
+    /// Rebuild a node's core state from global truth (bootstrap / the
+    /// periodic repair that models Pastry's maintenance).
+    pub fn refresh_from_truth(&mut self, id: Id) {
+        let leaves = self.true_leaves(id);
+        let mut rows = vec![vec![None; self.arity]; self.digit_count as usize];
+        for &other_raw in self.nodes.keys() {
+            let other = Id::new(other_raw);
+            if other == id {
+                continue;
+            }
+            let l = self.lcp(id, other);
+            if l >= self.digit_count {
+                continue;
+            }
+            let col = self
+                .config
+                .space
+                .digit(other, l, self.config.digit_bits)
+                .expect("l < digit_count") as usize;
+            let cell: &mut Option<Id> = &mut rows[l as usize][col];
+            // Table cells hold whichever qualifying node the owner
+            // happened to learn about (join paths, exchanged rows) — NOT
+            // the globally proximity-optimal one. We model "first
+            // encountered" with a deterministic per-(owner, entry) hash;
+            // a globally optimal fill would make the locality tie-break
+            // degenerate (no auxiliary entry could ever win it).
+            let replace = match *cell {
+                None => true,
+                Some(existing) => encounter_score(id, other) < encounter_score(id, existing),
+            };
+            if replace {
+                *cell = Some(other);
+            }
+        }
+        let node = self.nodes.get_mut(&id.value()).expect("live node");
+        node.leaves = leaves;
+        node.rows = rows;
+    }
+
+    /// Repair every node (a full maintenance round).
+    pub fn repair_all(&mut self) {
+        for id in self.live_ids() {
+            self.refresh_from_truth(id);
+        }
+    }
+
+    // ---- membership ------------------------------------------------------
+
+    /// A node joins at `coord`: it builds its own state and is announced
+    /// to its leaf-set members (Pastry's join notifies them); everyone
+    /// else's routing tables stay stale until repair.
+    ///
+    /// # Errors
+    /// [`NetworkError::AlreadyPresent`] / [`NetworkError::OutOfSpace`].
+    pub fn join(&mut self, id: Id, coord: Coord) -> Result<(), NetworkError> {
+        if !self.config.space.contains(id) {
+            return Err(NetworkError::OutOfSpace(id));
+        }
+        if self.nodes.contains_key(&id.value()) {
+            return Err(NetworkError::AlreadyPresent(id));
+        }
+        self.nodes.insert(
+            id.value(),
+            PastryNode::new(id, self.digit_count, self.arity),
+        );
+        self.coords.insert(id.value(), coord); // refreshed on re-join
+        self.refresh_from_truth(id);
+        // Announce to leaf-set members: they refresh their own leaf sets
+        // (and learn the newcomer for their tables opportunistically).
+        for member in self.nodes[&id.value()].leaves.clone() {
+            let leaves = self.true_leaves(member);
+            let l = self.lcp(member, id);
+            if let Some(m) = self.nodes.get_mut(&member.value()) {
+                m.leaves = leaves;
+                if l < self.digit_count {
+                    // fill the table cell if empty (no proximity probe on
+                    // announcement)
+                    let col = self
+                        .config
+                        .space
+                        .digit(id, l, self.config.digit_bits)
+                        .expect("l < digit_count") as usize;
+                    let cell = &mut m.rows[l as usize][col];
+                    if cell.is_none() {
+                        *cell = Some(id);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A node crashes without notice.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`].
+    pub fn fail(&mut self, id: Id) -> Result<(), NetworkError> {
+        self.nodes
+            .remove(&id.value())
+            .ok_or(NetworkError::NotPresent(id))?;
+        // Coordinates describe the physical host and are kept: survivors
+        // still hold (stale) entries for the corpse and evaluate their
+        // proximity before probing them.
+        Ok(())
+    }
+
+    /// A node leaves gracefully: its leaf-set members patch their leaf
+    /// sets immediately; routing-table entries elsewhere stay stale.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`].
+    pub fn leave(&mut self, id: Id) -> Result<(), NetworkError> {
+        let node = self
+            .nodes
+            .remove(&id.value())
+            .ok_or(NetworkError::NotPresent(id))?;
+        for member in node.leaves {
+            if self.is_live(member) {
+                let leaves = self.true_leaves(member);
+                let m = self.nodes.get_mut(&member.value()).expect("checked live");
+                m.forget(id);
+                m.leaves = leaves;
+            }
+        }
+        Ok(())
+    }
+
+    /// Install the auxiliary neighbor set for `id` (dead entries dropped).
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`].
+    pub fn set_aux(&mut self, id: Id, aux: Vec<Id>) -> Result<(), NetworkError> {
+        let live: Vec<Id> = aux.into_iter().filter(|&a| self.is_live(a)).collect();
+        let node = self
+            .nodes
+            .get_mut(&id.value())
+            .ok_or(NetworkError::NotPresent(id))?;
+        node.aux = live;
+        Ok(())
+    }
+
+    // ---- routing -----------------------------------------------------------
+
+    /// Route a query for `key` from `from` under the configured
+    /// [`RoutingMode`].
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn route(&mut self, from: Id, key: Id) -> Result<RouteResult, NetworkError> {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        let true_owner = self.true_owner(key).expect("non-empty overlay");
+        let mut current = from;
+        let mut hops = 0u32;
+        let mut failed_probes = 0u32;
+        let mut path = vec![from];
+        loop {
+            if hops >= self.config.hop_limit {
+                return Ok(RouteResult {
+                    outcome: RouteOutcome::HopLimit,
+                    hops,
+                    failed_probes,
+                    path,
+                });
+            }
+            match self.next_hop(current, key) {
+                None => {
+                    let outcome = if current == true_owner {
+                        RouteOutcome::Success
+                    } else if self.nodes[&current.value()]
+                        .known_neighbors()
+                        .iter()
+                        .any(|&w| {
+                            (self.ring_abs(w, key), w.value())
+                                < (self.ring_abs(current, key), current.value())
+                        })
+                    {
+                        // A strictly closer node is known but unusable
+                        // under the forwarding rule — counts as a dead end
+                        // rather than a wrong claim of ownership.
+                        RouteOutcome::DeadEnd(current)
+                    } else {
+                        RouteOutcome::WrongOwner(current)
+                    };
+                    return Ok(RouteResult {
+                        outcome,
+                        hops,
+                        failed_probes,
+                        path,
+                    });
+                }
+                Some(next) => {
+                    if self.is_live(next) {
+                        hops += 1;
+                        path.push(next);
+                        current = next;
+                    } else {
+                        failed_probes += 1;
+                        self.nodes.get_mut(&current.value()).unwrap().forget(next);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The forwarding decision at `current` for `key` (None = `current`
+    /// believes it is the destination).
+    fn next_hop(&self, current: Id, key: Id) -> Option<Id> {
+        if current == key {
+            return None;
+        }
+        let node = &self.nodes[&current.value()];
+        let known = node.known_neighbors();
+        if known.is_empty() {
+            return None;
+        }
+        let cur_key = (self.ring_abs(current, key), current.value());
+
+        // 1. Leaf-set short-circuit: if the key falls within the arc the
+        //    leaf set covers, jump straight to the numerically closest.
+        if !node.leaves.is_empty() {
+            let space = self.config.space;
+            let ccw_most = node.leaves[0];
+            let cw_most = *node.leaves.last().expect("non-empty");
+            let arc = space.clockwise_distance(ccw_most, cw_most);
+            if space.clockwise_distance(ccw_most, key) <= arc {
+                let best = node
+                    .leaves
+                    .iter()
+                    .copied()
+                    .map(|w| (self.ring_abs(w, key), w.value()))
+                    .min()
+                    .expect("non-empty");
+                return if best < cur_key {
+                    Some(Id::new(best.1))
+                } else {
+                    None
+                };
+            }
+        }
+
+        // 2. Prefix progress: candidates sharing a strictly longer prefix
+        //    with the key than we do.
+        let l = self.lcp(current, key);
+        let progress: Vec<Id> = known
+            .iter()
+            .copied()
+            .filter(|&w| self.lcp(w, key) > l)
+            .collect();
+        if !progress.is_empty() {
+            // Both modes first narrow to the candidates advancing the
+            // prefix the furthest (they are the "candidate nodes for the
+            // next hop"); the modes differ in the tie-break among them:
+            // FreePastry takes the one nearest in proximity space
+            // (§VI-D), the greedy mode the one numerically closest to the
+            // key.
+            let best_lcp = progress
+                .iter()
+                .map(|&w| self.lcp(w, key))
+                .max()
+                .expect("non-empty");
+            let bucket = progress
+                .into_iter()
+                .filter(|&w| self.lcp(w, key) == best_lcp);
+            let chosen = match self.config.mode {
+                RoutingMode::LocalityAware => bucket
+                    .min_by(|&a, &b| {
+                        self.proximity(current, a)
+                            .total_cmp(&self.proximity(current, b))
+                            .then(a.cmp(&b))
+                    })
+                    .expect("non-empty"),
+                RoutingMode::GreedyPrefix => bucket
+                    .min_by_key(|&w| (self.ring_abs(w, key), w.value()))
+                    .expect("non-empty"),
+            };
+            return Some(chosen);
+        }
+
+        // 3. Rare case: same prefix length but numerically closer.
+        known
+            .into_iter()
+            .filter(|&w| self.lcp(w, key) >= l)
+            .map(|w| (self.ring_abs(w, key), w.value()))
+            .filter(|&c| c < cur_key)
+            .min()
+            .map(|(_, w)| Id::new(w))
+    }
+}

@@ -1,0 +1,271 @@
+//! The churn-mode experiment driver (§VI-C).
+//!
+//! Churn follows the paper's setup (itself modelled on \[13\]): the `n`
+//! nodes crash and re-join alternately, staying alive (or dead) for an
+//! exponentially distributed duration with mean 900 s; queries arrive at
+//! 4/s system-wide; every node stabilizes each 25 s and recomputes its
+//! auxiliary neighbors each 62.5 s from the access frequencies it has
+//! observed so far. The same event schedule (flips, stabilizations,
+//! query arrivals — all RNG streams except the baseline's selection
+//! randomness) is replayed for the frequency-aware and the
+//! frequency-oblivious strategies, so the comparison is paired.
+
+use peercache_freq::{ExactCounter, FrequencyEstimator};
+use peercache_id::{Id, IdSpace};
+use peercache_workload::{random_ids, ItemCatalog, NodeWorkload, RankingAssignment, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::engine::{exp_sample, EventQueue};
+use crate::metrics::{reduction_pct, QueryMetrics};
+use crate::overlay::{OverlayKind, SimOverlay};
+use crate::stable::RankingMode;
+
+/// Configuration of one churn-mode comparison run.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Which overlay to simulate (the paper's churn plots use Chord).
+    pub kind: OverlayKind,
+    /// Identifier width.
+    pub bits: u8,
+    /// Number of (alternating) nodes `n`.
+    pub nodes: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Zipf exponent.
+    pub alpha: f64,
+    /// Ranking distribution.
+    pub ranking: RankingMode,
+    /// Auxiliary pointers per node.
+    pub k: usize,
+    /// Mean alive (and dead) duration, seconds (paper: 900).
+    pub mean_lifetime: f64,
+    /// System-wide query arrival rate per second (paper: 4).
+    pub query_rate: f64,
+    /// Stabilization interval, seconds (paper: 25).
+    pub stabilize_interval: f64,
+    /// Auxiliary recomputation interval, seconds (paper: 62.5).
+    pub recompute_interval: f64,
+    /// Total simulated time, seconds.
+    pub duration: f64,
+    /// Queries before this time are routed but not measured.
+    pub warmup: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// The paper's churn parameters over `nodes` Chord nodes.
+    pub fn paper_defaults(nodes: usize, seed: u64) -> Self {
+        let k = (nodes as f64).log2().round() as usize;
+        ChurnConfig {
+            kind: OverlayKind::Chord,
+            bits: 32,
+            nodes,
+            items: 64,
+            alpha: 1.2,
+            ranking: RankingMode::Pool(5),
+            k,
+            mean_lifetime: 900.0,
+            query_rate: 4.0,
+            stabilize_interval: 25.0,
+            recompute_interval: 62.5,
+            duration: 7200.0,
+            warmup: 1800.0,
+            seed,
+        }
+    }
+}
+
+/// Which selection strategy a churn run installs at recompute ticks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's optimal frequency-aware selection.
+    Aware,
+    /// The frequency-oblivious random-per-slice baseline.
+    Oblivious,
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    Query,
+    Flip(usize),
+    Stabilize(usize),
+    Recompute(usize),
+}
+
+/// The outcome of one churn-mode comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChurnReport {
+    /// Metrics under the frequency-aware strategy.
+    pub aware: QueryMetrics,
+    /// Metrics under the frequency-oblivious baseline.
+    pub oblivious: QueryMetrics,
+    /// % reduction in average hops, aware vs oblivious.
+    pub reduction_pct: f64,
+}
+
+/// Run one strategy through the full event schedule.
+///
+/// # Panics
+/// Panics on nonsensical configurations (zero nodes, non-positive rates).
+pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics {
+    assert!(config.nodes > 0 && config.items > 0);
+    assert!(config.query_rate > 0.0 && config.mean_lifetime > 0.0);
+    let space = IdSpace::new(config.bits).expect("valid id width");
+    let mut rng_topology = StdRng::seed_from_u64(config.seed);
+    let mut rng_workload = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    let mut rng_churn = StdRng::seed_from_u64(config.seed.wrapping_add(2));
+    let mut rng_queries = StdRng::seed_from_u64(config.seed.wrapping_add(3));
+    let mut rng_select = StdRng::seed_from_u64(config.seed.wrapping_add(4));
+
+    let node_ids = random_ids(space, config.nodes, &mut rng_topology);
+    let catalog = ItemCatalog::random(space, config.items, &mut rng_topology);
+    let zipf = Zipf::new(config.items, config.alpha).expect("valid Zipf");
+    let assignment = match config.ranking {
+        RankingMode::Identical => RankingAssignment::identical(config.items, config.nodes),
+        RankingMode::Pool(p) => {
+            RankingAssignment::random_pool(config.items, config.nodes, p, &mut rng_workload)
+        }
+    };
+    let workloads: Vec<NodeWorkload> = (0..config.nodes)
+        .map(|idx| NodeWorkload::new(zipf.clone(), assignment.for_node(idx).clone()))
+        .collect();
+
+    // Initial membership: each node alive with probability ½ — the steady
+    // state of the alternating-renewal churn process.
+    let alive_init: Vec<bool> = (0..config.nodes).map(|_| rng_churn.gen_bool(0.5)).collect();
+    let initial: Vec<Id> = node_ids
+        .iter()
+        .zip(&alive_init)
+        .filter(|&(_, &a)| a)
+        .map(|(&id, _)| id)
+        .collect();
+    let mut overlay = SimOverlay::build(config.kind, space, &initial, &mut rng_topology);
+    let mut alive = alive_init;
+
+    let index_of: std::collections::HashMap<Id, usize> = node_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    let mut counters: Vec<ExactCounter> = vec![ExactCounter::new(); config.nodes];
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    queue.schedule(
+        exp_sample(1.0 / config.query_rate, &mut rng_queries),
+        Event::Query,
+    );
+    for idx in 0..config.nodes {
+        queue.schedule(
+            exp_sample(config.mean_lifetime, &mut rng_churn),
+            Event::Flip(idx),
+        );
+        queue.schedule(
+            rng_churn.gen_range(0.0..config.stabilize_interval),
+            Event::Stabilize(idx),
+        );
+        queue.schedule(
+            rng_churn.gen_range(0.0..config.recompute_interval),
+            Event::Recompute(idx),
+        );
+    }
+
+    let mut metrics = QueryMetrics::default();
+    while let Some((now, event)) = queue.pop() {
+        if now > config.duration {
+            break;
+        }
+        match event {
+            Event::Query => {
+                queue.schedule_in(
+                    exp_sample(1.0 / config.query_rate, &mut rng_queries),
+                    Event::Query,
+                );
+                // Uniform live origin; skip the beat if the ring is empty.
+                let live: Vec<usize> = (0..config.nodes).filter(|&i| alive[i]).collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let origin_idx = live[rng_queries.gen_range(0..live.len())];
+                let item = workloads[origin_idx].sample_item(&mut rng_queries);
+                let key = catalog.key(item);
+                let (outcome, path) = overlay.query_with_path(node_ids[origin_idx], key);
+                if outcome.success {
+                    // Every node that saw the query — origin and
+                    // forwarders alike — learns which node held the item
+                    // (§III: "the set of nodes for which s has seen
+                    // queries").
+                    let owner = *path.last().expect("path starts at origin");
+                    for hop in &path {
+                        if let Some(&i) = index_of.get(hop) {
+                            counters[i].observe(owner);
+                        }
+                    }
+                }
+                if now >= config.warmup {
+                    metrics.record(outcome.success, outcome.hops, outcome.failed_probes);
+                }
+            }
+            Event::Flip(idx) => {
+                queue.schedule_in(
+                    exp_sample(config.mean_lifetime, &mut rng_churn),
+                    Event::Flip(idx),
+                );
+                if alive[idx] {
+                    // Never kill the last node.
+                    if overlay.live_ids().len() > 1 {
+                        overlay.fail(node_ids[idx]);
+                        alive[idx] = false;
+                    }
+                } else {
+                    overlay.join(node_ids[idx], &mut rng_churn);
+                    alive[idx] = true;
+                }
+            }
+            Event::Stabilize(idx) => {
+                queue.schedule_in(config.stabilize_interval, Event::Stabilize(idx));
+                if alive[idx] {
+                    overlay.stabilize(node_ids[idx]);
+                }
+            }
+            Event::Recompute(idx) => {
+                queue.schedule_in(config.recompute_interval, Event::Recompute(idx));
+                if !alive[idx] {
+                    continue;
+                }
+                let node = node_ids[idx];
+                let selection = match strategy {
+                    Strategy::Aware => {
+                        let freqs = counters[idx].snapshot();
+                        if freqs.is_empty() {
+                            continue;
+                        }
+                        overlay.select_aware(node, &freqs, config.k)
+                    }
+                    // The baseline ignores observations entirely: random
+                    // per-slice picks from the live ring (§VI-A).
+                    Strategy::Oblivious => {
+                        overlay.select_oblivious_uniform(node, config.k, &mut rng_select)
+                    }
+                };
+                if let Ok(sel) = selection {
+                    overlay.set_aux(node, sel.aux);
+                }
+            }
+        }
+    }
+    metrics
+}
+
+/// Run the paired comparison: identical schedules, two strategies.
+pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
+    let aware = run_churn_once(config, Strategy::Aware);
+    let oblivious = run_churn_once(config, Strategy::Oblivious);
+    let reduction = reduction_pct(aware.avg_hops(), oblivious.avg_hops());
+    ChurnReport {
+        aware,
+        oblivious,
+        reduction_pct: reduction,
+    }
+}

@@ -1,0 +1,191 @@
+//! A minimal deterministic discrete-event engine.
+//!
+//! Events are ordered by `(time, sequence)` — the sequence number breaks
+//! time ties in scheduling order, so a run is fully reproducible given the
+//! RNG seeds. The engine is deliberately single-threaded: determinism is
+//! worth more to an experiment harness than parallel speed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::Rng;
+
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use peercache_sim::engine::EventQueue;
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(2.5, "later");
+/// queue.schedule(1.0, "sooner");
+/// assert_eq!(queue.pop(), Some((1.0, "sooner")));
+/// assert_eq!(queue.now(), 1.0);
+/// queue.schedule_in(0.5, "relative");
+/// assert_eq!(queue.pop(), Some((1.5, "relative")));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// The current simulation time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to now — the
+    /// engine never travels backwards).
+    pub fn schedule(&mut self, at: f64, event: E) {
+        let time = if at < self.now { self.now } else { at };
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Schedule `event` `delay` from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        debug_assert!(delay >= 0.0, "delays are non-negative");
+        let at = self.now + delay;
+        self.schedule(at, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.event)
+        })
+    }
+}
+
+/// Draw from an exponential distribution with the given mean (the paper's
+/// alive/dead durations, §VI-C).
+pub fn exp_sample<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        q.schedule(1.0, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        q.schedule_in(2.5, ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 7.5);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "later");
+        q.pop();
+        q.schedule(1.0, "past");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, 5.0, "clamped");
+        assert_eq!(e, "past");
+    }
+
+    #[test]
+    fn exp_sample_has_requested_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| exp_sample(900.0, &mut rng)).sum();
+        let mean = total / n as f64;
+        assert!(
+            (mean - 900.0).abs() < 15.0,
+            "sample mean {mean} should be ≈ 900"
+        );
+    }
+
+    #[test]
+    fn exp_sample_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(exp_sample(0.001, &mut rng) > 0.0);
+        }
+    }
+}

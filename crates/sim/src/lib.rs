@@ -1,0 +1,31 @@
+//! Deterministic discrete-event simulation and experiment harness for the
+//! peercache reproduction.
+//!
+//! * [`engine`] — the `(time, seq)`-ordered future event list (fully
+//!   reproducible given seeds).
+//! * [`metrics`] — query-level statistics and the paper's
+//!   %-hop-reduction metric.
+//! * [`overlay`] — a bridge unifying the Chord and Pastry substrates and
+//!   dispatching the frequency-aware / frequency-oblivious selections.
+//! * [`stable`] — the stable-mode driver (§VI: exact node popularities,
+//!   no churn).
+//! * [`churn`] — the churn-mode driver (§VI-C: exponential alive/dead
+//!   periods, periodic stabilization and auxiliary recomputation, paired
+//!   schedules across strategies).
+//! * [`experiments`] — one runner per figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod engine;
+pub mod experiments;
+pub mod metrics;
+pub mod overlay;
+pub mod stable;
+
+pub use churn::{run_churn, run_churn_once, ChurnConfig, ChurnReport, Strategy};
+pub use experiments::{fig3, fig4, fig5, fig6, render_table, FigureRow, Scale};
+pub use metrics::{reduction_pct, QueryMetrics};
+pub use overlay::{OverlayKind, QueryOutcome, SimOverlay};
+pub use stable::{run_stable, RankingMode, StableConfig, StableReport};

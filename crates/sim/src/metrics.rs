@@ -1,0 +1,150 @@
+//! Query-level metrics accumulated by the experiment drivers.
+
+use serde::Serialize;
+
+/// Aggregate statistics over a set of routed queries.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct QueryMetrics {
+    /// Queries issued.
+    pub issued: u64,
+    /// Queries that reached the true owner.
+    pub succeeded: u64,
+    /// Queries that ended anywhere else (wrong owner, dead end, limit).
+    pub failed: u64,
+    /// Total hops over *successful* queries.
+    pub total_hops: u64,
+    /// Dead neighbors probed (timeouts) across all queries.
+    pub failed_probes: u64,
+    /// Histogram of hop counts for successful queries (index = hops).
+    pub hop_histogram: Vec<u64>,
+}
+
+impl QueryMetrics {
+    /// Record one routed query.
+    pub fn record(&mut self, success: bool, hops: u32, failed_probes: u32) {
+        self.issued += 1;
+        self.failed_probes += failed_probes as u64;
+        if success {
+            self.succeeded += 1;
+            self.total_hops += hops as u64;
+            let idx = hops as usize;
+            if self.hop_histogram.len() <= idx {
+                self.hop_histogram.resize(idx + 1, 0);
+            }
+            self.hop_histogram[idx] += 1;
+        } else {
+            self.failed += 1;
+        }
+    }
+
+    /// Mean hops over successful queries (NaN when none succeeded).
+    pub fn avg_hops(&self) -> f64 {
+        self.total_hops as f64 / self.succeeded as f64
+    }
+
+    /// Fraction of issued queries that succeeded.
+    pub fn success_rate(&self) -> f64 {
+        if self.issued == 0 {
+            return 0.0;
+        }
+        self.succeeded as f64 / self.issued as f64
+    }
+
+    /// The `q`-quantile of the successful-hop distribution (`0 ≤ q ≤ 1`).
+    pub fn hop_quantile(&self, q: f64) -> Option<u32> {
+        if self.succeeded == 0 {
+            return None;
+        }
+        let target = ((self.succeeded as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (hops, &count) in self.hop_histogram.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(hops as u32);
+            }
+        }
+        Some(self.hop_histogram.len().saturating_sub(1) as u32)
+    }
+
+    /// Merge another metrics block into this one.
+    pub fn merge(&mut self, other: &QueryMetrics) {
+        self.issued += other.issued;
+        self.succeeded += other.succeeded;
+        self.failed += other.failed;
+        self.total_hops += other.total_hops;
+        self.failed_probes += other.failed_probes;
+        if self.hop_histogram.len() < other.hop_histogram.len() {
+            self.hop_histogram.resize(other.hop_histogram.len(), 0);
+        }
+        for (i, &c) in other.hop_histogram.iter().enumerate() {
+            self.hop_histogram[i] += c;
+        }
+    }
+}
+
+/// The paper's headline metric: percentage reduction in average hops of
+/// the frequency-aware scheme relative to the frequency-oblivious one.
+pub fn reduction_pct(aware_avg_hops: f64, oblivious_avg_hops: f64) -> f64 {
+    if oblivious_avg_hops <= 0.0 {
+        return 0.0;
+    }
+    (oblivious_avg_hops - aware_avg_hops) / oblivious_avg_hops * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut m = QueryMetrics::default();
+        m.record(true, 3, 0);
+        m.record(true, 5, 1);
+        m.record(false, 2, 2);
+        assert_eq!(m.issued, 3);
+        assert_eq!(m.succeeded, 2);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.total_hops, 8);
+        assert_eq!(m.failed_probes, 3);
+        assert_eq!(m.avg_hops(), 4.0);
+        assert!((m.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_and_quantiles() {
+        let mut m = QueryMetrics::default();
+        for hops in [1, 1, 2, 3, 10] {
+            m.record(true, hops, 0);
+        }
+        assert_eq!(m.hop_histogram[1], 2);
+        assert_eq!(m.hop_quantile(0.5), Some(2));
+        assert_eq!(m.hop_quantile(1.0), Some(10));
+        assert_eq!(m.hop_quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let m = QueryMetrics::default();
+        assert_eq!(m.hop_quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = QueryMetrics::default();
+        a.record(true, 2, 0);
+        let mut b = QueryMetrics::default();
+        b.record(true, 4, 1);
+        b.record(false, 0, 0);
+        a.merge(&b);
+        assert_eq!(a.issued, 3);
+        assert_eq!(a.avg_hops(), 3.0);
+        assert_eq!(a.hop_histogram[4], 1);
+    }
+
+    #[test]
+    fn reduction_pct_matches_paper_definition() {
+        assert!((reduction_pct(2.0, 4.0) - 50.0).abs() < 1e-12);
+        assert!((reduction_pct(4.0, 4.0)).abs() < 1e-12);
+        assert_eq!(reduction_pct(1.0, 0.0), 0.0, "guarded division");
+    }
+}

@@ -1,0 +1,411 @@
+//! A thin bridge unifying the Chord and Pastry substrates for the
+//! experiment drivers, including the per-overlay dispatch of the
+//! frequency-aware and frequency-oblivious selection algorithms.
+
+use peercache_chord::{ChordConfig, ChordNetwork};
+use peercache_core::{baseline, chord, pastry, Candidate, ChordProblem, PastryProblem};
+use peercache_core::{SelectError, Selection};
+use peercache_freq::FrequencySnapshot;
+use peercache_id::{Id, IdSpace};
+use peercache_pastry::{PastryConfig, PastryNetwork, RoutingMode};
+use peercache_skipgraph::{SkipGraphConfig, SkipGraphNetwork};
+use peercache_tapestry::{TapestryConfig, TapestryNetwork};
+use rand::Rng;
+
+/// Which overlay an experiment runs on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OverlayKind {
+    /// The Chord ring (paper §V / Figures 5–6).
+    Chord,
+    /// The Pastry overlay (paper §IV / Figures 3–4).
+    Pastry {
+        /// Digit width in bits.
+        digit_bits: u8,
+        /// Next-hop tie-breaking (locality-aware reproduces FreePastry).
+        mode: RoutingMode,
+    },
+    /// The Tapestry overlay (§I: the Pastry technique transfers).
+    Tapestry {
+        /// Digit width in bits.
+        digit_bits: u8,
+    },
+    /// The skip-graph overlay (§I: the Chord technique transfers, via
+    /// rank space).
+    SkipGraph,
+}
+
+/// The outcome of one routed query, overlay-agnostic.
+#[derive(Copy, Clone, Debug)]
+pub struct QueryOutcome {
+    /// Reached the true owner?
+    pub success: bool,
+    /// Successful forwards taken.
+    pub hops: u32,
+    /// Dead-neighbor probes (timeouts).
+    pub failed_probes: u32,
+}
+
+/// A live overlay instance of any supported kind.
+pub enum SimOverlay {
+    /// A Chord ring.
+    Chord(ChordNetwork),
+    /// A Pastry overlay.
+    Pastry(PastryNetwork),
+    /// A Tapestry overlay.
+    Tapestry(TapestryNetwork),
+    /// A skip graph.
+    SkipGraph(SkipGraphNetwork),
+}
+
+impl SimOverlay {
+    /// Build a stable overlay over `ids`.
+    pub fn build<R: Rng + ?Sized>(
+        kind: OverlayKind,
+        space: IdSpace,
+        ids: &[Id],
+        rng: &mut R,
+    ) -> Self {
+        match kind {
+            OverlayKind::Chord => {
+                SimOverlay::Chord(ChordNetwork::build(ChordConfig::new(space), ids))
+            }
+            OverlayKind::Pastry { digit_bits, mode } => SimOverlay::Pastry(PastryNetwork::build(
+                PastryConfig::new(space, digit_bits).with_mode(mode),
+                ids,
+                rng,
+            )),
+            OverlayKind::Tapestry { digit_bits } => SimOverlay::Tapestry(TapestryNetwork::build(
+                TapestryConfig::new(space, digit_bits),
+                ids,
+            )),
+            OverlayKind::SkipGraph => {
+                SimOverlay::SkipGraph(SkipGraphNetwork::build(SkipGraphConfig::new(space), ids))
+            }
+        }
+    }
+
+    /// The overlay kind.
+    pub fn kind(&self) -> OverlayKind {
+        match self {
+            SimOverlay::Chord(_) => OverlayKind::Chord,
+            SimOverlay::Pastry(net) => OverlayKind::Pastry {
+                digit_bits: net.config().digit_bits,
+                mode: net.config().mode,
+            },
+            SimOverlay::Tapestry(net) => OverlayKind::Tapestry {
+                digit_bits: net.config().digit_bits,
+            },
+            SimOverlay::SkipGraph(_) => OverlayKind::SkipGraph,
+        }
+    }
+
+    /// Live node ids in ring order.
+    pub fn live_ids(&self) -> Vec<Id> {
+        match self {
+            SimOverlay::Chord(net) => net.live_ids(),
+            SimOverlay::Pastry(net) => net.live_ids(),
+            SimOverlay::Tapestry(net) => net.live_ids(),
+            SimOverlay::SkipGraph(net) => net.live_ids(),
+        }
+    }
+
+    /// Whether `id` is live.
+    pub fn is_live(&self, id: Id) -> bool {
+        match self {
+            SimOverlay::Chord(net) => net.is_live(id),
+            SimOverlay::Pastry(net) => net.is_live(id),
+            SimOverlay::Tapestry(net) => net.is_live(id),
+            SimOverlay::SkipGraph(net) => net.is_live(id),
+        }
+    }
+
+    /// The node owning `key` under the overlay's assignment rule.
+    pub fn true_owner(&self, key: Id) -> Option<Id> {
+        match self {
+            SimOverlay::Chord(net) => net.true_owner(key),
+            SimOverlay::Pastry(net) => net.true_owner(key),
+            SimOverlay::Tapestry(net) => net.true_owner(key),
+            SimOverlay::SkipGraph(net) => net.true_owner(key),
+        }
+    }
+
+    /// The core neighbor set `N_s` of `node`.
+    pub fn core_neighbors(&self, node: Id) -> Vec<Id> {
+        match self {
+            SimOverlay::Chord(net) => net
+                .node(node)
+                .map(|n| n.core_neighbors())
+                .unwrap_or_default(),
+            SimOverlay::Pastry(net) => net
+                .node(node)
+                .map(|n| n.core_neighbors())
+                .unwrap_or_default(),
+            SimOverlay::Tapestry(net) => net
+                .node(node)
+                .map(|n| n.core_neighbors())
+                .unwrap_or_default(),
+            SimOverlay::SkipGraph(net) => net
+                .node(node)
+                .map(|n| n.core_neighbors())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Install the auxiliary set for `node` (no-op error if it died).
+    pub fn set_aux(&mut self, node: Id, aux: Vec<Id>) -> bool {
+        match self {
+            SimOverlay::Chord(net) => net.set_aux(node, aux).is_ok(),
+            SimOverlay::Pastry(net) => net.set_aux(node, aux).is_ok(),
+            SimOverlay::Tapestry(net) => net.set_aux(node, aux).is_ok(),
+            SimOverlay::SkipGraph(net) => net.set_aux(node, aux).is_ok(),
+        }
+    }
+
+    /// Route one query from `from` for `key`.
+    ///
+    /// # Panics
+    /// Panics when `from` is not live — drivers only issue queries from
+    /// live origins.
+    pub fn query(&mut self, from: Id, key: Id) -> QueryOutcome {
+        self.query_with_path(from, key).0
+    }
+
+    /// Route one query, also returning the nodes it visited (used by the
+    /// churn driver: every node that *sees* a query — origin or forwarder
+    /// — learns the access, §III).
+    ///
+    /// # Panics
+    /// Panics when `from` is not live.
+    pub fn query_with_path(&mut self, from: Id, key: Id) -> (QueryOutcome, Vec<Id>) {
+        match self {
+            SimOverlay::Chord(net) => {
+                let res = net.lookup(from, key).expect("origin is live");
+                (
+                    QueryOutcome {
+                        success: res.is_success(),
+                        hops: res.hops,
+                        failed_probes: res.failed_probes,
+                    },
+                    res.path,
+                )
+            }
+            SimOverlay::Pastry(net) => {
+                let res = net.route(from, key).expect("origin is live");
+                (
+                    QueryOutcome {
+                        success: res.is_success(),
+                        hops: res.hops,
+                        failed_probes: res.failed_probes,
+                    },
+                    res.path,
+                )
+            }
+            SimOverlay::Tapestry(net) => {
+                let res = net.route(from, key).expect("origin is live");
+                (
+                    QueryOutcome {
+                        success: res.is_success(),
+                        hops: res.hops,
+                        failed_probes: res.failed_probes,
+                    },
+                    res.path,
+                )
+            }
+            SimOverlay::SkipGraph(net) => {
+                let res = net.search(from, key).expect("origin is live");
+                (
+                    QueryOutcome {
+                        success: res.is_success(),
+                        hops: res.hops,
+                        failed_probes: res.failed_probes,
+                    },
+                    res.path,
+                )
+            }
+        }
+    }
+
+    fn space(&self) -> IdSpace {
+        match self {
+            SimOverlay::Chord(net) => net.config().space,
+            SimOverlay::Pastry(net) => net.config().space,
+            SimOverlay::Tapestry(net) => net.config().space,
+            SimOverlay::SkipGraph(net) => net.config().space,
+        }
+    }
+
+    /// Map a node to its rank offset from `source` on the key ring (the
+    /// geometry skip-graph level links live in), as an id of a compact
+    /// rank space.
+    fn rank_id(ring: &[Id], source: Id, w: Id) -> Id {
+        let n = ring.len();
+        let rank_of = |x: Id| ring.binary_search(&x).expect("live node");
+        Id::new(((rank_of(w) + n - rank_of(source)) % n) as u128)
+    }
+
+    fn candidates_for(&self, node: Id, frequencies: &FrequencySnapshot) -> Vec<Candidate> {
+        let core = self.core_neighbors(node);
+        frequencies
+            .without(core.into_iter().chain(std::iter::once(node)))
+            .iter()
+            .map(|(id, weight)| Candidate::new(id, weight))
+            .collect()
+    }
+
+    /// Run the paper's optimal selection for `node` over the observed
+    /// `frequencies` (entries for the node itself or its core neighbors
+    /// are filtered out automatically).
+    ///
+    /// # Errors
+    /// Propagates [`SelectError`] from the solver (malformed inputs; QoS
+    /// is not used by the experiment drivers).
+    pub fn select_aware(
+        &self,
+        node: Id,
+        frequencies: &FrequencySnapshot,
+        k: usize,
+    ) -> Result<Selection, SelectError> {
+        let candidates = self.candidates_for(node, frequencies);
+        let core = self.core_neighbors(node);
+        match self.kind() {
+            OverlayKind::Chord => {
+                let problem = ChordProblem::new(self.space(), node, core, candidates, k)?;
+                chord::select_fast(&problem)
+            }
+            OverlayKind::Pastry { digit_bits, .. } | OverlayKind::Tapestry { digit_bits } => {
+                let problem =
+                    PastryProblem::new(self.space(), digit_bits, node, core, candidates, k)?;
+                pastry::select_greedy(&problem)
+            }
+            OverlayKind::SkipGraph => {
+                // §I transfer: run the Chord optimiser in rank space.
+                let ring = self.live_ids(); // sorted
+                let n = ring.len();
+                let rank_bits = (usize::BITS - n.leading_zeros() + 1) as u8;
+                let rank_space = IdSpace::new(rank_bits).expect("rank width is small and valid");
+                let cands: Vec<Candidate> = candidates
+                    .into_iter()
+                    .filter(|c| self.is_live(c.id))
+                    .map(|c| Candidate {
+                        id: Self::rank_id(&ring, node, c.id),
+                        weight: c.weight,
+                        max_hops: c.max_hops,
+                    })
+                    .collect();
+                let core_ranks: Vec<Id> = core
+                    .iter()
+                    .filter(|&&c| self.is_live(c))
+                    .map(|&c| Self::rank_id(&ring, node, c))
+                    .collect();
+                let problem = ChordProblem::new(rank_space, Id::new(0), core_ranks, cands, k)?;
+                let sel = chord::select_fast(&problem)?;
+                let my_rank = ring.binary_search(&node).expect("live node");
+                let aux: Vec<Id> = sel
+                    .aux
+                    .iter()
+                    .map(|r| ring[(my_rank + r.value() as usize) % n])
+                    .collect();
+                Ok(Selection {
+                    aux,
+                    cost: sel.cost,
+                })
+            }
+        }
+    }
+
+    /// Run the frequency-oblivious baseline selection for `node` over the
+    /// same candidate pool.
+    ///
+    /// # Errors
+    /// Propagates [`SelectError::InvalidProblem`] (construction only).
+    pub fn select_oblivious<R: Rng + ?Sized>(
+        &self,
+        node: Id,
+        frequencies: &FrequencySnapshot,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Selection, SelectError> {
+        let candidates = self.candidates_for(node, frequencies);
+        let core = self.core_neighbors(node);
+        match self.kind() {
+            OverlayKind::Chord | OverlayKind::SkipGraph => {
+                let candidates = candidates
+                    .into_iter()
+                    .filter(|c| self.is_live(c.id))
+                    .collect();
+                let problem = ChordProblem::new(self.space(), node, core, candidates, k)?;
+                Ok(baseline::chord_oblivious(&problem, rng))
+            }
+            OverlayKind::Pastry { digit_bits, .. } | OverlayKind::Tapestry { digit_bits } => {
+                let problem =
+                    PastryProblem::new(self.space(), digit_bits, node, core, candidates, k)?;
+                Ok(baseline::pastry_oblivious(&problem, rng))
+            }
+        }
+    }
+
+    /// Frequency-oblivious selection over the *whole live ring* (minus
+    /// self and core): the paper's baseline picks random nodes per
+    /// distance slice from the overlay, with no reference to who was
+    /// queried (§VI-A). This is the churn-mode baseline; in stable mode
+    /// the observed pool already equals the whole ring.
+    ///
+    /// # Errors
+    /// Propagates [`SelectError::InvalidProblem`] (construction only).
+    pub fn select_oblivious_uniform<R: Rng + ?Sized>(
+        &self,
+        node: Id,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Selection, SelectError> {
+        let uniform =
+            FrequencySnapshot::from_pairs(self.live_ids().into_iter().map(|id| (id, 1.0)));
+        self.select_oblivious(node, &uniform, k, rng)
+    }
+
+    // ---- churn operations (Chord experiments) ---------------------------
+
+    /// Node crash. Returns false if it was not live.
+    pub fn fail(&mut self, id: Id) -> bool {
+        match self {
+            SimOverlay::Chord(net) => net.fail(id).is_ok(),
+            SimOverlay::Pastry(net) => net.fail(id).is_ok(),
+            SimOverlay::Tapestry(net) => net.fail(id).is_ok(),
+            SimOverlay::SkipGraph(net) => net.fail(id).is_ok(),
+        }
+    }
+
+    /// Node (re-)join. Returns false on duplicates.
+    pub fn join<R: Rng + ?Sized>(&mut self, id: Id, rng: &mut R) -> bool {
+        match self {
+            SimOverlay::Chord(net) => net.join(id).is_ok(),
+            SimOverlay::Pastry(net) => net.join(id, (rng.gen(), rng.gen())).is_ok(),
+            SimOverlay::Tapestry(net) => net.join(id).is_ok(),
+            SimOverlay::SkipGraph(net) => net.join(id).is_ok(),
+        }
+    }
+
+    /// One stabilization round for `id`. Returns false if not live.
+    pub fn stabilize(&mut self, id: Id) -> bool {
+        match self {
+            SimOverlay::Chord(net) => net.stabilize(id).is_ok(),
+            SimOverlay::Pastry(net) => {
+                if net.is_live(id) {
+                    net.refresh_from_truth(id);
+                    true
+                } else {
+                    false
+                }
+            }
+            SimOverlay::Tapestry(net) => {
+                if net.is_live(id) {
+                    net.refresh_from_truth(id);
+                    true
+                } else {
+                    false
+                }
+            }
+            SimOverlay::SkipGraph(net) => net.refresh_node(id).is_ok(),
+        }
+    }
+}

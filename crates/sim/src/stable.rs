@@ -1,0 +1,176 @@
+//! The stable-mode experiment driver (§VI: "a stable mode with no peer
+//! insertions and deletions").
+//!
+//! In stable mode the per-node access frequencies are the *exact* node
+//! popularities implied by the workload (item Zipf weights aggregated per
+//! owner), so the comparison between the frequency-aware optimum and the
+//! frequency-oblivious baseline is free of estimation noise. Lookups are
+//! then sampled and routed through the real overlay to measure hops.
+
+use peercache_freq::FrequencySnapshot;
+use peercache_id::{Id, IdSpace};
+use peercache_workload::{random_ids, ItemCatalog, NodeWorkload, RankingAssignment, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::metrics::{reduction_pct, QueryMetrics};
+use crate::overlay::{OverlayKind, SimOverlay};
+
+/// How item popularity rankings are distributed over nodes (§VI-A).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RankingMode {
+    /// Identical ranking at all nodes (the Pastry plots).
+    Identical,
+    /// A pool of `n` distinct rankings assigned randomly (the Chord plots
+    /// use 5).
+    Pool(usize),
+}
+
+/// Configuration of one stable-mode comparison run.
+#[derive(Clone, Debug)]
+pub struct StableConfig {
+    /// Which overlay to simulate.
+    pub kind: OverlayKind,
+    /// Identifier width (the paper uses 32).
+    pub bits: u8,
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Number of items. The paper leaves the catalog size open; the
+    /// defaults use a fixed hot catalog of 64 items, which calibrates the
+    /// headline reductions into the paper's band (see EXPERIMENTS.md for
+    /// the sensitivity sweep).
+    pub items: usize,
+    /// Zipf exponent `α`.
+    pub alpha: f64,
+    /// Ranking distribution.
+    pub ranking: RankingMode,
+    /// Auxiliary pointers per node `k`.
+    pub k: usize,
+    /// Measurement queries to route.
+    pub queries: usize,
+    /// Master seed (everything is derived deterministically).
+    pub seed: u64,
+}
+
+impl StableConfig {
+    /// Paper-style defaults: 32-bit ids, a 64-item hot catalog,
+    /// `k = log₂ n`, α = 1.2, 50 000 queries.
+    pub fn paper_defaults(kind: OverlayKind, nodes: usize, seed: u64) -> Self {
+        let k = (nodes as f64).log2().round() as usize;
+        StableConfig {
+            kind,
+            bits: 32,
+            nodes,
+            items: 64,
+            alpha: 1.2,
+            ranking: match kind {
+                OverlayKind::Chord | OverlayKind::SkipGraph => RankingMode::Pool(5),
+                OverlayKind::Pastry { .. } | OverlayKind::Tapestry { .. } => RankingMode::Identical,
+            },
+            k,
+            queries: 50_000,
+            seed,
+        }
+    }
+}
+
+/// The outcome of one stable-mode comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct StableReport {
+    /// Metrics with the frequency-aware optimal auxiliary sets.
+    pub aware: QueryMetrics,
+    /// Metrics with the frequency-oblivious baseline sets.
+    pub oblivious: QueryMetrics,
+    /// Metrics with no auxiliary neighbors at all (core only).
+    pub core_only: QueryMetrics,
+    /// The paper's metric: % reduction of aware vs oblivious.
+    pub reduction_pct: f64,
+}
+
+/// Run one stable-mode comparison.
+///
+/// # Panics
+/// Panics on nonsensical configurations (zero nodes/items, α invalid) —
+/// these are experiment definitions, not runtime inputs.
+pub fn run_stable(config: &StableConfig) -> StableReport {
+    assert!(config.nodes > 0 && config.items > 0);
+    let space = IdSpace::new(config.bits).expect("valid id width");
+    let mut rng_topology = StdRng::seed_from_u64(config.seed);
+    let mut rng_workload = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    let mut rng_select = StdRng::seed_from_u64(config.seed.wrapping_add(3));
+
+    let node_ids = random_ids(space, config.nodes, &mut rng_topology);
+    let catalog = ItemCatalog::random(space, config.items, &mut rng_topology);
+    let zipf = Zipf::new(config.items, config.alpha).expect("valid Zipf");
+    let assignment = match config.ranking {
+        RankingMode::Identical => RankingAssignment::identical(config.items, config.nodes),
+        RankingMode::Pool(p) => {
+            RankingAssignment::random_pool(config.items, config.nodes, p, &mut rng_workload)
+        }
+    };
+
+    let mut overlay = SimOverlay::build(config.kind, space, &node_ids, &mut rng_topology);
+
+    // Item → owner, and per-ranking owner-weight aggregates (exact node
+    // popularities, identical for every node sharing a ranking).
+    let owners: Vec<Id> = (0..config.items)
+        .map(|i| overlay.true_owner(catalog.key(i)).expect("non-empty"))
+        .collect();
+    let pool_weights: Vec<FrequencySnapshot> = (0..assignment.rankings().len())
+        .map(|p| {
+            let wl = NodeWorkload::new(zipf.clone(), assignment.rankings()[p].clone());
+            FrequencySnapshot::from_pairs(wl.node_weights(config.items, |i| owners[i]))
+        })
+        .collect();
+
+    // Per-node selections under both strategies.
+    let mut aware_sets = Vec::with_capacity(config.nodes);
+    let mut oblivious_sets = Vec::with_capacity(config.nodes);
+    for (idx, &node) in node_ids.iter().enumerate() {
+        let freqs = &pool_weights[assignment.pool_index(idx)];
+        let aware = overlay
+            .select_aware(node, freqs, config.k)
+            .expect("stable problems are well-formed");
+        // The baseline ignores frequencies entirely: random picks per
+        // distance slice over the whole ring (§VI-A), not just over the
+        // nodes that happen to own items.
+        let oblivious = overlay
+            .select_oblivious_uniform(node, config.k, &mut rng_select)
+            .expect("stable problems are well-formed");
+        aware_sets.push(aware.aux);
+        oblivious_sets.push(oblivious.aux);
+    }
+
+    // Route the same query sequence under each strategy.
+    let per_node_workloads: Vec<NodeWorkload> = (0..config.nodes)
+        .map(|idx| NodeWorkload::new(zipf.clone(), assignment.for_node(idx).clone()))
+        .collect();
+    let measure = |overlay: &mut SimOverlay, sets: Option<&[Vec<Id>]>| -> QueryMetrics {
+        for (idx, &node) in node_ids.iter().enumerate() {
+            let aux = sets.map(|s| s[idx].clone()).unwrap_or_default();
+            overlay.set_aux(node, aux);
+        }
+        let mut rng_queries = StdRng::seed_from_u64(config.seed.wrapping_add(2));
+        let mut metrics = QueryMetrics::default();
+        for _ in 0..config.queries {
+            let origin_idx = rng_queries.gen_range(0..config.nodes);
+            let item = per_node_workloads[origin_idx].sample_item(&mut rng_queries);
+            let outcome = overlay.query(node_ids[origin_idx], catalog.key(item));
+            metrics.record(outcome.success, outcome.hops, outcome.failed_probes);
+        }
+        metrics
+    };
+
+    let core_only = measure(&mut overlay, None);
+    let aware = measure(&mut overlay, Some(&aware_sets));
+    let oblivious = measure(&mut overlay, Some(&oblivious_sets));
+    let reduction = reduction_pct(aware.avg_hops(), oblivious.avg_hops());
+
+    StableReport {
+        aware,
+        oblivious,
+        core_only,
+        reduction_pct: reduction,
+    }
+}

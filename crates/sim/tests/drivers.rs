@@ -1,0 +1,197 @@
+//! End-to-end tests of the experiment drivers at toy scale: the paper's
+//! qualitative claims must already show up.
+
+use peercache_pastry::RoutingMode;
+use peercache_sim::{
+    run_churn_once, run_stable, ChurnConfig, OverlayKind, RankingMode, StableConfig, Strategy,
+};
+
+fn pastry_kind() -> OverlayKind {
+    OverlayKind::Pastry {
+        digit_bits: 1,
+        mode: RoutingMode::LocalityAware,
+    }
+}
+
+fn small_stable(kind: OverlayKind, seed: u64) -> StableConfig {
+    let mut c = StableConfig::paper_defaults(kind, 96, seed);
+    c.items = 64;
+    c.queries = 6_000;
+    c
+}
+
+#[test]
+fn stable_chord_aware_beats_oblivious() {
+    let report = run_stable(&small_stable(OverlayKind::Chord, 42));
+    assert_eq!(report.aware.success_rate(), 1.0, "stable mode never fails");
+    assert_eq!(report.oblivious.success_rate(), 1.0);
+    assert!(
+        report.reduction_pct > 10.0,
+        "expected a solid reduction, got {:.1}% (aware {:.3} vs oblivious {:.3})",
+        report.reduction_pct,
+        report.aware.avg_hops(),
+        report.oblivious.avg_hops()
+    );
+}
+
+#[test]
+fn stable_pastry_aware_beats_oblivious() {
+    // Locality-aware routing blunts the per-pointer benefit (§VI-D), so
+    // at toy scale the gap is smaller than Chord's; 5% is already far
+    // outside seed noise here.
+    let report = run_stable(&small_stable(pastry_kind(), 43));
+    assert_eq!(report.aware.success_rate(), 1.0);
+    assert!(
+        report.reduction_pct > 5.0,
+        "expected a solid reduction, got {:.1}%",
+        report.reduction_pct
+    );
+    // Under greedy-prefix routing the same setup shows a larger gap.
+    let greedy = run_stable(&small_stable(
+        OverlayKind::Pastry {
+            digit_bits: 1,
+            mode: RoutingMode::GreedyPrefix,
+        },
+        43,
+    ));
+    assert!(
+        greedy.reduction_pct > 10.0,
+        "greedy-prefix reduction {:.1}%",
+        greedy.reduction_pct
+    );
+}
+
+#[test]
+fn auxiliaries_beat_core_only() {
+    let report = run_stable(&small_stable(OverlayKind::Chord, 44));
+    assert!(report.aware.avg_hops() < report.core_only.avg_hops());
+    assert!(report.oblivious.avg_hops() < report.core_only.avg_hops());
+}
+
+#[test]
+fn stable_runs_are_deterministic() {
+    let a = run_stable(&small_stable(OverlayKind::Chord, 45));
+    let b = run_stable(&small_stable(OverlayKind::Chord, 45));
+    assert_eq!(a.aware.total_hops, b.aware.total_hops);
+    assert_eq!(a.oblivious.total_hops, b.oblivious.total_hops);
+}
+
+#[test]
+fn higher_alpha_gives_larger_reduction() {
+    let mut skewed = small_stable(OverlayKind::Chord, 46);
+    skewed.alpha = 1.2;
+    let mut flat = small_stable(OverlayKind::Chord, 46);
+    flat.alpha = 0.3;
+    let r_skewed = run_stable(&skewed);
+    let r_flat = run_stable(&flat);
+    assert!(
+        r_skewed.reduction_pct > r_flat.reduction_pct,
+        "skew {:.1}% vs flat {:.1}%",
+        r_skewed.reduction_pct,
+        r_flat.reduction_pct
+    );
+}
+
+#[test]
+fn zero_k_means_no_reduction() {
+    let mut c = small_stable(OverlayKind::Chord, 47);
+    c.k = 0;
+    let report = run_stable(&c);
+    assert_eq!(report.aware.total_hops, report.oblivious.total_hops);
+    assert!((report.reduction_pct).abs() < 1e-9);
+}
+
+fn small_churn(seed: u64) -> ChurnConfig {
+    let mut c = ChurnConfig::paper_defaults(64, seed);
+    c.items = 64;
+    c.duration = 900.0;
+    c.warmup = 200.0;
+    c.mean_lifetime = 300.0;
+    c.query_rate = 8.0;
+    c
+}
+
+#[test]
+fn churn_run_completes_with_reasonable_success() {
+    let metrics = run_churn_once(&small_churn(48), Strategy::Aware);
+    assert!(metrics.issued > 1000, "issued {}", metrics.issued);
+    assert!(
+        metrics.success_rate() > 0.80,
+        "success rate {:.3} too low under churn",
+        metrics.success_rate()
+    );
+    assert!(metrics.avg_hops() > 0.0);
+}
+
+#[test]
+fn churn_schedules_are_paired_across_strategies() {
+    // The aware and oblivious runs must issue the same number of queries
+    // (identical churn/query schedules; only selection differs).
+    let aware = run_churn_once(&small_churn(49), Strategy::Aware);
+    let oblivious = run_churn_once(&small_churn(49), Strategy::Oblivious);
+    assert_eq!(aware.issued, oblivious.issued);
+}
+
+#[test]
+fn churn_aware_does_not_lose_to_oblivious() {
+    // At toy scale the gap is noisy; require aware ≤ oblivious + slack.
+    let aware = run_churn_once(&small_churn(50), Strategy::Aware);
+    let oblivious = run_churn_once(&small_churn(50), Strategy::Oblivious);
+    assert!(
+        aware.avg_hops() <= oblivious.avg_hops() * 1.05,
+        "aware {:.3} vs oblivious {:.3}",
+        aware.avg_hops(),
+        oblivious.avg_hops()
+    );
+}
+
+#[test]
+fn churn_runs_are_deterministic() {
+    let a = run_churn_once(&small_churn(51), Strategy::Aware);
+    let b = run_churn_once(&small_churn(51), Strategy::Aware);
+    assert_eq!(a.issued, b.issued);
+    assert_eq!(a.total_hops, b.total_hops);
+    assert_eq!(a.failed, b.failed);
+}
+
+#[test]
+fn stable_driver_covers_tapestry_and_skipgraph() {
+    for kind in [
+        OverlayKind::Tapestry { digit_bits: 1 },
+        OverlayKind::SkipGraph,
+    ] {
+        let report = run_stable(&small_stable(kind, 53));
+        assert_eq!(report.aware.success_rate(), 1.0, "{kind:?}");
+        assert!(
+            report.reduction_pct > 5.0,
+            "{kind:?}: reduction {:.1}%",
+            report.reduction_pct
+        );
+    }
+}
+
+#[test]
+fn churn_driver_covers_tapestry_and_skipgraph() {
+    for kind in [
+        OverlayKind::Tapestry { digit_bits: 1 },
+        OverlayKind::SkipGraph,
+    ] {
+        let mut c = small_churn(54);
+        c.kind = kind;
+        let metrics = run_churn_once(&c, Strategy::Aware);
+        assert!(metrics.issued > 1000, "{kind:?}");
+        assert!(
+            metrics.success_rate() > 0.7,
+            "{kind:?}: success {:.3}",
+            metrics.success_rate()
+        );
+    }
+}
+
+#[test]
+fn pool_rankings_work_in_stable_mode() {
+    let mut c = small_stable(OverlayKind::Chord, 52);
+    c.ranking = RankingMode::Pool(5);
+    let report = run_stable(&c);
+    assert!(report.reduction_pct > 0.0);
+}

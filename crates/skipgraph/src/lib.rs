@@ -1,0 +1,57 @@
+//! A skip-graph overlay simulator.
+//!
+//! The paper notes (§I) that "the techniques for Chord are applicable to
+//! SkipGraphs \[2\]" — this crate demonstrates it. A skip graph (Aspnes &
+//! Shah) arranges nodes in sorted key order; each node draws a random
+//! **membership vector**, and level `i` links every node to its nearest
+//! neighbors (left and right) among the nodes sharing its first `i`
+//! membership bits — so level-`i` neighbors are ~`2^i` positions away in
+//! expectation, the same exponential geometry as Chord fingers, but in
+//! *rank* space rather than id space.
+//!
+//! Search walks toward the target key without overshooting, dropping
+//! levels as it closes in — `O(log n)` hops w.h.p. Auxiliary neighbors
+//! (the paper's contribution) are extra long-range links consulted
+//! exactly like level links (§III-1). The Chord selection algorithm
+//! transfers by running it in rank space: see the `ext_skipgraph`
+//! experiment in `peercache-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+
+pub use network::{NetworkError, SkipGraphConfig, SkipGraphNetwork, SkipNode};
+
+use peercache_id::Id;
+
+/// How a search ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// Terminated at the true owner (the key's predecessor).
+    Success,
+    /// Terminated elsewhere (stale links under churn).
+    WrongOwner(Id),
+    /// Hop budget exhausted (defensive).
+    HopLimit,
+}
+
+/// The result of one search.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// How the search ended.
+    pub outcome: SearchOutcome,
+    /// Successful forwards taken.
+    pub hops: u32,
+    /// Dead neighbors probed (timeouts), not counted as hops.
+    pub failed_probes: u32,
+    /// Nodes visited, starting at the source.
+    pub path: Vec<Id>,
+}
+
+impl SearchResult {
+    /// Whether the search reached the true owner.
+    pub fn is_success(&self) -> bool {
+        self.outcome == SearchOutcome::Success
+    }
+}

@@ -1,0 +1,420 @@
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use peercache_id::{Id, IdSpace};
+
+use crate::{RouteOutcome, RouteResult};
+
+/// Configuration of a Tapestry deployment.
+#[derive(Copy, Clone, Debug)]
+pub struct TapestryConfig {
+    /// The identifier space.
+    pub space: IdSpace,
+    /// Digit width in bits.
+    pub digit_bits: u8,
+    /// Defensive per-route hop budget.
+    pub hop_limit: u32,
+}
+
+impl TapestryConfig {
+    /// A configuration over `space` with digit width `d` and a
+    /// `4·⌈b/d⌉` hop budget.
+    pub fn new(space: IdSpace, digit_bits: u8) -> Self {
+        let digits = space
+            .digit_count(digit_bits)
+            .expect("digit width must fit the id space") as u32;
+        TapestryConfig {
+            space,
+            digit_bits,
+            hop_limit: 4 * digits,
+        }
+    }
+}
+
+/// Errors from membership operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The node id is already live.
+    AlreadyPresent(Id),
+    /// The node id is not live.
+    NotPresent(Id),
+    /// The id does not fit the configured id space.
+    OutOfSpace(Id),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::AlreadyPresent(id) => write!(f, "node {id} already in the overlay"),
+            NetworkError::NotPresent(id) => write!(f, "node {id} not in the overlay"),
+            NetworkError::OutOfSpace(id) => write!(f, "node {id} outside the id space"),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// One Tapestry node: a digit-indexed routing table (no leaf set) plus
+/// auxiliary neighbors.
+#[derive(Clone, Debug)]
+pub struct TapestryNode {
+    /// This node's identifier.
+    pub id: Id,
+    /// `rows[l][c]`: a node sharing exactly `l` leading digits whose
+    /// digit `l` is `c`. The own-digit column is structurally empty.
+    pub rows: Vec<Vec<Option<Id>>>,
+    /// Auxiliary neighbors installed by the selection algorithm.
+    pub aux: Vec<Id>,
+}
+
+impl TapestryNode {
+    fn new(id: Id, digit_count: u8, arity: usize) -> Self {
+        TapestryNode {
+            id,
+            rows: vec![vec![None; arity]; digit_count as usize],
+            aux: Vec::new(),
+        }
+    }
+
+    /// All distinct known nodes (table + auxiliaries, self excluded).
+    pub fn known_neighbors(&self) -> Vec<Id> {
+        let mut out: Vec<Id> = self
+            .rows
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .chain(self.aux.iter().copied())
+            .filter(|&n| n != self.id)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The core neighbors (routing table only) — the `N_s` for selection.
+    pub fn core_neighbors(&self) -> Vec<Id> {
+        let mut out: Vec<Id> = self
+            .rows
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .filter(|&n| n != self.id)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Drop a discovered-dead neighbor.
+    pub fn forget(&mut self, dead: Id) {
+        for row in &mut self.rows {
+            for cell in row.iter_mut() {
+                if *cell == Some(dead) {
+                    *cell = None;
+                }
+            }
+        }
+        self.aux.retain(|&a| a != dead);
+    }
+}
+
+/// The whole simulated Tapestry overlay.
+///
+/// ```
+/// use peercache_id::{Id, IdSpace};
+/// use peercache_tapestry::{TapestryConfig, TapestryNetwork};
+///
+/// let space = IdSpace::new(4).unwrap();
+/// let ids: Vec<Id> = [0b0000u128, 0b0110, 0b1011].map(Id::new).to_vec();
+/// let mut net = TapestryNetwork::build(TapestryConfig::new(space, 1), &ids);
+/// // A key's owner is its surrogate root — the deepest prefix match.
+/// assert_eq!(net.true_owner(Id::new(0b1010)), Some(Id::new(0b1011)));
+/// let res = net.route(Id::new(0b0000), Id::new(0b1010)).unwrap();
+/// assert!(res.is_success());
+/// ```
+pub struct TapestryNetwork {
+    config: TapestryConfig,
+    digit_count: u8,
+    arity: usize,
+    nodes: BTreeMap<u128, TapestryNode>,
+}
+
+impl TapestryNetwork {
+    /// An empty overlay.
+    pub fn new(config: TapestryConfig) -> Self {
+        let digit_count = config
+            .space
+            .digit_count(config.digit_bits)
+            .expect("validated by TapestryConfig");
+        TapestryNetwork {
+            config,
+            digit_count,
+            arity: 1usize << config.digit_bits,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Bootstrap a stable overlay with perfect routing state.
+    ///
+    /// # Panics
+    /// Panics on duplicate or out-of-space ids.
+    pub fn build(config: TapestryConfig, ids: &[Id]) -> Self {
+        let mut net = TapestryNetwork::new(config);
+        for &id in ids {
+            assert!(config.space.contains(id), "node id {id} outside id space");
+            let node = TapestryNode::new(id, net.digit_count, net.arity);
+            assert!(
+                net.nodes.insert(id.value(), node).is_none(),
+                "duplicate node id {id}"
+            );
+        }
+        for &id in ids {
+            net.refresh_from_truth(id);
+        }
+        net
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TapestryConfig {
+        &self.config
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the overlay has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `id` is live.
+    pub fn is_live(&self, id: Id) -> bool {
+        self.nodes.contains_key(&id.value())
+    }
+
+    /// All live node ids in order.
+    pub fn live_ids(&self) -> Vec<Id> {
+        self.nodes.keys().map(|&k| Id::new(k)).collect()
+    }
+
+    /// Immutable view of a node.
+    pub fn node(&self, id: Id) -> Option<&TapestryNode> {
+        self.nodes.get(&id.value())
+    }
+
+    fn digit(&self, id: Id, row: u8) -> usize {
+        self.config
+            .space
+            .digit(id, row, self.config.digit_bits)
+            .expect("row < digit_count") as usize
+    }
+
+    fn lcp(&self, a: Id, b: Id) -> u8 {
+        self.config
+            .space
+            .common_prefix_digits(a, b, self.config.digit_bits)
+            .expect("validated digit width")
+    }
+
+    /// The key's **surrogate root**: resolve digits left to right over the
+    /// live membership; where no survivor matches the key's digit, bump
+    /// the digit cyclically to the next value some survivor has
+    /// (Tapestry's deterministic surrogate rule).
+    pub fn true_owner(&self, key: Id) -> Option<Id> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut survivors: Vec<Id> = self.live_ids();
+        for row in 0..self.digit_count {
+            if survivors.len() == 1 {
+                break;
+            }
+            let want = self.digit(key, row);
+            for offset in 0..self.arity {
+                let v = (want + offset) % self.arity;
+                let next: Vec<Id> = survivors
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.digit(s, row) == v)
+                    .collect();
+                if !next.is_empty() {
+                    survivors = next;
+                    break;
+                }
+            }
+        }
+        survivors.into_iter().min()
+    }
+
+    /// Rebuild a node's routing table from global truth (bootstrap /
+    /// periodic repair). Cell `(l, c)` holds the smallest-id qualifying
+    /// node — the deterministic rule that keeps surrogate roots unique.
+    pub fn refresh_from_truth(&mut self, id: Id) {
+        let mut rows = vec![vec![None; self.arity]; self.digit_count as usize];
+        for &other_raw in self.nodes.keys() {
+            let other = Id::new(other_raw);
+            if other == id {
+                continue;
+            }
+            let l = self.lcp(id, other);
+            if l >= self.digit_count {
+                continue;
+            }
+            let col = self.digit(other, l);
+            let cell: &mut Option<Id> = &mut rows[l as usize][col];
+            // BTreeMap iteration is id-ascending, so first fill wins =
+            // smallest id.
+            if cell.is_none() {
+                *cell = Some(other);
+            }
+        }
+        let node = self.nodes.get_mut(&id.value()).expect("live node");
+        node.rows = rows;
+    }
+
+    /// Repair every node.
+    pub fn repair_all(&mut self) {
+        for id in self.live_ids() {
+            self.refresh_from_truth(id);
+        }
+    }
+
+    /// A node joins (own state perfect; others stale until repair).
+    ///
+    /// # Errors
+    /// [`NetworkError::AlreadyPresent`] / [`NetworkError::OutOfSpace`].
+    pub fn join(&mut self, id: Id) -> Result<(), NetworkError> {
+        if !self.config.space.contains(id) {
+            return Err(NetworkError::OutOfSpace(id));
+        }
+        if self.nodes.contains_key(&id.value()) {
+            return Err(NetworkError::AlreadyPresent(id));
+        }
+        self.nodes.insert(
+            id.value(),
+            TapestryNode::new(id, self.digit_count, self.arity),
+        );
+        self.refresh_from_truth(id);
+        Ok(())
+    }
+
+    /// A node crashes without notice.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`].
+    pub fn fail(&mut self, id: Id) -> Result<(), NetworkError> {
+        self.nodes
+            .remove(&id.value())
+            .map(|_| ())
+            .ok_or(NetworkError::NotPresent(id))
+    }
+
+    /// Install the auxiliary neighbor set (dead entries dropped).
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`].
+    pub fn set_aux(&mut self, id: Id, aux: Vec<Id>) -> Result<(), NetworkError> {
+        let live: Vec<Id> = aux.into_iter().filter(|&a| self.is_live(a)).collect();
+        let node = self
+            .nodes
+            .get_mut(&id.value())
+            .ok_or(NetworkError::NotPresent(id))?;
+        node.aux = live;
+        Ok(())
+    }
+
+    /// Route a query for `key` from `from`.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn route(&mut self, from: Id, key: Id) -> Result<RouteResult, NetworkError> {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        let true_owner = self.true_owner(key).expect("non-empty overlay");
+        let mut current = from;
+        let mut hops = 0u32;
+        let mut failed_probes = 0u32;
+        let mut path = vec![from];
+        loop {
+            if hops >= self.config.hop_limit {
+                return Ok(RouteResult {
+                    outcome: RouteOutcome::HopLimit,
+                    hops,
+                    failed_probes,
+                    path,
+                });
+            }
+            match self.next_hop(current, key) {
+                Some(next) if self.is_live(next) => {
+                    hops += 1;
+                    path.push(next);
+                    current = next;
+                }
+                Some(next) => {
+                    failed_probes += 1;
+                    self.nodes.get_mut(&current.value()).unwrap().forget(next);
+                }
+                None => {
+                    let outcome = if current == true_owner {
+                        RouteOutcome::Success
+                    } else if self.nodes[&current.value()].known_neighbors().is_empty()
+                        && self.len() > 1
+                    {
+                        RouteOutcome::DeadEnd(current)
+                    } else {
+                        RouteOutcome::WrongOwner(current)
+                    };
+                    return Ok(RouteResult {
+                        outcome,
+                        hops,
+                        failed_probes,
+                        path,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The forwarding decision at `current`: auxiliary/table shortcut on
+    /// maximal prefix progress first (§III-1), then the surrogate loop.
+    /// `None` means `current` believes it is the root.
+    fn next_hop(&self, current: Id, key: Id) -> Option<Id> {
+        if current == key {
+            return None;
+        }
+        let node = &self.nodes[&current.value()];
+        let l = self.lcp(current, key);
+        // Prefix-progress candidates (table entries + auxiliaries).
+        let best = node
+            .known_neighbors()
+            .into_iter()
+            .filter(|&w| self.lcp(w, key) > l)
+            .max_by_key(|&w| (self.lcp(w, key), std::cmp::Reverse(w)));
+        if let Some(w) = best {
+            return Some(w);
+        }
+        // Surrogate loop: resolve rows from l; at each row try the key's
+        // digit, then bump cyclically; our own digit means we carry the
+        // row ourselves and move on.
+        for row in l..self.digit_count {
+            let want = self.digit(key, row);
+            let own = self.digit(current, row);
+            for offset in 0..self.arity {
+                let v = (want + offset) % self.arity;
+                if v == own {
+                    break; // current carries this digit; next row
+                }
+                if let Some(w) = node.rows[row as usize][v] {
+                    return Some(w);
+                }
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,187 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A popularity ranking: a permutation from rank (0 = most popular) to
+/// item index, with the inverse kept for `O(1)` lookups both ways.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ranking {
+    /// `order[rank]` = item index.
+    order: Vec<usize>,
+    /// `inverse[item]` = rank.
+    inverse: Vec<usize>,
+}
+
+impl Ranking {
+    /// The identity ranking: item `i` has rank `i`.
+    pub fn identity(n: usize) -> Self {
+        Ranking {
+            order: (0..n).collect(),
+            inverse: (0..n).collect(),
+        }
+    }
+
+    /// Build from an explicit rank → item order.
+    ///
+    /// # Errors
+    /// Returns a description unless `order` is a permutation of `0..n`.
+    pub fn from_order(order: Vec<usize>) -> Result<Self, String> {
+        let n = order.len();
+        let mut inverse = vec![usize::MAX; n];
+        for (rank, &item) in order.iter().enumerate() {
+            if item >= n {
+                return Err(format!("item index {item} out of range 0..{n}"));
+            }
+            if inverse[item] != usize::MAX {
+                return Err(format!("item {item} appears twice"));
+            }
+            inverse[item] = rank;
+        }
+        Ok(Ranking { order, inverse })
+    }
+
+    /// A uniformly random ranking.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        Self::from_order(order).expect("a shuffle is a permutation")
+    }
+
+    /// Number of items ranked.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the ranking is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The item at popularity rank `rank`.
+    pub fn item_at_rank(&self, rank: usize) -> usize {
+        self.order[rank]
+    }
+
+    /// The popularity rank of `item`.
+    pub fn rank_of(&self, item: usize) -> usize {
+        self.inverse[item]
+    }
+}
+
+/// The paper's Chord-side setup: a small pool of distinct rankings (five
+/// in §VI-A), with each node assigned one at random.
+#[derive(Clone, Debug)]
+pub struct RankingAssignment {
+    rankings: Vec<Ranking>,
+    /// Per node index: which pool entry it uses.
+    assignment: Vec<usize>,
+}
+
+impl RankingAssignment {
+    /// Identical ranking at every node (the Pastry plots).
+    pub fn identical(items: usize, nodes: usize) -> Self {
+        RankingAssignment {
+            rankings: vec![Ranking::identity(items)],
+            assignment: vec![0; nodes],
+        }
+    }
+
+    /// `pool` distinct random rankings, one assigned per node at random
+    /// (the Chord plots use `pool = 5`).
+    ///
+    /// # Panics
+    /// Panics when `pool` is zero.
+    pub fn random_pool<R: Rng + ?Sized>(
+        items: usize,
+        nodes: usize,
+        pool: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(pool > 0, "need at least one ranking");
+        let rankings = (0..pool).map(|_| Ranking::random(items, rng)).collect();
+        let assignment = (0..nodes).map(|_| rng.gen_range(0..pool)).collect();
+        RankingAssignment {
+            rankings,
+            assignment,
+        }
+    }
+
+    /// The ranking pool.
+    pub fn rankings(&self) -> &[Ranking] {
+        &self.rankings
+    }
+
+    /// The ranking node `node` uses.
+    pub fn for_node(&self, node: usize) -> &Ranking {
+        &self.rankings[self.assignment[node]]
+    }
+
+    /// The pool index node `node` was assigned (for caching per-ranking
+    /// aggregates).
+    pub fn pool_index(&self, node: usize) -> usize {
+        self.assignment[node]
+    }
+
+    /// Number of nodes assigned.
+    pub fn nodes(&self) -> usize {
+        self.assignment.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_roundtrips() {
+        let r = Ranking::identity(5);
+        for i in 0..5 {
+            assert_eq!(r.item_at_rank(i), i);
+            assert_eq!(r.rank_of(i), i);
+        }
+    }
+
+    #[test]
+    fn from_order_validates_permutations() {
+        assert!(Ranking::from_order(vec![2, 0, 1]).is_ok());
+        assert!(Ranking::from_order(vec![0, 0, 1]).is_err(), "duplicate");
+        assert!(Ranking::from_order(vec![0, 3]).is_err(), "out of range");
+    }
+
+    #[test]
+    fn inverse_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let r = Ranking::random(20, &mut rng);
+        for rank in 0..20 {
+            assert_eq!(r.rank_of(r.item_at_rank(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn random_rankings_differ() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Ranking::random(50, &mut rng);
+        let b = Ranking::random(50, &mut rng);
+        assert_ne!(a, b, "astronomically unlikely to collide");
+    }
+
+    #[test]
+    fn identical_assignment_shares_one_ranking() {
+        let a = RankingAssignment::identical(10, 4);
+        assert_eq!(a.rankings().len(), 1);
+        for node in 0..4 {
+            assert_eq!(a.for_node(node), &Ranking::identity(10));
+        }
+    }
+
+    #[test]
+    fn pool_assignment_uses_every_entry_eventually() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = RankingAssignment::random_pool(10, 200, 5, &mut rng);
+        assert_eq!(a.rankings().len(), 5);
+        assert_eq!(a.nodes(), 200);
+        let used: std::collections::HashSet<usize> = a.assignment.iter().copied().collect();
+        assert_eq!(used.len(), 5, "200 nodes over 5 rankings hit all");
+    }
+}

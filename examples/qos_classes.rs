@@ -1,0 +1,145 @@
+//! Multiple QoS classes (paper contribution 2, §IV-D / §V-C).
+//!
+//! "QoS-sensitive applications such as VoIP, IPTV, and video on demand …
+//! require certain queries to be answered within a fixed time period and
+//! hence within a certain number of hops."
+//!
+//! A media gateway serves three traffic classes against the same Chord
+//! ring:
+//! * **signalling** (VoIP session setup): must resolve in ≤ 2 hops,
+//! * **streaming** (IPTV channel lookup): must resolve in ≤ 3 hops,
+//! * **bulk** (background sync): best effort.
+//!
+//! The example shows that (1) the unconstrained optimum violates the
+//! bounds, (2) the QoS-aware selection meets every bound at slightly
+//! higher average cost, and (3) infeasible budgets are reported exactly.
+//!
+//! Run with `cargo run --release --example qos_classes`.
+
+use peercache::select::chord::{select_fast, select_naive};
+use peercache::select::cost::{chord_qos_satisfied, chord_set_distance};
+use peercache::workload::random_ids;
+use peercache::{Candidate, ChordProblem, Id, IdSpace, SelectError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Copy, Clone, Debug, PartialEq)]
+enum Class {
+    Signalling, // ≤ 2 hops
+    Streaming,  // ≤ 3 hops
+    Bulk,       // unconstrained
+}
+
+impl Class {
+    fn max_hops(self) -> Option<u32> {
+        match self {
+            Class::Signalling => Some(2),
+            Class::Streaming => Some(3),
+            Class::Bulk => None,
+        }
+    }
+}
+
+fn main() {
+    let space = IdSpace::paper();
+    let mut rng = StdRng::seed_from_u64(17);
+    let ids = random_ids(space, 200, &mut rng);
+    let me = ids[0];
+    let core: Vec<Id> = ids[1..9].to_vec();
+
+    // 60 observed peers; a few carry QoS classes, the rest are bulk.
+    let classes = |i: usize| match i % 20 {
+        0 => Class::Signalling,
+        1 | 2 => Class::Streaming,
+        _ => Class::Bulk,
+    };
+    // Bulk weights dominate, so an unconstrained optimiser ignores the
+    // small QoS flows entirely.
+    let weight = |i: usize, class: Class| match class {
+        Class::Signalling | Class::Streaming => 1.0,
+        Class::Bulk => 50.0 + (i % 7) as f64 * 10.0,
+    };
+    let candidates: Vec<Candidate> = ids[9..69]
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let class = classes(i);
+            Candidate {
+                id,
+                weight: weight(i, class),
+                max_hops: class.max_hops(),
+            }
+        })
+        .collect();
+    let constrained = candidates.iter().filter(|c| c.max_hops.is_some()).count();
+    println!(
+        "{} candidates, {} with QoS bounds (signalling ≤2 hops, streaming ≤3)",
+        candidates.len(),
+        constrained
+    );
+
+    // 1. Unconstrained optimum: strip the bounds.
+    let unconstrained: Vec<Candidate> = candidates
+        .iter()
+        .map(|c| Candidate::new(c.id, c.weight))
+        .collect();
+    let k = 12;
+    let plain_problem = ChordProblem::new(space, me, core.clone(), unconstrained, k).unwrap();
+    let plain = select_fast(&plain_problem).unwrap();
+    let qos_problem = ChordProblem::new(space, me, core.clone(), candidates.clone(), k).unwrap();
+    let plain_ok = chord_qos_satisfied(&qos_problem, &plain.aux);
+    println!(
+        "\nunconstrained optimum: cost {:.0}, meets all bounds: {plain_ok}",
+        plain.cost
+    );
+    assert!(!plain_ok, "bulk-dominated optimum should violate a bound");
+
+    // 2. QoS-aware selection (both solvers agree).
+    let qos = select_fast(&qos_problem).unwrap();
+    let qos_naive = select_naive(&qos_problem).unwrap();
+    assert!((qos.cost - qos_naive.cost).abs() < 1e-6);
+    assert!(chord_qos_satisfied(&qos_problem, &qos.aux));
+    println!(
+        "QoS-aware optimum:     cost {:.0} (+{:.1}% vs unconstrained), meets all bounds: true",
+        qos.cost,
+        (qos.cost - plain.cost) / plain.cost * 100.0
+    );
+    for cand in candidates.iter().filter(|c| c.max_hops.is_some()) {
+        let mut neighbors = core.clone();
+        neighbors.extend_from_slice(&qos.aux);
+        let hops = 1 + chord_set_distance(space, me, cand.id, &neighbors);
+        println!(
+            "  class peer {}: bound {} hops, guaranteed {} hops",
+            cand.id,
+            cand.max_hops.unwrap(),
+            hops
+        );
+        assert!(hops <= cand.max_hops.unwrap());
+    }
+
+    // 3. Starve the budget: the error reports the minimum feasible k.
+    let tight = ChordProblem::new(
+        space,
+        me,
+        vec![],
+        candidates
+            .iter()
+            .map(|c| Candidate {
+                id: c.id,
+                weight: c.weight,
+                max_hops: Some(1), // everyone demands a direct pointer
+            })
+            .take(10)
+            .collect(),
+        4,
+    )
+    .unwrap();
+    match select_fast(&tight) {
+        Err(SelectError::QosInfeasible { required, k }) => {
+            println!(
+                "\nwith every peer demanding 1 hop and k = {k}: infeasible, needs ≥ {required} pointers"
+            );
+        }
+        other => panic!("expected infeasibility, got {other:?}"),
+    }
+}
