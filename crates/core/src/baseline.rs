@@ -74,10 +74,12 @@ pub fn chord_oblivious<R: Rng + ?Sized>(problem: &ChordProblem, rng: &mut R) -> 
 pub fn pastry_oblivious<R: Rng + ?Sized>(problem: &PastryProblem, rng: &mut R) -> Selection {
     let mut slices: BTreeMap<u32, Vec<Id>> = BTreeMap::new();
     for cand in &problem.candidates {
-        let slice = problem
-            .space
-            .common_prefix_digits(cand.id, problem.source, problem.digit_bits)
-            .expect("validated digit width") as u32;
+        let slice = u32::from(
+            problem
+                .space
+                .common_prefix_digits(cand.id, problem.source, problem.digit_bits)
+                .expect("validated digit width"),
+        );
         slices.entry(slice).or_default().push(cand.id);
     }
     let aux = slice_balanced(slices, problem.effective_k(), rng);

@@ -17,6 +17,7 @@
 //!    the inequality since `s(j, ·)` hits ∞ no later than `s(j', ·)` …
 //!    see `quadrangle_inequality_holds` in the crate tests.
 
+use crate::cast;
 use crate::chord::naive::{selection_from, DpResult};
 use crate::chord::oracle::SegmentOracle;
 use crate::chord::ring::RingView;
@@ -52,7 +53,7 @@ fn layer_dc(oracle: &SegmentOracle<'_>, g: &[f64], cur: &mut [f64], ch: &mut [u3
             }
         }
         cur[mid] = best;
-        ch[mid] = best_j as u32;
+        ch[mid] = cast::index_to_u32(best_j);
         if best_j == 0 {
             // Row infeasible: no information about the argmin; keep the
             // full column range on both sides.
@@ -112,12 +113,16 @@ pub fn select_schedule(problem: &ChordProblem) -> Result<Vec<(usize, Selection)>
     let oracle = SegmentOracle::new(&ring);
     let k = problem.effective_k();
     let dp = solve_fast(&ring, &oracle, k);
+    #[cfg(feature = "check-invariants")]
+    crate::invariants::assert_chord_fast_matches_naive(&ring, &dp, k);
     let mut out = Vec::with_capacity(k + 1);
     for i in 0..=k {
         if let Ok(sel) = selection_from(&ring, &dp, i) {
             out.push((i, sel));
         }
     }
+    #[cfg(feature = "check-invariants")]
+    crate::invariants::assert_schedule_costs_monotone(&out);
     Ok(out)
 }
 
@@ -133,6 +138,8 @@ pub fn select_fast(problem: &ChordProblem) -> Result<Selection, SelectError> {
     let oracle = SegmentOracle::new(&ring);
     let k = problem.effective_k();
     let mut dp = solve_fast(&ring, &oracle, k);
+    #[cfg(feature = "check-invariants")]
+    crate::invariants::assert_chord_fast_matches_naive(&ring, &dp, k);
     let n = ring.len();
     if n > 0 && !dp.layers[k][n].is_finite() {
         let mut i = k;

@@ -10,7 +10,7 @@
 //! Both honour per-candidate QoS delay bounds (§V-C).
 
 mod fast;
-mod naive;
+pub(crate) mod naive;
 pub(crate) mod oracle;
 pub(crate) mod ring;
 

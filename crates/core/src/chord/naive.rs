@@ -9,6 +9,7 @@
 
 use peercache_id::Id;
 
+use crate::cast;
 use crate::chord::ring::RingView;
 use crate::problem::{ChordProblem, SelectError, Selection};
 
@@ -63,7 +64,7 @@ pub(crate) fn solve_naive(ring: &RingView, k: usize) -> DpResult {
                         }
                     }
                     if valid {
-                        s += ring.weight[l] * ring.dist_via(j - 1, l) as f64;
+                        s += ring.weight[l] * f64::from(ring.dist_via(j - 1, l));
                     }
                 }
                 if !valid {
@@ -72,7 +73,7 @@ pub(crate) fn solve_naive(ring: &RingView, k: usize) -> DpResult {
                 let total = base + s;
                 if total < cur[m] {
                     cur[m] = total;
-                    ch[m] = j as u32;
+                    ch[m] = cast::index_to_u32(j);
                 }
             }
         }
@@ -87,7 +88,7 @@ pub(crate) fn backtrack(dp: &DpResult, i: usize, n: usize) -> Vec<usize> {
     let mut ranks = Vec::with_capacity(i);
     let (mut i, mut m) = (i, n);
     while i > 0 {
-        let j = dp.choice[i][m] as usize;
+        let j = cast::index_from_u32(dp.choice[i][m]);
         debug_assert!(j >= 1, "backtracking a feasible cell");
         ranks.push(j - 1); // to 0-indexed rank
         m = j - 1;
@@ -124,8 +125,8 @@ pub(crate) fn selection_from(
     // caller how many pointers the QoS bounds demand.
     let required = dp.layers.iter().position(|row| row[n].is_finite());
     Err(SelectError::QosInfeasible {
-        required: required.map(|r| r as u32).unwrap_or(u32::MAX),
-        k: k as u32,
+        required: required.map_or(u32::MAX, cast::index_to_u32),
+        k: cast::index_to_u32(k),
     })
 }
 

@@ -14,6 +14,7 @@
 //! prefix-summed run of whole core segments, and one partial segment from
 //! the last core — a handful of binary searches in total.
 
+use crate::cast;
 use crate::chord::ring::{bitlen, RingView};
 
 /// Range-maximum sparse table over the QoS thresholds, so "is `s(j, m)`
@@ -25,16 +26,18 @@ struct SparseMax {
 impl SparseMax {
     fn new(values: &[u128]) -> Self {
         let n = values.len();
-        let mut rows = vec![values.to_vec()];
+        let mut rows = Vec::new();
+        let mut prev = values.to_vec();
         let mut width = 1;
         while width * 2 <= n {
-            let prev = rows.last().unwrap();
             let next: Vec<u128> = (0..=n - width * 2)
                 .map(|i| prev[i].max(prev[i + width]))
                 .collect();
-            rows.push(next);
+            rows.push(prev);
+            prev = next;
             width *= 2;
         }
+        rows.push(prev);
         SparseMax { rows }
     }
 
@@ -43,7 +46,7 @@ impl SparseMax {
         if lo >= hi {
             return 0;
         }
-        let level = (usize::BITS - 1 - (hi - lo).leading_zeros()) as usize;
+        let level = cast::usize_from_u32(usize::BITS - 1 - (hi - lo).leading_zeros());
         let width = 1usize << level;
         self.rows[level][lo].max(self.rows[level][hi - width])
     }
@@ -57,16 +60,15 @@ struct AnchorTables {
 
 impl AnchorTables {
     fn build(ring: &RingView, anchors: &[u128]) -> Self {
-        let bits = ring.bits as usize;
-        let stride = bits + 1;
+        let stride = cast::usize_from_u32(ring.bits) + 1;
         let mut pcount = Vec::with_capacity(anchors.len() * stride);
         let mut wsum = Vec::with_capacity(anchors.len() * stride);
         for &a in anchors {
             let mut prev_count = ring.dist.partition_point(|&d| d <= a);
-            pcount.push(prev_count as u32);
+            pcount.push(cast::index_to_u32(prev_count));
             wsum.push(0.0);
             let mut acc = 0.0;
-            for r in 1..=bits {
+            for r in 1..=ring.bits {
                 let span = if r >= 128 {
                     u128::MAX
                 } else {
@@ -74,8 +76,8 @@ impl AnchorTables {
                 };
                 let reach = a.saturating_add(span);
                 let count = ring.dist.partition_point(|&d| d <= reach);
-                acc += r as f64 * (ring.prefix_w[count] - ring.prefix_w[prev_count]);
-                pcount.push(count as u32);
+                acc += f64::from(r) * (ring.prefix_w[count] - ring.prefix_w[prev_count]);
+                pcount.push(cast::index_to_u32(count));
                 wsum.push(acc);
                 prev_count = count;
             }
@@ -97,8 +99,10 @@ pub(crate) struct SegmentOracle<'a> {
 }
 
 impl<'a> SegmentOracle<'a> {
+    /// Precompute the anchor tables for `ring` (`O(n·b)` space, built in
+    /// `O(n·b)` time); afterwards every [`s`](Self::s) query is `O(log n)`.
     pub fn new(ring: &'a RingView) -> Self {
-        let stride = ring.bits as usize + 1;
+        let stride = cast::usize_from_u32(ring.bits) + 1;
         let cand = AnchorTables::build(ring, &ring.dist);
         let core = AnchorTables::build(ring, &ring.core_dist);
         let n = ring.len();
@@ -145,14 +149,15 @@ impl<'a> SegmentOracle<'a> {
             anchor_dist <= self.ring.dist[m0],
             "anchor must not lie past the segment end"
         );
-        let d = bitlen(self.ring.dist[m0] - anchor_dist) as usize;
-        if d == 0 {
+        let d_bits = bitlen(self.ring.dist[m0] - anchor_dist);
+        if d_bits == 0 {
             return 0.0;
         }
+        let d = cast::usize_from_u32(d_bits);
         let base = idx * self.stride;
         let inner = tables.wsum[base + d - 1];
-        let covered = tables.pcount[base + d - 1] as usize;
-        inner + d as f64 * (self.ring.prefix_w[m0 + 1] - self.ring.prefix_w[covered])
+        let covered = cast::index_from_u32(tables.pcount[base + d - 1]);
+        inner + f64::from(d_bits) * (self.ring.prefix_w[m0 + 1] - self.ring.prefix_w[covered])
     }
 
     fn pure_from_cand(&self, j0: usize, m0: usize) -> f64 {

@@ -46,9 +46,12 @@ pub(crate) struct RingView {
 }
 
 impl RingView {
+    /// Re-base the problem around the source node: sort candidates by
+    /// clockwise distance and precompute the distance, weight-prefix and
+    /// QoS tables the DP recurrences consume.
     pub fn new(problem: &ChordProblem) -> Result<Self, SelectError> {
         let space = problem.space;
-        let bits = space.bits() as u32;
+        let bits = u32::from(space.bits());
         let mut order: Vec<usize> = (0..problem.candidates.len()).collect();
         let cand_dist: Vec<u128> = problem
             .candidates
@@ -71,8 +74,10 @@ impl RingView {
 
         let mut prefix_w = Vec::with_capacity(n + 1);
         prefix_w.push(0.0);
+        let mut acc_w = 0.0;
         for &w in &weight {
-            prefix_w.push(prefix_w.last().unwrap() + w);
+            acc_w += w;
+            prefix_w.push(acc_w);
         }
 
         let mut core_dist: Vec<u128> = problem
@@ -132,7 +137,7 @@ impl RingView {
                 acc = f64::INFINITY;
             }
             if acc.is_finite() {
-                acc += weight[r] * dcore[r] as f64;
+                acc += weight[r] * f64::from(dcore[r]);
             }
             c0.push(acc);
         }
@@ -157,7 +162,8 @@ impl RingView {
 
     /// Total candidate weight `Σ_v f_v`.
     pub fn total_weight(&self) -> f64 {
-        *self.prefix_w.last().unwrap()
+        // `prefix_w` always holds at least the leading 0.0 sentinel.
+        self.prefix_w.last().copied().unwrap_or(0.0)
     }
 
     /// Hop estimate for target rank `l` with the nearest auxiliary pointer

@@ -14,9 +14,11 @@ use crate::problem::{Candidate, ChordProblem, PastryProblem};
 /// full digit count (nothing is known about `v`, routing may fix every
 /// digit).
 pub fn pastry_set_distance(space: IdSpace, digit_bits: u8, v: Id, set: &[Id]) -> u32 {
-    let max = space
-        .digit_count(digit_bits)
-        .expect("validated digit width") as u32;
+    let max = u32::from(
+        space
+            .digit_count(digit_bits)
+            .expect("validated digit width"),
+    );
     set.iter()
         .map(|&w| {
             space
@@ -51,7 +53,7 @@ where
 {
     candidates
         .iter()
-        .map(|c| c.weight * (1.0 + dist(c.id) as f64))
+        .map(|c| c.weight * (1.0 + f64::from(dist(c.id))))
         .sum()
 }
 

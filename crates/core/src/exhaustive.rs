@@ -6,6 +6,7 @@
 
 use peercache_id::Id;
 
+use crate::cast;
 use crate::cost::{chord_cost, chord_qos_satisfied, pastry_cost, pastry_qos_satisfied};
 use crate::problem::{ChordProblem, PastryProblem, SelectError, Selection};
 
@@ -85,7 +86,7 @@ where
             debug_assert!(!any_feasible);
             Err(SelectError::QosInfeasible {
                 required: u32::MAX,
-                k: k as u32,
+                k: cast::index_to_u32(k),
             })
         }
     }

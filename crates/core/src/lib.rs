@@ -59,9 +59,12 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub(crate) mod cast;
 pub mod chord;
 pub mod cost;
 pub mod exhaustive;
+#[cfg(feature = "check-invariants")]
+pub(crate) mod invariants;
 pub mod pastry;
 mod problem;
 

@@ -8,6 +8,7 @@
 
 use peercache_id::Id;
 
+use crate::cast;
 use crate::pastry::trie::Trie;
 use crate::problem::{PastryProblem, SelectError, Selection};
 
@@ -88,7 +89,11 @@ fn solve(trie: &Trie, v: u32, k: usize) -> Table {
 fn refresh_aggregates(trie: &mut Trie) {
     for v in trie.post_order() {
         let (weight, cand, core) = match &trie.vertex(v).leaf {
-            Some(leaf) => (leaf.weight, !leaf.is_core as u32, leaf.is_core as u32),
+            Some(leaf) => (
+                leaf.weight,
+                u32::from(!leaf.is_core),
+                u32::from(leaf.is_core),
+            ),
             None => {
                 let mut acc = (0.0, 0, 0);
                 for (_, c) in trie.children_of(v) {
@@ -130,11 +135,10 @@ pub fn select_dp(problem: &PastryProblem) -> Result<Selection, SelectError> {
             .costs
             .iter()
             .position(|c| c.is_finite())
-            .map(|j| j as u32)
-            .unwrap_or(u32::MAX);
+            .map_or(u32::MAX, cast::index_to_u32);
         return Err(SelectError::QosInfeasible {
             required,
-            k: k as u32,
+            k: cast::index_to_u32(k),
         });
     }
     let mut aux = table.sets[k].clone();

@@ -13,6 +13,7 @@
 
 use peercache_id::Id;
 
+use crate::cast;
 use crate::pastry::trie::{Trie, NONE};
 use crate::problem::{Candidate, PastryProblem, SelectError, Selection};
 
@@ -118,14 +119,14 @@ impl PastryOptimizer {
     /// Recompute aggregates and solver state of `v` from its children
     /// (which must already be resolved) or its leaf payload.
     fn resolve_vertex(&mut self, v: u32) {
-        let k = self.k as u32;
+        let k = u32::try_from(self.k).unwrap_or(u32::MAX);
         // Leaf vertices have no children by construction (full-depth trie).
         if let Some(leaf) = self.trie.vertex(v).leaf.clone() {
             debug_assert!(self.trie.children_of(v).next().is_none());
             let vert = self.trie.vertex_mut(v);
             vert.weight = leaf.weight;
-            vert.core_count = leaf.is_core as u32;
-            vert.cand_count = !leaf.is_core as u32;
+            vert.core_count = u32::from(leaf.is_core);
+            vert.cand_count = u32::from(!leaf.is_core);
             vert.base = 0;
             // A marked leaf must itself be a neighbor.
             vert.req = if vert.mark_count > 0 && !leaf.is_core {
@@ -139,8 +140,8 @@ impl PastryOptimizer {
                 vert.costs.clear();
                 vert.alloc.clear();
             } else {
-                vert.costs = vec![0.0; cap as usize + 1];
-                vert.alloc = vec![0; cap as usize];
+                vert.costs = vec![0.0; cast::usize_from_u32(cap) + 1];
+                vert.alloc = vec![0; cast::usize_from_u32(cap)];
             }
             return;
         }
@@ -202,7 +203,7 @@ impl PastryOptimizer {
         for (i, &(_, c)) in children.iter().enumerate() {
             cost += d_of(&self.trie, c, t_child[i]);
         }
-        let steps = (cap - base) as usize;
+        let steps = cast::usize_from_u32(cap - base);
         let mut costs = Vec::with_capacity(steps + 1);
         let mut alloc = Vec::with_capacity(steps);
         costs.push(cost);
@@ -259,20 +260,24 @@ impl PastryOptimizer {
         if root.impossible {
             return Err(SelectError::QosInfeasible {
                 required: u32::MAX,
-                k: j.min(u32::MAX as usize) as u32,
+                k: u32::try_from(j).unwrap_or(u32::MAX),
             });
         }
-        let j_eff = (j as u64).min(root.cand_count as u64).min(self.k as u64) as u32;
+        // min(j, k) clamped into u32 first; the result is then capped by
+        // cand_count, which is already a u32.
+        let j_eff = root
+            .cand_count
+            .min(u32::try_from(j.min(self.k)).unwrap_or(u32::MAX));
         if j_eff < root.req || root.costs.is_empty() {
             return Err(SelectError::QosInfeasible {
                 required: root.req,
                 k: j_eff,
             });
         }
-        let mut aux = Vec::with_capacity(j_eff as usize);
+        let mut aux = Vec::with_capacity(cast::usize_from_u32(j_eff));
         self.collect(Trie::ROOT, j_eff, &mut aux);
         aux.sort();
-        debug_assert_eq!(aux.len(), j_eff as usize);
+        debug_assert_eq!(aux.len(), cast::usize_from_u32(j_eff));
         let cost = self.total_weight() + root.cost_at(j_eff);
         Ok(Selection { aux, cost })
     }
@@ -304,6 +309,11 @@ impl PastryOptimizer {
                 out.push((j, sel));
             }
         }
+        #[cfg(feature = "check-invariants")]
+        {
+            crate::invariants::assert_schedule_costs_monotone(&out);
+            crate::invariants::assert_schedule_selections_nested(&out);
+        }
         out
     }
 
@@ -319,7 +329,7 @@ impl PastryOptimizer {
             return;
         }
         // Per-child totals: forced requirement + greedy allocations.
-        let extra = (t - vert.base) as usize;
+        let extra = cast::usize_from_u32(t - vert.base);
         let mut per_slot: Vec<(u16, u32)> = self
             .trie
             .children_of(v)
@@ -334,7 +344,7 @@ impl PastryOptimizer {
         }
         for (slot, count) in per_slot {
             if count > 0 {
-                let child = self.trie.vertex(v).children[slot as usize];
+                let child = self.trie.vertex(v).children[usize::from(slot)];
                 debug_assert_ne!(child, NONE);
                 self.collect(child, count, out);
             }
@@ -469,5 +479,8 @@ impl PastryOptimizer {
 /// [`SelectError::InvalidProblem`] on malformed input;
 /// [`SelectError::QosInfeasible`] when delay bounds cannot be met.
 pub fn select_greedy(problem: &PastryProblem) -> Result<Selection, SelectError> {
-    PastryOptimizer::new(problem)?.select()
+    let selection = PastryOptimizer::new(problem)?.select()?;
+    #[cfg(feature = "check-invariants")]
+    crate::invariants::assert_greedy_matches_dp(problem, &selection);
+    Ok(selection)
 }

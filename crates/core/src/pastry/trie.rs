@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use peercache_id::{Id, IdSpace};
 
+use crate::cast;
 use crate::problem::SelectError;
 
 /// Sentinel for "no vertex".
@@ -94,13 +95,13 @@ impl Vertex {
         if self.costs.is_empty() {
             None
         } else {
-            Some(self.base + self.costs.len() as u32 - 1)
+            Some(self.base + cast::index_to_u32(self.costs.len()) - 1)
         }
     }
 
     /// `C(T_a, t)` — only valid for `t` within `[base, cap]`.
     pub(crate) fn cost_at(&self, t: u32) -> f64 {
-        self.costs[(t - self.base) as usize]
+        self.costs[cast::usize_from_u32(t - self.base)]
     }
 }
 
@@ -118,6 +119,8 @@ pub(crate) struct Trie {
 }
 
 impl Trie {
+    /// An empty trie over `space` with `2^digit_bits`-ary branching;
+    /// fails when the digit width does not divide the id width.
     pub fn new(space: IdSpace, digit_bits: u8) -> Result<Self, SelectError> {
         let digit_count = space
             .digit_count(digit_bits)
@@ -135,16 +138,20 @@ impl Trie {
         })
     }
 
+    /// Index of the root vertex (always allocated, never freed).
     pub const ROOT: u32 = 0;
 
+    /// The vertex at index `v`; panics on a dangling index.
     pub fn vertex(&self, v: u32) -> &Vertex {
-        &self.vertices[v as usize]
+        &self.vertices[cast::index_from_u32(v)]
     }
 
+    /// Mutable access to the vertex at index `v`.
     pub fn vertex_mut(&mut self, v: u32) -> &mut Vertex {
-        &mut self.vertices[v as usize]
+        &mut self.vertices[cast::index_from_u32(v)]
     }
 
+    /// The leaf vertex currently holding candidate `id`, if present.
     pub fn leaf_vertex(&self, id: Id) -> Option<u32> {
         self.leaves.get(&id).copied()
     }
@@ -158,11 +165,11 @@ impl Trie {
         let arity = self.arity;
         match self.free.pop() {
             Some(idx) => {
-                self.vertices[idx as usize] = Vertex::new(parent, slot, depth, arity);
+                self.vertices[cast::index_from_u32(idx)] = Vertex::new(parent, slot, depth, arity);
                 idx
             }
             None => {
-                let idx = self.vertices.len() as u32;
+                let idx = cast::index_to_u32(self.vertices.len());
                 self.vertices.push(Vertex::new(parent, slot, depth, arity));
                 idx
             }
@@ -190,17 +197,18 @@ impl Trie {
             let digit = self
                 .space
                 .digit(id, depth, self.digit_bits)
-                .expect("depth < digit_count") as usize;
-            let child = self.vertices[v as usize].children[digit];
+                .expect("depth < digit_count and digit width ≤ 16");
+            let digit_idx = usize::from(digit);
+            let child = self.vertices[cast::index_from_u32(v)].children[digit_idx];
             v = if child == NONE {
-                let c = self.alloc_vertex(v, digit as u16, depth + 1);
-                self.vertices[v as usize].children[digit] = c;
+                let c = self.alloc_vertex(v, digit, depth + 1);
+                self.vertices[cast::index_from_u32(v)].children[digit_idx] = c;
                 c
             } else {
                 child
             };
         }
-        self.vertices[v as usize].leaf = Some(Leaf {
+        self.vertices[cast::index_from_u32(v)].leaf = Some(Leaf {
             id,
             weight,
             is_core,
@@ -210,7 +218,7 @@ impl Trie {
         if let Some(bound) = max_hops {
             let mark = self.mark_vertex_for(v, bound);
             if let Some(m) = mark {
-                self.vertices[m as usize].mark_count += 1;
+                self.vertices[cast::index_from_u32(m)].mark_count += 1;
             }
         }
         Ok(v)
@@ -222,12 +230,12 @@ impl Trie {
     fn mark_vertex_for(&self, leaf: u32, max_hops: u32) -> Option<u32> {
         debug_assert!(max_hops >= 1);
         let allowed = max_hops - 1;
-        if allowed >= self.digit_count as u32 {
+        if allowed >= u32::from(self.digit_count) {
             return None;
         }
         let mut v = leaf;
         for _ in 0..allowed {
-            v = self.vertices[v as usize].parent;
+            v = self.vertices[cast::index_from_u32(v)].parent;
             debug_assert_ne!(v, NONE);
         }
         Some(v)
@@ -244,20 +252,20 @@ impl Trie {
             .leaves
             .remove(&id)
             .ok_or_else(|| SelectError::InvalidProblem(format!("leaf {id} not present in trie")))?;
-        let leaf = self.vertices[v as usize]
+        let leaf = self.vertices[cast::index_from_u32(v)]
             .leaf
             .take()
             .expect("leaf map points at leaf vertices");
         if let Some(bound) = leaf.max_hops {
             if let Some(m) = self.mark_vertex_for(v, bound) {
-                debug_assert!(self.vertices[m as usize].mark_count > 0);
-                self.vertices[m as usize].mark_count -= 1;
+                debug_assert!(self.vertices[cast::index_from_u32(m)].mark_count > 0);
+                self.vertices[cast::index_from_u32(m)].mark_count -= 1;
             }
         }
         // Prune upward while a vertex has no leaf, no children, and no marks.
         let mut cur = v;
         loop {
-            let vert = &self.vertices[cur as usize];
+            let vert = &self.vertices[cast::index_from_u32(cur)];
             let prunable = vert.leaf.is_none()
                 && vert.mark_count == 0
                 && vert.children.iter().all(|&c| c == NONE)
@@ -266,8 +274,8 @@ impl Trie {
                 return Ok(cur);
             }
             let parent = vert.parent;
-            let slot = vert.slot as usize;
-            self.vertices[parent as usize].children[slot] = NONE;
+            let slot = usize::from(vert.slot);
+            self.vertices[cast::index_from_u32(parent)].children[slot] = NONE;
             self.free.push(cur);
             cur = parent;
         }
@@ -275,21 +283,21 @@ impl Trie {
 
     /// Iterate the live children of `v`.
     pub fn children_of(&self, v: u32) -> impl Iterator<Item = (u16, u32)> + '_ {
-        self.vertices[v as usize]
+        self.vertices[cast::index_from_u32(v)]
             .children
             .iter()
             .enumerate()
             .filter(|(_, &c)| c != NONE)
-            .map(|(slot, &c)| (slot as u16, c))
+            .map(|(slot, &c)| (cast::slot_to_u16(slot), c))
     }
 
     /// Vertices from `v` (inclusive) up to the root (inclusive).
     pub fn path_to_root(&self, v: u32) -> Vec<u32> {
-        let mut path = Vec::with_capacity(self.digit_count as usize + 1);
+        let mut path = Vec::with_capacity(usize::from(self.digit_count) + 1);
         let mut cur = v;
         while cur != NONE {
             path.push(cur);
-            cur = self.vertices[cur as usize].parent;
+            cur = self.vertices[cast::index_from_u32(cur)].parent;
         }
         path
     }
@@ -313,7 +321,7 @@ impl Trie {
 
     /// Total candidate weight in the trie (root aggregate).
     pub fn total_weight(&self) -> f64 {
-        self.vertices[Self::ROOT as usize].weight
+        self.vertices[cast::index_from_u32(Self::ROOT)].weight
     }
 }
 

@@ -184,6 +184,14 @@ impl PastryProblem {
         space
             .digit_count(digit_bits)
             .map_err(|e| SelectError::InvalidProblem(e.to_string()))?;
+        if digit_bits > 16 {
+            // Digits are represented as u16 and each trie vertex holds 2^d
+            // child slots; wider digits are never useful and would overflow
+            // both representations.
+            return Err(SelectError::InvalidProblem(format!(
+                "digit width {digit_bits} exceeds the supported maximum of 16 bits"
+            )));
+        }
         validate_common(space, source, &core, &candidates)?;
         Ok(PastryProblem {
             space,
@@ -359,6 +367,14 @@ mod tests {
     fn rejects_invalid_digit_bits() {
         let e = PastryProblem::new(space(), 0, id(0), vec![], vec![], 1).unwrap_err();
         assert!(matches!(e, SelectError::InvalidProblem(_)));
+    }
+
+    #[test]
+    fn rejects_digit_bits_beyond_u16() {
+        let wide = IdSpace::new(64).unwrap();
+        let e = PastryProblem::new(wide, 17, id(0), vec![], vec![], 1).unwrap_err();
+        assert!(matches!(e, SelectError::InvalidProblem(_)));
+        assert!(PastryProblem::new(wide, 16, id(0), vec![], vec![], 1).is_ok());
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Checked narrowing conversions for the id-space bit arithmetic.
+//!
+//! `IdSpace` works over `u128` words but reports bit positions as `u8` and
+//! digits as `u16`. The narrowings below are provably in range at every call
+//! site (the comments on each call site say why); routing them through
+//! `TryFrom` here keeps bare `as` casts out of `crates/id`, where
+//! `peercache-lint` rule L2 rejects them.
+
+/// Narrow a bit count in `0..=128` to `u8`.
+#[inline]
+pub(crate) fn u8_from_u32(value: u32) -> u8 {
+    u8::try_from(value).expect("bit counts are at most 128 and fit u8")
+}
+
+/// Narrow a masked digit value to the `u16` digit representation.
+#[inline]
+pub(crate) fn u16_from_u128(value: u128) -> u16 {
+    u16::try_from(value).expect("digit values are masked to at most 16 bits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_convert() {
+        assert_eq!(u8_from_u32(0), 0);
+        assert_eq!(u8_from_u32(128), 128);
+        assert_eq!(u16_from_u128(0xffff), 0xffff);
+    }
+}

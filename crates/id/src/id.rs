@@ -41,7 +41,7 @@ impl From<u128> for Id {
 impl From<u64> for Id {
     #[inline]
     fn from(value: u64) -> Self {
-        Id(value as u128)
+        Id(u128::from(value))
     }
 }
 

@@ -1,3 +1,4 @@
+use crate::convert;
 use crate::{Id, IdError};
 
 /// A circular identifier space of `b`-bit ids (`1 ≤ b ≤ 128`).
@@ -30,7 +31,7 @@ impl IdSpace {
     /// Returns [`IdError::InvalidBits`] unless `1 ≤ bits ≤ 128`.
     pub fn new(bits: u8) -> Result<Self, IdError> {
         if bits == 0 || bits > 128 {
-            return Err(IdError::InvalidBits(bits as u16));
+            return Err(IdError::InvalidBits(u16::from(bits)));
         }
         let mask = if bits == 128 {
             u128::MAX
@@ -41,8 +42,13 @@ impl IdSpace {
     }
 
     /// The identifier space used by the paper's experiments (`b = 32`).
-    pub fn paper() -> Self {
-        IdSpace::new(crate::PAPER_ID_BITS).expect("32 is a valid width")
+    pub const fn paper() -> Self {
+        // `PAPER_ID_BITS` is 32, a statically valid width, so the space can
+        // be built directly instead of unwrapping `IdSpace::new`.
+        IdSpace {
+            bits: crate::PAPER_ID_BITS,
+            mask: (1u128 << crate::PAPER_ID_BITS) - 1,
+        }
     }
 
     /// The identifier width `b`.
@@ -177,9 +183,10 @@ impl IdSpace {
             return self.bits;
         }
         let diff = (a.0 ^ b.0) & self.mask;
-        // `diff` is nonzero and confined to the low `bits` positions, so
-        // leading_zeros ≥ 128 − bits; the prefix length is the excess.
-        (diff.leading_zeros() as u8) - (128 - self.bits)
+        // `diff` is nonzero and confined to the low `bits` positions, so its
+        // bit length is in `1..=bits` and the shared prefix is the rest.
+        let bitlen = convert::u8_from_u32(128 - diff.leading_zeros());
+        self.bits - bitlen
     }
 
     /// The number of whole base-`2^digit_bits` digits in an id of this
@@ -203,10 +210,17 @@ impl IdSpace {
     /// `digit_bits` when `d ∤ b`.
     ///
     /// # Errors
-    /// Propagates [`IdError::InvalidDigitBits`]; returns
+    /// Propagates [`IdError::InvalidDigitBits`]; rejects `digit_bits > 16`
+    /// (the digit would not fit the `u16` return type); returns
     /// [`IdError::IndexOutOfRange`] when `index ≥ ⌈b/d⌉`.
     pub fn digit(self, id: Id, index: u8, digit_bits: u8) -> Result<u16, IdError> {
         let count = self.digit_count(digit_bits)?;
+        if digit_bits > 16 {
+            return Err(IdError::InvalidDigitBits {
+                digit_bits,
+                bits: self.bits,
+            });
+        }
         if index >= count {
             return Err(IdError::IndexOutOfRange { index, len: count });
         }
@@ -214,7 +228,8 @@ impl IdSpace {
         let width = digit_bits.min(hi);
         let shift = hi - width;
         let mask = (1u128 << width) - 1;
-        Ok(((id.0 >> shift) & mask) as u16)
+        // `width ≤ 16` was checked above, so the masked value fits u16.
+        Ok(convert::u16_from_u128((id.0 >> shift) & mask))
     }
 
     /// Length (in whole digits of `digit_bits` bits) of the longest common
@@ -244,8 +259,8 @@ impl IdSpace {
     /// # Errors
     /// Propagates [`IdError::InvalidDigitBits`].
     pub fn pastry_hops(self, u: Id, v: Id, digit_bits: u8) -> Result<u32, IdError> {
-        let count = self.digit_count(digit_bits)? as u32;
-        let shared = self.common_prefix_digits(u, v, digit_bits)? as u32;
+        let count = u32::from(self.digit_count(digit_bits)?);
+        let shared = u32::from(self.common_prefix_digits(u, v, digit_bits)?);
         Ok(count - shared)
     }
 
@@ -269,8 +284,8 @@ impl IdSpace {
 
     /// The maximum possible value of [`IdSpace::chord_hops`], i.e. `b`.
     #[inline]
-    pub const fn max_chord_hops(self) -> u32 {
-        self.bits as u32
+    pub fn max_chord_hops(self) -> u32 {
+        u32::from(self.bits)
     }
 }
 
@@ -438,6 +453,32 @@ mod tests {
             s.digit_count(9),
             Err(IdError::InvalidDigitBits { .. })
         ));
+    }
+
+    #[test]
+    fn digit_rejects_widths_beyond_u16() {
+        // ⌈32/17⌉ = 2 digits is a fine *count*, but a 17-bit digit value
+        // cannot be represented in the u16 return type.
+        let s = sp(32);
+        assert_eq!(s.digit_count(17).unwrap(), 2);
+        assert!(matches!(
+            s.digit(Id::new(0xffff_ffff), 0, 17),
+            Err(IdError::InvalidDigitBits { .. })
+        ));
+        // 16-bit digits are the widest representable ones.
+        assert_eq!(s.digit(Id::new(0xabcd_1234), 0, 16).unwrap(), 0xabcd);
+        assert_eq!(s.digit(Id::new(0xabcd_1234), 1, 16).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn paper_space_matches_new() {
+        assert_eq!(
+            IdSpace::paper(),
+            IdSpace::new(crate::PAPER_ID_BITS).unwrap()
+        );
+        // `paper()` is const-constructible.
+        const PAPER: IdSpace = IdSpace::paper();
+        assert_eq!(PAPER.bits(), 32);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Regression tests for arithmetic at the 2^b ring boundary.
+//!
+//! The ring operations must wrap modulo `2^b`, not modulo the machine word:
+//! a truncating `as` cast or a missed mask near `2^b − 1` silently corrupts
+//! distances for ids close to zero, which is exactly where Chord's
+//! clockwise-distance estimate (paper eq. 6) is most sensitive.
+
+use peercache_id::{Id, IdSpace};
+
+/// The widths most likely to expose boundary bugs: tiny spaces, the paper's
+/// 32-bit space, widths adjacent to native integer sizes, and the full-word
+/// 128-bit space where the mask is `u128::MAX`.
+const WIDTHS: [u8; 8] = [1, 2, 8, 31, 32, 33, 127, 128];
+
+fn top(space: IdSpace) -> Id {
+    // The largest id of the space, 2^b − 1.
+    space.normalize(u128::MAX)
+}
+
+#[test]
+fn add_wraps_across_the_boundary() {
+    for bits in WIDTHS {
+        let s = IdSpace::new(bits).unwrap();
+        let last = top(s);
+        assert_eq!(s.add(last, 1), Id::new(0), "b={bits}: (2^b-1)+1 wraps to 0");
+        assert_eq!(s.add(last, 2), Id::new(1), "b={bits}: (2^b-1)+2 wraps to 1");
+        // Adding the full period is the identity.
+        if let Some(n) = s.size() {
+            assert_eq!(s.add(last, n), last, "b={bits}: +2^b is identity");
+            assert_eq!(s.add(Id::new(0), n), Id::new(0));
+        }
+    }
+}
+
+#[test]
+fn sub_wraps_across_the_boundary() {
+    for bits in WIDTHS {
+        let s = IdSpace::new(bits).unwrap();
+        let last = top(s);
+        assert_eq!(s.sub(Id::new(0), 1), last, "b={bits}: 0-1 wraps to 2^b-1");
+        assert_eq!(s.sub(Id::new(1), 2), last, "b={bits}: 1-2 wraps to 2^b-1");
+    }
+}
+
+#[test]
+fn clockwise_distance_at_the_boundary() {
+    for bits in WIDTHS {
+        let s = IdSpace::new(bits).unwrap();
+        let last = top(s);
+        // One clockwise step from the last id reaches zero.
+        assert_eq!(s.clockwise_distance(last, Id::new(0)), 1, "b={bits}");
+        // The reverse direction is the whole ring minus one.
+        if let Some(n) = s.size() {
+            assert_eq!(s.clockwise_distance(Id::new(0), last), n - 1, "b={bits}");
+        } else {
+            assert_eq!(
+                s.clockwise_distance(Id::new(0), last),
+                u128::MAX,
+                "b=128: distance is 2^128 - 1"
+            );
+        }
+    }
+}
+
+#[test]
+fn chord_hops_across_the_boundary() {
+    for bits in WIDTHS {
+        let s = IdSpace::new(bits).unwrap();
+        let last = top(s);
+        // Distance 1 always costs exactly one hop, even when it crosses 0.
+        assert_eq!(s.chord_hops(last, Id::new(0)), 1, "b={bits}");
+        // Going the long way round costs the maximum b hops (distance
+        // 2^b − 1 has its leftmost 1 at position b) for every b ≥ 1.
+        assert_eq!(
+            s.chord_hops(Id::new(0), last),
+            s.max_chord_hops(),
+            "b={bits}"
+        );
+    }
+}
+
+#[test]
+fn intervals_straddling_zero() {
+    for bits in WIDTHS.into_iter().filter(|&b| b >= 2) {
+        let s = IdSpace::new(bits).unwrap();
+        let last = top(s);
+        let penult = s.sub(last, 1);
+        // (2^b-2, 1): contains 2^b-1 and 0.
+        assert!(s.between_open(penult, last, Id::new(1)), "b={bits}");
+        assert!(s.between_open(penult, Id::new(0), Id::new(1)), "b={bits}");
+        assert!(!s.between_open(penult, Id::new(1), Id::new(1)), "b={bits}");
+        assert!(
+            s.between_open_closed(penult, Id::new(1), Id::new(1)),
+            "b={bits}"
+        );
+        assert!(
+            s.between_closed_open(penult, penult, Id::new(1)),
+            "b={bits}"
+        );
+    }
+}
+
+#[test]
+fn normalize_reduces_values_beyond_the_boundary() {
+    let s = IdSpace::new(32).unwrap();
+    assert_eq!(s.normalize(1u128 << 32), Id::new(0));
+    assert_eq!(s.normalize((1u128 << 32) + 5), Id::new(5));
+    assert_eq!(s.normalize(u128::MAX), Id::new(0xffff_ffff));
+    // From<u64> must widen, never truncate: a u64 value above 2^32 keeps
+    // its high bits until explicitly normalized.
+    let wide = Id::from(u64::MAX);
+    assert_eq!(wide.value(), u128::from(u64::MAX));
+    assert_eq!(s.normalize(wide.value()), Id::new(0xffff_ffff));
+}

@@ -1,0 +1,82 @@
+//! The checked-in allowlist (`lint.allow` at the workspace root).
+//!
+//! Format: one entry per line, `RULE path count`, e.g.
+//!
+//! ```text
+//! # expects proving memory-bounded index conversions
+//! L1 crates/core/src/cast.rs 4
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Semantics: a file may carry
+//! at most `count` violations of `RULE`. *More* than `count` is a hard
+//! failure (the new violation must be fixed or the entry consciously
+//! raised); *fewer* is reported as an informational note so stale
+//! entries get tightened rather than silently masking regressions.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Rule;
+
+/// Parsed allowlist: budgets per (rule, workspace-relative path).
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    entries: BTreeMap<(Rule, String), usize>,
+}
+
+impl Allowlist {
+    /// Parse `lint.allow` content. Returns `Err` with a line-numbered
+    /// message on malformed entries.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let entry = (|| {
+                let rule = Rule::parse(parts.next()?)?;
+                let path = parts.next()?.to_owned();
+                let count: usize = parts.next()?.parse().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                Some(((rule, path), count))
+            })();
+            match entry {
+                Some((key, count)) => {
+                    if entries.insert(key.clone(), count).is_some() {
+                        return Err(format!(
+                            "lint.allow:{}: duplicate entry for {} {}",
+                            idx + 1,
+                            key.0.name(),
+                            key.1
+                        ));
+                    }
+                }
+                None => {
+                    return Err(format!(
+                        "lint.allow:{}: expected `RULE path count`, got `{raw}`",
+                        idx + 1
+                    ));
+                }
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// The budget for (rule, path); zero when absent.
+    pub fn budget(&self, rule: Rule, path: &str) -> usize {
+        self.entries
+            .get(&(rule, path.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All entries, for stale-entry reporting.
+    pub fn entries(&self) -> impl Iterator<Item = (Rule, &str, usize)> {
+        self.entries
+            .iter()
+            .map(|((rule, path), count)| (*rule, path.as_str(), *count))
+    }
+}

@@ -1,0 +1,127 @@
+//! Workspace walking and report assembly.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::allow::Allowlist;
+use crate::rules::{check, FileCtx, Rule, Violation};
+
+/// The outcome of linting a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// `file:line: RULE: message` diagnostics for violations beyond the
+    /// allowlist budget.
+    pub diagnostics: Vec<String>,
+    /// Informational notes (stale or over-generous allowlist entries).
+    pub notes: Vec<String>,
+    /// Files scanned.
+    pub files: usize,
+    /// Total violations found (allowlisted ones included).
+    pub violations: usize,
+}
+
+impl Report {
+    /// True when no violation exceeded its allowlist budget.
+    pub fn ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+/// Lint every `.rs` file under `root` against the `lint.allow` budget at
+/// the root. Returns `Err` only for environmental failures (unreadable
+/// tree, malformed allowlist); rule violations land in the [`Report`].
+pub fn lint_root(root: &Path) -> Result<Report, String> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let allow = match fs::read_to_string(root.join("lint.allow")) {
+        Ok(text) => Allowlist::parse(&text)?,
+        Err(_) => Allowlist::default(),
+    };
+
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+
+    let mut grouped: BTreeMap<(Rule, String), Vec<Violation>> = BTreeMap::new();
+    let mut report = Report::default();
+    for file in &files {
+        let rel = rel_path(root, file);
+        let source = fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let ctx = FileCtx::classify(&rel);
+        for violation in check(&ctx, &source) {
+            report.violations += 1;
+            grouped
+                .entry((violation.rule, rel.clone()))
+                .or_default()
+                .push(violation);
+        }
+        report.files += 1;
+    }
+
+    for ((rule, path), violations) in &grouped {
+        let budget = allow.budget(*rule, path);
+        if violations.len() > budget {
+            for v in violations {
+                report.diagnostics.push(format!(
+                    "{path}:{}: {}: {}",
+                    v.line,
+                    rule.name(),
+                    v.message
+                ));
+            }
+            report.diagnostics.push(format!(
+                "{path}: {}: {} violation(s), allowlist budget is {budget}",
+                rule.name(),
+                violations.len()
+            ));
+        } else if violations.len() < budget {
+            report.notes.push(format!(
+                "note: lint.allow budgets {budget} for {} {path} but only {} remain — tighten it",
+                rule.name(),
+                violations.len()
+            ));
+        }
+    }
+    for (rule, path, budget) in allow.entries() {
+        if budget > 0 && !grouped.contains_key(&(rule, path.to_owned())) {
+            report.notes.push(format!(
+                "note: stale lint.allow entry {} {path} {budget} — no violations remain",
+                rule.name()
+            ));
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,28 @@
+//! # peercache-lint
+//!
+//! Workspace-local static analysis for the peercache repository: five
+//! style rules (L1–L5) that keep the paper-reproduction code honest,
+//! enforced by a comment- and string-aware scanner rather than a naive
+//! grep. See [`rules`] for the rule table, [`scan`] for the scanner and
+//! [`allow`] for the `lint.allow` budget format.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p peercache-lint
+//! ```
+//!
+//! Exit status is non-zero when any violation exceeds its allowlist
+//! budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod engine;
+pub mod rules;
+pub mod scan;
+
+pub use allow::Allowlist;
+pub use engine::{lint_root, Report};
+pub use rules::{check, FileCtx, FileKind, Rule, Violation};

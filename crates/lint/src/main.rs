@@ -1,0 +1,62 @@
+//! Command-line entry point: `peercache-lint [ROOT]`.
+//!
+//! Lints every `.rs` file under ROOT (default: the current directory,
+//! which `cargo run -p peercache-lint` sets to the workspace root)
+//! against `lint.allow`, printing `file:line: RULE: message` diagnostics.
+//! Exits 0 when clean, 1 on violations, 2 on environmental errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = dir,
+                None => {
+                    eprintln!("peercache-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: peercache-lint [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = other.to_owned(),
+        }
+    }
+
+    match peercache_lint::lint_root(Path::new(&root)) {
+        Ok(report) => {
+            for line in &report.diagnostics {
+                println!("{line}");
+            }
+            for note in &report.notes {
+                println!("{note}");
+            }
+            println!(
+                "peercache-lint: {} file(s), {} violation(s), {}",
+                report.files,
+                report.violations,
+                if report.ok() {
+                    "all within lint.allow budgets"
+                } else {
+                    "FAILED"
+                }
+            );
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("peercache-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The five paper-invariant style rules (L1–L5).
+//!
+//! | Rule | Scope | Checks |
+//! |------|-------|--------|
+//! | L1 | library code, all crates | no `unwrap()` / `expect()` calls, no `panic!` / `todo!` / `unimplemented!` |
+//! | L2 | library code in `crates/id`, `crates/core` | no bare `as` numeric casts (use `From`/`TryFrom`/`wrapping_*`) |
+//! | L3 | every file, including tests and vendor | no `unsafe` |
+//! | L4 | library code in `crates/id`, `crates/freq`, `crates/core` | every `pub fn` / `pub struct` carries a doc comment |
+//! | L5 | library code outside `crates/bench` | no `Instant` / `SystemTime` (wall-clock reads break deterministic simulation) |
+//!
+//! "Library code" excludes `tests/`, `benches/`, `examples/`, `vendor/`
+//! and — per rule, within a file — `#[cfg(test)]` regions. Matching is
+//! token-based on the scanner's blanked text, so occurrences inside
+//! strings, comments and doc-test fences never fire.
+
+use crate::scan::{scan, test_regions, ScannedLine};
+
+/// Rule identifiers, printed in diagnostics and used in `lint.allow`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in
+    /// library code.
+    L1,
+    /// No bare `as` numeric casts in `crates/id` and `crates/core`.
+    L2,
+    /// No `unsafe` anywhere.
+    L3,
+    /// Doc comments on `pub fn`/`pub struct` in id/freq/core.
+    L4,
+    /// No wall-clock reads (`Instant`, `SystemTime`) in deterministic
+    /// code paths.
+    L5,
+}
+
+impl Rule {
+    /// The rule's name as printed in diagnostics and `lint.allow`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+            Rule::L5 => "L5",
+        }
+    }
+
+    /// Parse a rule name as it appears in `lint.allow`.
+    pub fn parse(name: &str) -> Option<Rule> {
+        match name {
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            "L4" => Some(Rule::L4),
+            "L5" => Some(Rule::L5),
+            _ => None,
+        }
+    }
+}
+
+/// What part of the tree a file belongs to; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Crate `src/` code (and the root package's `src/`).
+    Lib,
+    /// Integration tests under a `tests/` directory.
+    Test,
+    /// Benchmarks (`benches/` directories and all of `crates/bench`).
+    Bench,
+    /// Example programs.
+    Example,
+    /// Vendored dependency stand-ins under `vendor/`.
+    Vendor,
+}
+
+/// Per-file context the rules consult.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// Which part of the tree the file belongs to.
+    pub kind: FileKind,
+}
+
+impl FileCtx {
+    /// Classify a workspace-relative path.
+    pub fn classify(path: &str) -> FileCtx {
+        let kind = if path.starts_with("vendor/") {
+            FileKind::Vendor
+        } else if path.starts_with("crates/bench/") || path.contains("/benches/") {
+            FileKind::Bench
+        } else if path.contains("/tests/") || path.starts_with("tests/") {
+            FileKind::Test
+        } else if path.contains("/examples/") || path.starts_with("examples/") {
+            FileKind::Example
+        } else {
+            FileKind::Lib
+        };
+        FileCtx {
+            path: path.to_owned(),
+            kind,
+        }
+    }
+
+    fn in_crate(&self, name: &str) -> bool {
+        self.path.starts_with(&format!("crates/{name}/"))
+    }
+}
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// 1-based source line.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokKind {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    /// 0-based line index.
+    line: usize,
+    kind: TokKind,
+}
+
+fn tokenize(lines: &[ScannedLine]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (line, scanned) in lines.iter().enumerate() {
+        let mut ident = String::new();
+        for ch in scanned.code.chars() {
+            if ch.is_alphanumeric() || ch == '_' {
+                ident.push(ch);
+            } else {
+                if !ident.is_empty() {
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Ident(std::mem::take(&mut ident)),
+                    });
+                }
+                if !ch.is_whitespace() {
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Punct(ch),
+                    });
+                }
+            }
+        }
+        if !ident.is_empty() {
+            toks.push(Tok {
+                line,
+                kind: TokKind::Ident(ident),
+            });
+        }
+    }
+    toks
+}
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Run every applicable rule over one file and return its violations,
+/// ordered by line.
+pub fn check(ctx: &FileCtx, source: &str) -> Vec<Violation> {
+    let lines = scan(source);
+    let in_test = test_regions(&lines);
+    let toks = tokenize(&lines);
+    let mut out = Vec::new();
+
+    let lib = ctx.kind == FileKind::Lib;
+    let l1 = lib;
+    let l2 = lib && (ctx.in_crate("id") || ctx.in_crate("core"));
+    let l4 = lib && (ctx.in_crate("id") || ctx.in_crate("freq") || ctx.in_crate("core"));
+    let l5 = lib;
+
+    for (i, tok) in toks.iter().enumerate() {
+        let TokKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        let tested = in_test.get(tok.line).copied().unwrap_or(false);
+
+        // L3 applies everywhere, test regions included.
+        if name == "unsafe" {
+            out.push(Violation {
+                line: tok.line + 1,
+                rule: Rule::L3,
+                message: "`unsafe` is forbidden throughout the workspace (rule L3)".to_owned(),
+            });
+        }
+        if tested {
+            continue;
+        }
+
+        if l1 {
+            let method_call = punct_at(&toks, i.wrapping_sub(1)) == Some('.')
+                && punct_at(&toks, i + 1) == Some('(');
+            let bang_macro = punct_at(&toks, i + 1) == Some('!');
+            if (name == "unwrap" || name == "expect") && method_call {
+                out.push(Violation {
+                    line: tok.line + 1,
+                    rule: Rule::L1,
+                    message: format!(
+                        "`.{name}()` in library code — return an error or \
+                         concentrate the proof in an allowlisted helper (rule L1)"
+                    ),
+                });
+            } else if (name == "panic" || name == "todo" || name == "unimplemented") && bang_macro {
+                out.push(Violation {
+                    line: tok.line + 1,
+                    rule: Rule::L1,
+                    message: format!("`{name}!` in library code (rule L1)"),
+                });
+            }
+        }
+
+        if l2 && name == "as" {
+            if let Some(target) = ident_at(&toks, i + 1) {
+                if NUMERIC_TYPES.contains(&target) {
+                    out.push(Violation {
+                        line: tok.line + 1,
+                        rule: Rule::L2,
+                        message: format!(
+                            "bare `as {target}` cast — use `From`/`TryFrom`/`wrapping_*` \
+                             (rule L2)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if l5 && (name == "Instant" || name == "SystemTime") {
+            out.push(Violation {
+                line: tok.line + 1,
+                rule: Rule::L5,
+                message: format!(
+                    "`{name}` in deterministic code — wall-clock reads break \
+                     reproducible simulation (rule L5)"
+                ),
+            });
+        }
+
+        if l4 && name == "pub" {
+            if let Some(v) = check_pub_item(&lines, &toks, i) {
+                out.push(v);
+            }
+        }
+    }
+
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+/// L4: a `pub fn` / `pub struct` (ignoring `pub(...)` restricted
+/// visibility and skipping `const`/`async`/`extern` modifiers) must be
+/// preceded by a doc comment, looking backwards over attribute and blank
+/// lines.
+fn check_pub_item(lines: &[ScannedLine], toks: &[Tok], pub_idx: usize) -> Option<Violation> {
+    let mut j = pub_idx + 1;
+    if punct_at(toks, j) == Some('(') {
+        return None; // pub(crate) and friends are not public API
+    }
+    while matches!(ident_at(toks, j), Some("const" | "async" | "extern")) {
+        j += 1;
+    }
+    let item = ident_at(toks, j)?;
+    if item != "fn" && item != "struct" {
+        return None;
+    }
+    let name = ident_at(toks, j + 1).unwrap_or("?").to_owned();
+    let line = toks[pub_idx].line;
+    let mut back = line;
+    while back > 0 {
+        back -= 1;
+        let prev = &lines[back];
+        if prev.doc {
+            return None;
+        }
+        let trimmed = prev.code.trim_start();
+        let skippable = trimmed.is_empty() || trimmed.starts_with("#[") || trimmed.starts_with(']');
+        if !skippable {
+            break;
+        }
+    }
+    Some(Violation {
+        line: line + 1,
+        rule: Rule::L4,
+        message: format!("missing doc comment on `pub {item} {name}` (rule L4)"),
+    })
+}

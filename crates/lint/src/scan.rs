@@ -1,0 +1,316 @@
+//! Comment- and string-aware source scanning.
+//!
+//! The rules in [`crate::rules`] must not fire on occurrences inside
+//! comments, doc comments (including fenced doc-test code), string and
+//! character literals — a naive `grep` would. The scanner walks the file
+//! once with a small state machine and produces, per line, the
+//! *executable* text only: comments and literal interiors are replaced by
+//! spaces (columns preserved), so downstream token matching never sees
+//! them. It also records which lines carry doc comments, which rule L4
+//! (missing docs) needs.
+//!
+//! Handled literal forms: line and nested block comments, doc variants
+//! (`///`, `//!`, `/** */`, `/*! */`), string/byte-string literals with
+//! escapes, raw (byte) strings with arbitrary `#` fences, and character
+//! literals — including the `'a'`-vs-`'a` lifetime ambiguity.
+
+/// One scanned source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedLine {
+    /// The line's text with comments and string/char-literal interiors
+    /// blanked to spaces; column positions are preserved.
+    pub code: String,
+    /// True when the line starts a doc comment (`///`, `//!`, `/**`,
+    /// `/*!`) before any code, or continues a doc block comment.
+    pub doc: bool,
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    i: usize,
+    code: String,
+    doc: bool,
+    seen_code: bool,
+    last_code: Option<char>,
+    lines: Vec<ScannedLine>,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn flush_line(&mut self) {
+        let code = std::mem::take(&mut self.code);
+        self.lines.push(ScannedLine {
+            code,
+            doc: self.doc,
+        });
+        self.doc = false;
+        self.seen_code = false;
+        self.last_code = None;
+    }
+
+    /// Emit one character as executable code and advance.
+    fn emit_code(&mut self) {
+        let c = self.chars[self.i];
+        self.i += 1;
+        if c == '\n' {
+            self.flush_line();
+        } else {
+            if !c.is_whitespace() {
+                self.seen_code = true;
+                self.last_code = Some(c);
+            }
+            self.code.push(c);
+        }
+    }
+
+    /// Emit one character as blanked (comment/literal) text and advance.
+    fn emit_blank(&mut self) {
+        let c = self.chars[self.i];
+        self.i += 1;
+        if c == '\n' {
+            self.flush_line();
+        } else {
+            self.code.push(' ');
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let is_doc = match self.peek(2) {
+            Some('!') => true,
+            Some('/') => self.peek(3) != Some('/'),
+            _ => false,
+        };
+        if is_doc && !self.seen_code {
+            self.doc = true;
+        }
+        while self.i < self.chars.len() && self.chars[self.i] != '\n' {
+            self.emit_blank();
+        }
+        // The newline (if any) is consumed by the main loop as code.
+    }
+
+    fn block_comment(&mut self) {
+        let is_doc = match self.peek(2) {
+            Some('!') => true,
+            Some('*') => self.peek(3) != Some('*') && self.peek(3) != Some('/'),
+            _ => false,
+        };
+        if is_doc && !self.seen_code {
+            self.doc = true;
+        }
+        self.emit_blank();
+        self.emit_blank();
+        let mut depth = 1usize;
+        while depth > 0 && self.i < self.chars.len() {
+            if self.chars[self.i] == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.emit_blank();
+                self.emit_blank();
+            } else if self.chars[self.i] == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.emit_blank();
+                self.emit_blank();
+            } else {
+                let nl = self.chars[self.i] == '\n';
+                self.emit_blank();
+                if nl && is_doc {
+                    self.doc = true;
+                }
+            }
+        }
+    }
+
+    /// Blank a non-raw string from the opening quote; `self.i` must be on
+    /// the `"`.
+    fn string_literal(&mut self) {
+        self.emit_blank(); // opening quote
+        while self.i < self.chars.len() {
+            match self.chars[self.i] {
+                '\\' => {
+                    self.emit_blank();
+                    if self.i < self.chars.len() {
+                        self.emit_blank();
+                    }
+                }
+                '"' => {
+                    self.emit_blank();
+                    return;
+                }
+                _ => self.emit_blank(),
+            }
+        }
+    }
+
+    /// Blank a raw string; `self.i` must be on the `r` (hash count already
+    /// probed by the caller).
+    fn raw_string(&mut self, hashes: usize) {
+        // Blank the `r`, the hashes and the opening quote.
+        for _ in 0..hashes + 2 {
+            self.emit_blank();
+        }
+        while self.i < self.chars.len() {
+            if self.chars[self.i] == '"' && self.closing_hashes(hashes) {
+                for _ in 0..hashes + 1 {
+                    self.emit_blank();
+                }
+                return;
+            }
+            self.emit_blank();
+        }
+    }
+
+    fn closing_hashes(&self, hashes: usize) -> bool {
+        (1..=hashes).all(|h| self.peek(h) == Some('#'))
+    }
+
+    /// Number of `#` characters starting at offset `from`, followed by a
+    /// quote — i.e. whether `r`/`br` at the cursor opens a raw string.
+    fn raw_open(&self, from: usize) -> Option<usize> {
+        let mut h = 0usize;
+        while self.peek(from + h) == Some('#') {
+            h += 1;
+        }
+        (self.peek(from + h) == Some('"')).then_some(h)
+    }
+
+    /// Handle a `'` at the cursor: a char literal is blanked, a lifetime
+    /// (or loop label) is kept as code.
+    fn quote(&mut self) {
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: blank until the closing quote.
+            self.emit_blank(); // '
+            self.emit_blank(); // backslash
+            while self.i < self.chars.len() {
+                match self.chars[self.i] {
+                    '\\' => {
+                        self.emit_blank();
+                        if self.i < self.chars.len() {
+                            self.emit_blank();
+                        }
+                    }
+                    '\'' => {
+                        self.emit_blank();
+                        return;
+                    }
+                    _ => self.emit_blank(),
+                }
+            }
+        } else if self.peek(2) == Some('\'') && self.peek(1) != Some('\'') {
+            // Plain char literal, e.g. 'a' — including '{' and '}'.
+            self.emit_blank();
+            self.emit_blank();
+            self.emit_blank();
+        } else {
+            // Lifetime or loop label: executable code.
+            self.emit_code();
+        }
+    }
+
+    fn prev_is_ident(&self) -> bool {
+        self.last_code
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    }
+
+    fn run(mut self) -> Vec<ScannedLine> {
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.quote(),
+                'r' if !self.prev_is_ident() => match self.raw_open(1) {
+                    Some(h) => self.raw_string(h),
+                    None => self.emit_code(),
+                },
+                'b' if !self.prev_is_ident() => {
+                    if self.peek(1) == Some('"') {
+                        self.emit_blank(); // the b prefix
+                        self.string_literal();
+                    } else if self.peek(1) == Some('\'') {
+                        self.emit_blank();
+                        self.quote();
+                    } else if self.peek(1) == Some('r') {
+                        match self.raw_open(2) {
+                            Some(h) => {
+                                self.emit_blank(); // the b prefix
+                                self.raw_string(h);
+                            }
+                            None => self.emit_code(),
+                        }
+                    } else {
+                        self.emit_code();
+                    }
+                }
+                _ => self.emit_code(),
+            }
+        }
+        if !self.code.is_empty() || self.doc {
+            self.flush_line();
+        }
+        self.lines
+    }
+}
+
+/// Scan a source file into per-line executable text plus doc-comment
+/// flags.
+pub fn scan(source: &str) -> Vec<ScannedLine> {
+    Scanner {
+        chars: source.chars().collect(),
+        i: 0,
+        code: String::new(),
+        doc: false,
+        seen_code: false,
+        last_code: None,
+        lines: Vec::new(),
+    }
+    .run()
+}
+
+/// Mark the lines belonging to `#[cfg(test)]`-gated items.
+///
+/// Rules L1/L2/L4/L5 skip these regions: test code may unwrap, cast and
+/// go undocumented freely. Detection is brace-based on the blanked text,
+/// so braces inside strings or comments cannot derail it: from a
+/// `#[cfg(test)]` attribute line, the region extends to the matching
+/// close of the first `{` opened afterwards (or to the first top-level
+/// `;` for brace-less items).
+pub fn test_regions(lines: &[ScannedLine]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let trimmed = lines[i].code.trim_start();
+        if !(trimmed.starts_with("#[") && trimmed.contains("cfg(test")) {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut j = i;
+        'region: while j < lines.len() {
+            in_test[j] = true;
+            for ch in lines[j].code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            break 'region;
+                        }
+                    }
+                    ';' if !opened && depth == 0 => break 'region,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}

@@ -1,0 +1,302 @@
+//! Fixture tests for the lint engine: each case feeds a small synthetic
+//! source file through [`peercache_lint::check`] and asserts exactly
+//! which rules fire on which lines — in particular that occurrences
+//! inside strings, comments, doc-test fences and `#[cfg(test)]` modules
+//! never do.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use peercache_lint::{check, Allowlist, FileCtx, FileKind, Rule};
+
+fn ctx(path: &str) -> FileCtx {
+    FileCtx::classify(path)
+}
+
+fn fired(path: &str, source: &str) -> Vec<(usize, Rule)> {
+    check(&ctx(path), source)
+        .into_iter()
+        .map(|v| (v.line, v.rule))
+        .collect()
+}
+
+#[test]
+fn classification_by_path() {
+    assert_eq!(ctx("crates/core/src/lib.rs").kind, FileKind::Lib);
+    assert_eq!(ctx("src/lib.rs").kind, FileKind::Lib);
+    assert_eq!(ctx("crates/id/tests/ring_boundary.rs").kind, FileKind::Test);
+    assert_eq!(ctx("crates/bench/src/lib.rs").kind, FileKind::Bench);
+    assert_eq!(ctx("crates/core/benches/solvers.rs").kind, FileKind::Bench);
+    assert_eq!(ctx("examples/quickstart.rs").kind, FileKind::Example);
+    assert_eq!(ctx("vendor/rand/src/lib.rs").kind, FileKind::Vendor);
+}
+
+#[test]
+fn l1_flags_unwrap_expect_and_panicking_macros() {
+    let src = "fn f(x: Option<u8>) -> u8 {\n\
+               let a = x.unwrap();\n\
+               let b = x.expect(\"reason\");\n\
+               if a > b { panic!(\"boom\") }\n\
+               todo!()\n\
+               }\n\
+               fn g() { unimplemented!() }\n";
+    let hits = fired("crates/sim/src/lib.rs", src);
+    assert_eq!(
+        hits,
+        vec![
+            (2, Rule::L1),
+            (3, Rule::L1),
+            (4, Rule::L1),
+            (5, Rule::L1),
+            (7, Rule::L1)
+        ]
+    );
+}
+
+#[test]
+fn l1_ignores_lookalike_identifiers() {
+    // unwrap_or / expect_err are different methods; a fn named `expect`
+    // being *defined* (not `.`-called) is not a violation either.
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n\
+               fn expect(e: u8) -> u8 { e }\n\
+               fn g(x: Result<u8, u8>) -> u8 { x.expect_err(\"no\") }\n";
+    assert!(fired("crates/sim/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn l1_skips_strings_comments_and_doc_tests() {
+    let src = "// a comment may say x.unwrap() freely\n\
+               /* block comments too: panic!(\"no\") */\n\
+               /// Doc text mentioning .unwrap() and todo!().\n\
+               /// ```\n\
+               /// let v = Some(1).unwrap(); // doc-test code is exempt\n\
+               /// panic!(\"doc tests may panic\");\n\
+               /// ```\n\
+               fn f() -> &'static str {\n\
+               \"strings may say .unwrap() or unimplemented!()\"\n\
+               }\n";
+    assert!(fired("crates/sim/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn l1_skips_raw_strings_with_hashes() {
+    let src = "fn f() -> &'static str {\n\
+               r#\"raw strings: .unwrap() and \"quoted\" panic!()\"#\n\
+               }\n\
+               fn g() -> &'static [u8] {\n\
+               br##\"byte raw: .expect(\"x\")\"##\n\
+               }\n";
+    assert!(fired("crates/sim/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn l1_skips_cfg_test_modules_but_resumes_after() {
+    let src = "fn ok() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               #[test]\n\
+               fn t() { Some('{').unwrap(); panic!(\"fine in tests\") }\n\
+               }\n\
+               fn bad(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    // The '{' char literal inside the test module must not derail the
+    // brace tracking that ends the exempt region.
+    assert_eq!(fired("crates/sim/src/lib.rs", src), vec![(7, Rule::L1)]);
+}
+
+#[test]
+fn l1_exempt_outside_library_code() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert!(fired("crates/core/tests/props.rs", src).is_empty());
+    assert!(fired("crates/bench/src/lib.rs", src).is_empty());
+    assert!(fired("examples/quickstart.rs", src).is_empty());
+    assert!(fired("vendor/rand/src/lib.rs", src).is_empty());
+    assert_eq!(fired("crates/core/src/lib.rs", src), vec![(1, Rule::L1)]);
+}
+
+#[test]
+fn l2_flags_bare_numeric_casts_in_id_and_core_only() {
+    let src = "fn f(x: u64) -> usize { x as usize }\n";
+    assert_eq!(fired("crates/id/src/id.rs", src), vec![(1, Rule::L2)]);
+    assert_eq!(fired("crates/core/src/cost.rs", src), vec![(1, Rule::L2)]);
+    assert!(fired("crates/chord/src/network.rs", src).is_empty());
+}
+
+#[test]
+fn l2_ignores_import_renames_and_test_code() {
+    let src = "use std::fmt::Debug as D;\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               fn t(x: u64) -> u32 { x as u32 }\n\
+               }\n";
+    assert!(fired("crates/id/src/id.rs", src).is_empty());
+}
+
+#[test]
+fn l3_flags_unsafe_everywhere_even_in_tests() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               fn t() { unsafe { core::hint::unreachable_unchecked() } }\n\
+               }\n";
+    assert_eq!(fired("crates/sim/src/lib.rs", src), vec![(3, Rule::L3)]);
+    assert_eq!(
+        fired("vendor/rand/src/lib.rs", src),
+        vec![(3, Rule::L3)],
+        "vendor code is exempt from style rules but not from L3"
+    );
+    // …but not inside a string.
+    let quoted = "fn f() -> &'static str { \"unsafe\" }\n";
+    assert!(fired("crates/sim/src/lib.rs", quoted).is_empty());
+}
+
+#[test]
+fn l4_requires_docs_on_pub_fn_and_struct() {
+    let src = "pub fn undocumented() {}\n\
+               \n\
+               /// Documented.\n\
+               pub fn documented() {}\n\
+               \n\
+               /// Documented through an attribute stack.\n\
+               #[derive(Debug)]\n\
+               pub struct Ok1;\n\
+               \n\
+               pub struct Bare;\n\
+               \n\
+               pub(crate) fn internal() {}\n\
+               \n\
+               /** Block-doc also counts. */\n\
+               pub const fn constant() {}\n\
+               \n\
+               pub const UNDOC_CONST: u8 = 0;\n";
+    let hits = fired("crates/id/src/id.rs", src);
+    assert_eq!(
+        hits,
+        vec![(1, Rule::L4), (10, Rule::L4)],
+        "only fn/struct items without docs fire; pub(crate) and consts do not"
+    );
+}
+
+#[test]
+fn l4_applies_to_id_freq_core_library_code_only() {
+    let src = "pub fn undocumented() {}\n";
+    assert_eq!(fired("crates/freq/src/lib.rs", src), vec![(1, Rule::L4)]);
+    assert!(fired("crates/sim/src/lib.rs", src).is_empty());
+    assert!(fired("crates/id/tests/t.rs", src).is_empty());
+}
+
+#[test]
+fn l5_flags_wall_clock_reads_outside_bench() {
+    let src = "use std::time::Instant;\n\
+               fn f() { let _t = Instant::now(); }\n";
+    assert_eq!(
+        fired("crates/sim/src/lib.rs", src),
+        vec![(1, Rule::L5), (2, Rule::L5)]
+    );
+    assert!(fired("crates/bench/src/lib.rs", src).is_empty());
+    let sys = "fn f() -> std::time::SystemTime { std::time::SystemTime::now() }\n";
+    assert_eq!(
+        fired("crates/workload/src/lib.rs", sys),
+        vec![(1, Rule::L5), (1, Rule::L5)]
+    );
+}
+
+#[test]
+fn lifetimes_are_not_mistaken_for_char_literals() {
+    // If the scanner blanked from `'a` onwards, the unwrap would vanish.
+    let src = "fn f<'a>(x: &'a Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(fired("crates/sim/src/lib.rs", src), vec![(1, Rule::L1)]);
+}
+
+#[test]
+fn allowlist_budgets_parse_and_apply() {
+    let allow = Allowlist::parse(
+        "# comment\n\
+         \n\
+         L1 crates/core/src/cast.rs 4\n\
+         L4 crates/id/src/id.rs 1\n",
+    )
+    .expect("well-formed allowlist");
+    assert_eq!(allow.budget(Rule::L1, "crates/core/src/cast.rs"), 4);
+    assert_eq!(allow.budget(Rule::L4, "crates/id/src/id.rs"), 1);
+    assert_eq!(allow.budget(Rule::L1, "crates/core/src/cost.rs"), 0);
+    assert_eq!(allow.budget(Rule::L2, "crates/core/src/cast.rs"), 0);
+}
+
+#[test]
+fn allowlist_rejects_malformed_lines() {
+    for bad in [
+        "L9 some/path.rs 1",
+        "L1 some/path.rs",
+        "L1 some/path.rs x",
+        "L1 some/path.rs 1 extra",
+        "L1 a.rs 1\nL1 a.rs 2",
+    ] {
+        assert!(Allowlist::parse(bad).is_err(), "accepted: {bad}");
+    }
+}
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A throw-away workspace directory for `lint_root` integration tests.
+struct TempWorkspace {
+    root: std::path::PathBuf,
+}
+
+impl TempWorkspace {
+    fn new() -> TempWorkspace {
+        let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!(
+            "peercache-lint-fixture-{}-{seq}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&root).expect("create temp workspace");
+        TempWorkspace { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create parent dirs");
+        }
+        std::fs::write(path, content).expect("write fixture file");
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn lint_root_fails_over_budget_and_passes_within() {
+    let ws = TempWorkspace::new();
+    ws.write("Cargo.toml", "[workspace]\n");
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+
+    let report = peercache_lint::lint_root(&ws.root).expect("lintable tree");
+    assert!(!report.ok(), "unbudgeted violation must fail");
+    assert_eq!(report.violations, 1);
+    assert!(
+        report.diagnostics[0].starts_with("crates/demo/src/lib.rs:1: L1:"),
+        "diagnostic format: {}",
+        report.diagnostics[0]
+    );
+
+    ws.write("lint.allow", "L1 crates/demo/src/lib.rs 1\n");
+    let report = peercache_lint::lint_root(&ws.root).expect("lintable tree");
+    assert!(report.ok(), "budgeted violation must pass: {report:?}");
+    assert!(report.notes.is_empty());
+}
+
+#[test]
+fn lint_root_notes_stale_budgets() {
+    let ws = TempWorkspace::new();
+    ws.write("Cargo.toml", "[workspace]\n");
+    ws.write("crates/demo/src/lib.rs", "fn f() {}\n");
+    ws.write("lint.allow", "L1 crates/demo/src/lib.rs 2\nL3 gone.rs 1\n");
+    let report = peercache_lint::lint_root(&ws.root).expect("lintable tree");
+    assert!(report.ok());
+    assert_eq!(report.notes.len(), 2, "stale entries noted: {report:?}");
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro + type surface the peercache benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`) with a simple
+//! measure-and-print harness instead of criterion's statistical machinery.
+//!
+//! Behaviour:
+//!
+//! - Under `cargo test` (cargo passes `--test` to `harness = false` bench
+//!   binaries), each benchmark body runs **once** as a smoke test and no
+//!   timing is reported — keeping tier-1 `cargo test` fast.
+//! - Under `cargo bench`, each benchmark is warmed up briefly and then timed
+//!   for a fixed iteration budget; mean ns/iter is printed.
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export-style helper mirroring `criterion::black_box`.
+///
+/// Uses `std::hint::black_box`, which is what criterion 0.5 does on recent
+/// toolchains.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group (upstream `BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id made of a function name plus a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Per-iteration timing driver passed to benchmark closures.
+pub struct Bencher {
+    smoke_only: bool,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine` (or run it once in smoke mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run until ~50ms have elapsed to stabilise caches.
+        let warmup = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warmup.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Measurement: size the batch off the warm-up rate, capped for
+        // slow benchmarks.
+        let iters = warm_iters.clamp(10, 100_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.last_mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named collection of related benchmarks (upstream `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            smoke_only: self.criterion.smoke_only,
+            last_mean_ns: f64::NAN,
+        };
+        f(&mut b, input);
+        if self.criterion.smoke_only {
+            println!("{}/{id}: ok (smoke)", self.name);
+        } else {
+            println!("{}/{id}: {:.1} ns/iter", self.name, b.last_mean_ns);
+        }
+    }
+
+    /// Run one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, _unit| f(b));
+    }
+
+    /// End the group (prints nothing; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle (upstream `Criterion`).
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench targets with `--test` during
+        // `cargo test`; in that mode every routine runs once, untimed.
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Self { smoke_only }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(BenchmarkId::new(name, "-"), &mut f);
+        group.finish();
+    }
+}
+
+/// Declare a group of benchmark functions (upstream `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main` (upstream `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,145 @@
+//! Test-runner plumbing: configuration, per-case error type, and the RNG.
+
+/// Subset of upstream `ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is redrawn.
+    Reject(String),
+    /// A `prop_assert*!` failed; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Build a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Deterministic xoshiro256** generator used for all strategies.
+///
+/// Each property derives its seed from the test name (plus the optional
+/// `PROPTEST_SEED` environment variable), so a failing case reproduces
+/// exactly on re-run without any persistence files.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed a generator for the named test.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let env_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        // FNV-1a over the test name, mixed with the optional env seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ env_seed.rotate_left(17);
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::seed_from_u64(h)
+    }
+
+    /// Expand a 64-bit seed into the full state via SplitMix64.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 128 random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, span)`; `span` must be nonzero.
+    pub fn below_u128(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        if span <= u128::from(u64::MAX) {
+            u128::from(self.next_u64()) % span
+        } else {
+            self.next_u128() % span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_seeding_is_stable() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let mut c = TestRng::for_test("beta");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn below_u128_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(rng.below_u128(7) < 7);
+            assert!(rng.below_u128(u128::MAX) < u128::MAX);
+        }
+    }
+}

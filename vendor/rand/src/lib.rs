@@ -1,0 +1,433 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a small, dependency-free subset of the `rand` 0.8
+//! API surface that the peercache crates actually use:
+//!
+//! - [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`]
+//! - [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`]
+//! - [`rngs::StdRng`] and [`rngs::SmallRng`]
+//! - [`seq::SliceRandom::shuffle`] and [`seq::SliceRandom::choose`]
+//!
+//! The generator is xoshiro256** seeded via SplitMix64 — statistically strong
+//! for simulation workloads and fully deterministic for a given seed, which is
+//! what the reproduction experiments require. It is **not** the same stream as
+//! upstream `rand`'s StdRng (ChaCha12), so absolute experiment numbers may
+//! differ from runs against crates.io rand, but all seeded runs remain
+//! self-consistent and reproducible.
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Return the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+/// A generator that can be constructed from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array for the vendored generators).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Build a generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build a generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be sampled uniformly from the generator's raw output,
+/// mirroring `rand`'s `Standard` distribution.
+pub trait StandardSample {
+    /// Draw one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts, mirroring `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                // Multiply-shift rejection-free mapping is fine for span ≪ 2^64.
+                let v = u128::from(rng.next_u64()) % span;
+                self.start + v as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return StandardSample::sample(rng);
+                }
+                let span = (hi - lo) as u128 + 1;
+                let v = u128::from(rng.next_u64()) % span;
+                lo + v as $t
+            }
+        }
+    )*};
+}
+
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+impl SampleRange<u128> for core::ops::Range<u128> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        self.start + sample_u128_below(rng, span)
+    }
+}
+
+impl SampleRange<u128> for core::ops::RangeInclusive<u128> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        if lo == 0 && hi == u128::MAX {
+            return StandardSample::sample(rng);
+        }
+        lo + sample_u128_below(rng, hi - lo + 1)
+    }
+}
+
+fn sample_u128_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // Modulo bias is negligible for the simulation spans used here, and a
+    // single widening draw keeps the stream deterministic and cheap.
+    u128::sample(rng) % span
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = StandardSample::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let u: f64 = StandardSample::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// The user-facing generator trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let u: f64 = self.gen();
+        u < p
+    }
+
+    /// Fill `dest` with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the workhorse generator for all vendored RNGs.
+    #[derive(Clone, Debug)]
+    pub struct Xoshiro256 {
+        s: [u64; 4],
+    }
+
+    impl Xoshiro256 {
+        fn next(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn from_bytes(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // An all-zero state is a fixed point for xoshiro; nudge it.
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    /// Stand-in for `rand::rngs::StdRng` (deterministic, seedable).
+    #[derive(Clone, Debug)]
+    pub struct StdRng(Xoshiro256);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Self(Xoshiro256::from_bytes(seed))
+        }
+    }
+
+    /// Stand-in for `rand::rngs::SmallRng` (same engine as [`StdRng`] here).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng(Xoshiro256);
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Self(Xoshiro256::from_bytes(seed))
+        }
+    }
+}
+
+/// Sequence-related helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::RngCore;
+
+    /// Random operations on slices (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly pick one element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[i])
+            }
+        }
+    }
+}
+
+/// Commonly imported names, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::StandardSample;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let w = rng.gen_range(0u128..(1u128 << 100));
+            assert!(w < (1u128 << 100));
+            let c = rng.gen_range(5u8..=9);
+            assert!((5..=9).contains(&c));
+        }
+    }
+
+    #[test]
+    fn unit_interval_floats() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn choose_uniform_support() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let &x = v.choose(&mut rng).unwrap();
+            seen[x - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn full_width_u128_sampling() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let x: u128 = StandardSample::sample(&mut rng);
+        let y: u128 = StandardSample::sample(&mut rng);
+        assert_ne!(x, y);
+    }
+}
