@@ -13,10 +13,10 @@ fn chord_fast_vs_naive(c: &mut Criterion) {
         let k = (n as f64).log2().round() as usize;
         let problem = random_chord_problem(n, k, 1.2, 13);
         group.bench_with_input(BenchmarkId::new("fast", n), &problem, |b, p| {
-            b.iter(|| select_fast(p).unwrap())
+            b.iter(|| select_fast(p).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("naive", n), &problem, |b, p| {
-            b.iter(|| select_naive(p).unwrap())
+            b.iter(|| select_naive(p).unwrap());
         });
     }
     group.finish();
@@ -28,10 +28,10 @@ fn pastry_greedy_vs_dp(c: &mut Criterion) {
         let k = (n as f64).log2().round() as usize;
         let problem = random_pastry_problem(n, k, 1.2, 13);
         group.bench_with_input(BenchmarkId::new("greedy", n), &problem, |b, p| {
-            b.iter(|| select_greedy(p).unwrap())
+            b.iter(|| select_greedy(p).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("reference_dp", n), &problem, |b, p| {
-            b.iter(|| select_dp(p).unwrap())
+            b.iter(|| select_dp(p).unwrap());
         });
     }
     group.finish();

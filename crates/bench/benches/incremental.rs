@@ -22,7 +22,7 @@ fn incremental_vs_scratch(c: &mut Criterion) {
                     w += 1.0;
                     opt.update_weight(target, w).unwrap();
                     opt.select().unwrap()
-                })
+                });
             },
         );
         group.bench_with_input(BenchmarkId::new("from_scratch", n), &problem, |b, p| {
@@ -36,7 +36,7 @@ fn incremental_vs_scratch(c: &mut Criterion) {
                     .unwrap()
                     .weight = w;
                 select_greedy(&p).unwrap()
-            })
+            });
         });
     }
     group.finish();

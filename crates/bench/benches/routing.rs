@@ -36,9 +36,9 @@ fn routing(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
                 b.iter(|| {
                     let from = ids[rng.gen_range(0..ids.len())];
-                    let key = Id::new(rng.gen::<u32>() as u128);
+                    let key = Id::new(u128::from(rng.gen::<u32>()));
                     overlay.query(from, key)
-                })
+                });
             });
         }
     }

@@ -13,11 +13,11 @@ fn selection_scaling(c: &mut Criterion) {
         let k = (n as f64).log2().round() as usize;
         let chord = random_chord_problem(n, k, 1.2, 7);
         group.bench_with_input(BenchmarkId::new("chord_fast", n), &chord, |b, p| {
-            b.iter(|| select_fast(p).unwrap())
+            b.iter(|| select_fast(p).unwrap());
         });
         let pastry = random_pastry_problem(n, k, 1.2, 7);
         group.bench_with_input(BenchmarkId::new("pastry_greedy", n), &pastry, |b, p| {
-            b.iter(|| select_greedy(p).unwrap())
+            b.iter(|| select_greedy(p).unwrap());
         });
     }
     group.finish();

@@ -10,12 +10,21 @@ use peercache_pastry::RoutingMode;
 use peercache_sim::{run_stable, OverlayKind, StableConfig};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cli = peercache_bench::BinArgs::parse("ablation_catalog");
+    let quick = cli.quick;
     let (n, queries) = if quick { (128, 5_000) } else { (1024, 30_000) };
-    println!("catalog-size sensitivity, n = {n}, k = log2 n, alpha = 1.2\n");
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
+        "catalog-size sensitivity, n = {n}, k = log2 n, alpha = 1.2\n"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
         "{:<18} {:>6} {:>12} {:>12} {:>11}",
-        "overlay", "items", "hops(aware)", "hops(obliv)", "reduction%"
+        "overlay",
+        "items",
+        "hops(aware)",
+        "hops(obliv)",
+        "reduction%"
     );
     for kind in [
         OverlayKind::Chord,
@@ -34,7 +43,8 @@ fn main() {
             c.items = items;
             c.queries = queries;
             let r = run_stable(&c);
-            println!(
+            peercache_bench::teeln!(
+                cli.tee,
                 "{name:<18} {items:>6} {:>12.3} {:>12.3} {:>11.1}",
                 r.aware.avg_hops(),
                 r.oblivious.avg_hops(),
@@ -42,5 +52,8 @@ fn main() {
             );
         }
     }
-    println!("\ndefault (64 items) lands the paper's headline band; see EXPERIMENTS.md");
+    peercache_bench::teeln!(
+        cli.tee,
+        "\ndefault (64 items) lands the paper's headline band; see EXPERIMENTS.md"
+    );
 }

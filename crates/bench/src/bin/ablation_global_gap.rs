@@ -26,7 +26,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cli = peercache_bench::BinArgs::parse("ablation_global_gap");
+    let quick = cli.quick;
     let (n, queries_per_origin, origins) = if quick {
         (128, 800, 8)
     } else {
@@ -75,9 +76,9 @@ fn main() {
         let mut hops = 0u64;
         for _ in 0..queries_per_origin {
             let key = catalog.key(wl.sample_item(&mut rng));
-            hops += overlay.query(node_ids[origin_idx], key).hops as u64;
+            hops += u64::from(overlay.query(node_ids[origin_idx], key).hops);
         }
-        hops as f64 / queries_per_origin as f64
+        hops as f64 / f64::from(queries_per_origin)
     };
 
     let mut rng_pick = StdRng::seed_from_u64(seed + 99);
@@ -99,15 +100,28 @@ fn main() {
         fleet += measure(&mut overlay, origin);
     }
     let (none, solo, fleet) = (
-        none / origins as f64,
-        solo / origins as f64,
-        fleet / origins as f64,
+        none / f64::from(origins),
+        solo / f64::from(origins),
+        fleet / f64::from(origins),
     );
-    println!("global-vs-local deployment probe (Chord, n = {n}, k = {k}, alpha = 1.2)\n");
-    println!("core neighbors only:                  {none:.3} hops");
-    println!("only the origin selects (local view): {solo:.3} hops");
-    println!("every node selects (fleet):           {fleet:.3} hops");
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
+        "global-vs-local deployment probe (Chord, n = {n}, k = {k}, alpha = 1.2)\n"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "core neighbors only:                  {none:.3} hops"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "only the origin selects (local view): {solo:.3} hops"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "every node selects (fleet):           {fleet:.3} hops"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
         "\nthe fleet effect is worth another {:.1}% beyond what the origin's own \
          pointers achieve —\nheadroom the §VII 'globally optimal decentralized \
          algorithm' would reason about explicitly.",

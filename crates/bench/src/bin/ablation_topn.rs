@@ -33,6 +33,7 @@ fn problem_from(
 }
 
 fn main() {
+    let mut cli = peercache_bench::BinArgs::parse("ablation_topn");
     let space = IdSpace::paper();
     let mut rng = StdRng::seed_from_u64(23);
     let peers = random_ids(space, 512, &mut rng);
@@ -60,14 +61,18 @@ fn main() {
     // the full exact distribution.
     let full = problem_from(space, me, &core, &exact.snapshot(), k);
     let best = select_fast(&full).unwrap();
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
         "full tracking: eq.1 cost {:.0} ({} candidates)\n",
         best.cost,
         full.candidates.len()
     );
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
         "{:>6} {:>16} {:>16}",
-        "top-n", "exact-top-n", "space-saving"
+        "top-n",
+        "exact-top-n",
+        "space-saving"
     );
     for (n, sketch) in &sketches {
         let truncated = problem_from(space, me, &core, &exact.snapshot().top_n(*n), k);
@@ -76,11 +81,15 @@ fn main() {
         let sk = problem_from(space, me, &core, &sketch.snapshot(), k);
         let s_sel = select_fast(&sk).unwrap();
         let s_cost = chord_cost(&full, &s_sel.aux);
-        println!(
+        peercache_bench::teeln!(
+            cli.tee,
             "{n:>6} {:>15.2}% {:>15.2}%",
             (t_cost - best.cost) / best.cost * 100.0,
             (s_cost - best.cost) / best.cost * 100.0,
         );
     }
-    println!("\n(values are eq.1 cost increase over full tracking; 0% = no loss)");
+    peercache_bench::teeln!(
+        cli.tee,
+        "\n(values are eq.1 cost increase over full tracking; 0% = no loss)"
+    );
 }

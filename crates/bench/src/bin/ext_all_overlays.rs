@@ -6,7 +6,8 @@ use peercache_pastry::RoutingMode;
 use peercache_sim::{run_stable, OverlayKind, StableConfig};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cli = peercache_bench::BinArgs::parse("ext_all_overlays");
+    let quick = cli.quick;
     let (n, queries) = if quick { (128, 10_000) } else { (1024, 40_000) };
     let kinds: [(&str, OverlayKind); 4] = [
         ("chord", OverlayKind::Chord),
@@ -20,16 +21,25 @@ fn main() {
         ("tapestry", OverlayKind::Tapestry { digit_bits: 1 }),
         ("skip graph", OverlayKind::SkipGraph),
     ];
-    println!("stable-mode comparison on every substrate, n = {n}, k = log2 n, alpha = 1.2\n");
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
+        "stable-mode comparison on every substrate, n = {n}, k = log2 n, alpha = 1.2\n"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
         "{:<18} {:>11} {:>12} {:>12} {:>11}",
-        "overlay", "hops(core)", "hops(aware)", "hops(obliv)", "reduction%"
+        "overlay",
+        "hops(core)",
+        "hops(aware)",
+        "hops(obliv)",
+        "reduction%"
     );
     for (name, kind) in kinds {
         let mut config = StableConfig::paper_defaults(kind, n, 7);
         config.queries = queries;
         let r = run_stable(&config);
-        println!(
+        peercache_bench::teeln!(
+            cli.tee,
             "{name:<18} {:>11.3} {:>12.3} {:>12.3} {:>11.1}",
             r.core_only.avg_hops(),
             r.aware.avg_hops(),
@@ -38,7 +48,8 @@ fn main() {
         );
         assert_eq!(r.aware.success_rate(), 1.0);
     }
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
         "\nthe frequency-aware optimum wins on every routing geometry the \
          paper claims applicability to."
     );

@@ -27,7 +27,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cli = peercache_bench::BinArgs::parse("ext_beehive");
+    let quick = cli.quick;
     let (n, queries) = if quick { (128, 10_000) } else { (512, 40_000) };
     let items = 64;
     let k = (n as f64).log2().round() as usize;
@@ -62,7 +63,7 @@ fn main() {
     for _ in 0..queries {
         let origin = node_ids[rng_q.gen_range(0..n)];
         let key = catalog.key(workload.sample_item(&mut rng_q));
-        hops_peer += overlay.query(origin, key).hops as u64;
+        hops_peer += u64::from(overlay.query(origin, key).hops);
     }
     // Peer-cache maintenance: pinging k aux entries per node per refresh
     // interval — and ZERO traffic per item update.
@@ -124,44 +125,52 @@ fn main() {
     }
     // Replication maintenance: every item update must be pushed to all of
     // its replicas.
-    let total_updates = queries as f64 * updates_per_query;
+    let total_updates = f64::from(queries) * updates_per_query;
     let repl_update_msgs: f64 = (0..items)
         .map(|i| total_updates / items as f64 * per_item[i] as f64)
         .sum();
 
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
         "peer caching vs popularity-proportional replication \
          (Chord, n = {n}, budget = n·k = {} entries, {queries} queries, \
          {:.0} item updates)\n",
         n * k,
         total_updates
     );
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
         "{:<28} {:>10} {:>22}",
-        "scheme", "avg hops", "update messages"
+        "scheme",
+        "avg hops",
+        "update messages"
     );
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
         "{:<28} {:>10.3} {:>22.0}",
         "peer caching (paper)",
-        hops_peer as f64 / queries as f64,
+        hops_peer as f64 / f64::from(queries),
         peer_update_msgs
     );
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
         "{:<28} {:>10.3} {:>22.0}",
         "replication (Beehive-style)",
-        hops_repl as f64 / queries as f64,
+        hops_repl as f64 / f64::from(queries),
         repl_update_msgs
     );
-    let hp = hops_peer as f64 / queries as f64;
-    let hr = hops_repl as f64 / queries as f64;
+    let hp = hops_peer as f64 / f64::from(queries);
+    let hr = hops_repl as f64 / f64::from(queries);
     if hp <= hr {
-        println!(
+        peercache_bench::teeln!(
+            cli.tee,
             "\nat this budget the optimal pointers beat replication on hops AND pay \
              nothing on item\nchurn (vs {repl_update_msgs:.0} update messages) — the paper's §I \
              argument, quantified."
         );
     } else {
-        println!(
+        peercache_bench::teeln!(
+            cli.tee,
             "\nreplication buys shorter lookups here ({hr:.3} vs {hp:.3} — Beehive's O(1) \
              design goal)\nbut pays {repl_update_msgs:.0} update messages to keep replicas fresh, \
              where peer caching pays 0:\nunder item churn (mobile IP, §I) the pointer cache \

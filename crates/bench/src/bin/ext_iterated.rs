@@ -27,7 +27,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cli = peercache_bench::BinArgs::parse("ext_iterated");
+    let quick = cli.quick;
     let (n, queries, rounds) = if quick {
         (128, 10_000, 3)
     } else {
@@ -66,9 +67,9 @@ fn main() {
             let idx = rng.gen_range(0..n);
             let wl = NodeWorkload::new(zipf.clone(), assignment.for_node(idx).clone());
             let key = catalog.key(wl.sample_item(&mut rng));
-            hops += overlay.query(node_ids[idx], key).hops as u64;
+            hops += u64::from(overlay.query(node_ids[idx], key).hops);
         }
-        hops as f64 / queries as f64
+        hops as f64 / f64::from(queries)
     };
 
     // (1) the paper's one-shot model-based optimum.
@@ -101,7 +102,7 @@ fn main() {
             overlay.set_aux(node, vec![]);
             let mut benefit: HashMap<Id, f64> = HashMap::new();
             for (cand, w) in weights[idx].iter() {
-                let hops = overlay.query(node, cand).hops as f64;
+                let hops = f64::from(overlay.query(node, cand).hops);
                 benefit.insert(cand, w * (hops - 1.0).max(0.0));
             }
             let mut ranked: Vec<(Id, f64)> = benefit.into_iter().collect();
@@ -133,11 +134,23 @@ fn main() {
     }
     let oblivious_hops = measure(&mut overlay);
 
-    println!("iterated measured selection (Chord, n = {n}, k = {k}, alpha = 1.2)\n");
-    println!("oblivious baseline:              {oblivious_hops:.3} hops");
-    println!("paper's one-shot model optimum:  {model_hops:.3} hops");
+    peercache_bench::teeln!(
+        cli.tee,
+        "iterated measured selection (Chord, n = {n}, k = {k}, alpha = 1.2)\n"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "oblivious baseline:              {oblivious_hops:.3} hops"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "paper's one-shot model optimum:  {model_hops:.3} hops"
+    );
     for (round, changed, hops) in &history {
-        println!("iterated round {round}: {changed:>4} nodes re-selected → {hops:.3} hops");
+        peercache_bench::teeln!(
+            cli.tee,
+            "iterated round {round}: {changed:>4} nodes re-selected → {hops:.3} hops"
+        );
     }
     let delta = if model_hops > 1.0 {
         (model_hops - iterated_hops) / (model_hops - 1.0) * 100.0
@@ -145,13 +158,15 @@ fn main() {
         0.0
     };
     if delta >= 0.5 {
-        println!(
+        peercache_bench::teeln!(
+            cli.tee,
             "\nmeasured-feedback iteration closes {delta:.1}% of the remaining \
              gap — empirical headroom\nfor the §VII open problem under this \
              workload."
         );
     } else {
-        println!(
+        peercache_bench::teeln!(
+            cli.tee,
             "\nmeasured-feedback greedy does NOT beat the one-shot model \
              optimum ({delta:.1}% of the gap):\nthe DP's coordinated coverage \
              (one pointer serving a whole id-region) outweighs what\nper-\

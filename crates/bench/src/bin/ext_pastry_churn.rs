@@ -9,11 +9,21 @@ use peercache_pastry::RoutingMode;
 use peercache_sim::{run_churn_once, ChurnConfig, OverlayKind, Strategy};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    println!("Pastry under churn (extension; paper's §VI-C parameters)\n");
-    println!(
+    let mut cli = peercache_bench::BinArgs::parse("ext_pastry_churn");
+    let quick = cli.quick;
+    peercache_bench::teeln!(
+        cli.tee,
+        "Pastry under churn (extension; paper's §VI-C parameters)\n"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
         "{:<18} {:>5} {:>12} {:>12} {:>11} {:>9}",
-        "mode", "n", "hops(aware)", "hops(obliv)", "reduction%", "success"
+        "mode",
+        "n",
+        "hops(aware)",
+        "hops(obliv)",
+        "reduction%",
+        "success"
     );
     for mode in [RoutingMode::GreedyPrefix, RoutingMode::LocalityAware] {
         for &n in if quick {
@@ -36,7 +46,8 @@ fn main() {
                 RoutingMode::GreedyPrefix => "greedy-prefix",
                 RoutingMode::LocalityAware => "locality-aware",
             };
-            println!(
+            peercache_bench::teeln!(
+                cli.tee,
                 "{name:<18} {n:>5} {:>12.3} {:>12.3} {:>11.1} {:>8.1}%",
                 aware.avg_hops(),
                 oblivious.avg_hops(),
@@ -45,7 +56,8 @@ fn main() {
             );
         }
     }
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
         "\nthe paper's churn conclusions (positive but roughly halved gains, \
          ~99% success)\ncarry over to the prefix-routing substrate."
     );

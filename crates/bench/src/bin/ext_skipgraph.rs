@@ -19,7 +19,8 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cli = peercache_bench::BinArgs::parse("ext_skipgraph");
+    let quick = cli.quick;
     let (n, queries) = if quick { (128, 10_000) } else { (1024, 40_000) };
     let items = 64;
     let k = (n as f64).log2().round() as usize;
@@ -79,19 +80,32 @@ fn main() {
             let key = catalog.key(workload.sample_item(&mut rng));
             let res = net.search(origin, key).unwrap();
             assert!(res.is_success());
-            hops += res.hops as u64;
+            hops += u64::from(res.hops);
         }
-        hops as f64 / queries as f64
+        hops as f64 / f64::from(queries)
     };
 
     let core_only = measure(&mut net, None);
     let hops_aware = measure(&mut net, Some(&aware));
     let hops_oblivious = measure(&mut net, Some(&oblivious));
-    println!("skip-graph transfer (extension; §I claim), n = {n}, k = {k}, alpha = 1.2\n");
-    println!("level links only:               {core_only:.3} hops");
-    println!("frequency-aware (Chord alg.):   {hops_aware:.3} hops");
-    println!("frequency-oblivious random:     {hops_oblivious:.3} hops");
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
+        "skip-graph transfer (extension; §I claim), n = {n}, k = {k}, alpha = 1.2\n"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "level links only:               {core_only:.3} hops"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "frequency-aware (Chord alg.):   {hops_aware:.3} hops"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "frequency-oblivious random:     {hops_oblivious:.3} hops"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
         "\nreduction vs oblivious: {:.1}% — the Chord selection transfers to \
          skip graphs through rank space.",
         (hops_oblivious - hops_aware) / hops_oblivious * 100.0

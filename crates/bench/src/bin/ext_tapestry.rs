@@ -17,7 +17,8 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cli = peercache_bench::BinArgs::parse("ext_tapestry");
+    let quick = cli.quick;
     let (n, queries) = if quick { (128, 10_000) } else { (1024, 40_000) };
     let items = 64;
     let digit_bits = 1u8;
@@ -67,19 +68,32 @@ fn main() {
             let key = catalog.key(workload.sample_item(&mut rng));
             let res = net.route(origin, key).unwrap();
             assert!(res.is_success());
-            hops += res.hops as u64;
+            hops += u64::from(res.hops);
         }
-        hops as f64 / queries as f64
+        hops as f64 / f64::from(queries)
     };
 
     let core_only = measure(&mut net, None);
     let hops_aware = measure(&mut net, Some(&aware));
     let hops_oblivious = measure(&mut net, Some(&oblivious));
-    println!("Tapestry transfer (extension; §I claim), n = {n}, k = {k}, alpha = 1.2\n");
-    println!("core routing table only:       {core_only:.3} hops");
-    println!("frequency-aware (Pastry alg.): {hops_aware:.3} hops");
-    println!("frequency-oblivious random:    {hops_oblivious:.3} hops");
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
+        "Tapestry transfer (extension; §I claim), n = {n}, k = {k}, alpha = 1.2\n"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "core routing table only:       {core_only:.3} hops"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "frequency-aware (Pastry alg.): {hops_aware:.3} hops"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "frequency-oblivious random:    {hops_oblivious:.3} hops"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
         "\nreduction vs oblivious: {:.1}% — the Pastry selection transfers to \
          Tapestry unchanged.",
         (hops_oblivious - hops_aware) / hops_oblivious * 100.0

@@ -1,0 +1,402 @@
+//! The machine-readable performance baseline: time the hot kernels with
+//! warmup + median-of-N and emit `out/BENCH_<label>.json`, the first
+//! point of the perf trajectory CI gates against.
+//!
+//! Kernels:
+//!
+//! * the fast Chord DP ([`select_fast`]) vs the naive `O(n²k)` reference,
+//!   plus the oracle+DP phase alone via [`PreparedChord`];
+//! * the greedy Pastry trie DP and the exact per-row DP;
+//! * Space-Saving stream updates;
+//! * end-to-end `fig3` at `--quick` scale serially and over the pool
+//!   (paper scale too without `--quick`), reporting speedup-vs-serial.
+//!
+//! Raw `ns_per_op` is machine-dependent, so the gate compares **units**:
+//! each kernel's time divided by the time of a fixed SplitMix64 mixing
+//! loop measured on the same machine in the same run. Units move far less
+//! across hosts than nanoseconds do; the `--baseline` mode fails when any
+//! gated kernel's units regress beyond the tolerance (default 25 %).
+//!
+//! ```text
+//! perf_baseline [--quick] [--label NAME] [--threads N]
+//!               [--baseline PATH] [--tolerance PCT]
+//! ```
+//!
+//! To refresh the committed baseline:
+//! `cargo run --release -p peercache-bench --bin perf_baseline -- --quick
+//! --label baseline && cp out/BENCH_baseline.json .`
+
+use std::time::Instant;
+
+use peercache_bench::json::Json;
+use peercache_bench::{random_chord_problem, random_pastry_problem};
+use peercache_core::chord::{select_fast, select_naive, PreparedChord};
+use peercache_core::pastry::{select_dp, select_greedy};
+use peercache_freq::{FrequencyEstimator, SpaceSaving};
+use peercache_id::Id;
+use peercache_par::with_threads;
+use peercache_sim::{fig3, Scale};
+use peercache_workload::{random_ids, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct KernelReport {
+    kernel: String,
+    config: String,
+    ns_per_op: f64,
+    /// ns_per_op divided by the calibration loop's ns-per-mix: the
+    /// machine-normalised figure the regression gate compares.
+    units: f64,
+    ops_per_iter: u64,
+    samples: usize,
+    threads: usize,
+    speedup_vs_serial: Option<f64>,
+    /// Whether the regression gate applies (end-to-end wall-clock kernels
+    /// are informational: too load-sensitive to gate in CI).
+    gated: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    label: String,
+    quick: bool,
+    threads: usize,
+    calibration_ns_per_mix: f64,
+    kernels: Vec<KernelReport>,
+}
+
+struct Profile {
+    quick: bool,
+    /// Median-of-N samples for the micro kernels.
+    samples: usize,
+    warmup: usize,
+    /// Samples for the end-to-end figure kernels.
+    e2e_samples: usize,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Median ns per call of `f` over `samples` timed runs after `warmup`
+/// untimed ones.
+fn time_median<F: FnMut()>(samples: usize, warmup: usize, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_nanos() as f64);
+    }
+    median(times)
+}
+
+/// Time the fixed reference workload: a SplitMix64-style mixing loop.
+/// Returns ns per mix. Every kernel's `units` figure is its ns/op divided
+/// by this, which cancels most of the host's single-core speed.
+fn calibrate() -> f64 {
+    const MIXES: u64 = 1 << 22;
+    let ns = time_median(5, 1, || {
+        let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..MIXES {
+            let mut z = acc.wrapping_add(i).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            acc = z ^ (z >> 31);
+        }
+        // The accumulator escapes through a volatile-ish sink so the loop
+        // cannot be folded away.
+        std::hint::black_box(acc);
+    });
+    ns / MIXES as f64
+}
+
+fn parse_args() -> (Profile, String, Option<String>, f64) {
+    let mut quick = false;
+    let mut label = "local".to_string();
+    let mut baseline = None;
+    let mut tolerance = 25.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--label" => label = args.next().expect("--label takes a name"),
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--threads takes a positive integer");
+                peercache_par::set_threads(n);
+            }
+            "--baseline" => baseline = Some(args.next().expect("--baseline takes a path")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t: &f64| t > 0.0)
+                    .expect("--tolerance takes a positive percentage");
+            }
+            other => panic!(
+                "unknown argument {other}; usage: [--quick] [--label NAME] \
+                 [--threads N] [--baseline PATH] [--tolerance PCT]"
+            ),
+        }
+    }
+    let profile = if quick {
+        Profile {
+            quick,
+            samples: 9,
+            warmup: 2,
+            e2e_samples: 3,
+        }
+    } else {
+        Profile {
+            quick,
+            samples: 9,
+            warmup: 2,
+            e2e_samples: 1,
+        }
+    };
+    (profile, label, baseline, tolerance)
+}
+
+fn micro_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>) {
+    let mut push = |name: &str, config: &str, ops: u64, ns_total: f64| {
+        let ns_per_op = ns_total / ops as f64;
+        println!(
+            "  {name:<24} {config:<28} {ns_per_op:>14.1} ns/op {:>12.2} units",
+            ns_per_op / calib
+        );
+        kernels.push(KernelReport {
+            kernel: name.to_string(),
+            config: config.to_string(),
+            ns_per_op,
+            units: ns_per_op / calib,
+            ops_per_iter: ops,
+            samples: profile.samples,
+            threads: 1,
+            speedup_vs_serial: None,
+            gated: true,
+        });
+    };
+
+    // Solver kernel sizes are identical in --quick and full runs so the
+    // kernel names line up with the committed --quick baseline.
+    let big = random_chord_problem(1024, 10, 1.2, 11);
+    push(
+        "chord_fast_dp",
+        "n=1024 k=10 alpha=1.2",
+        1,
+        time_median(profile.samples, profile.warmup, || {
+            std::hint::black_box(select_fast(&big).expect("solvable"));
+        }),
+    );
+
+    let prepared = PreparedChord::new(&big).expect("well-formed");
+    push(
+        "chord_oracle_dp_phase",
+        "n=1024 k=10 (rebase hoisted)",
+        1,
+        time_median(profile.samples, profile.warmup, || {
+            std::hint::black_box(prepared.solve(10).expect("solvable"));
+        }),
+    );
+
+    let small = random_chord_problem(256, 8, 1.2, 11);
+    // Cross-check while we're here: the two solvers must agree on cost.
+    let fast_cost = select_fast(&small).expect("solvable").cost;
+    let naive_cost = select_naive(&small).expect("solvable").cost;
+    assert!(
+        (fast_cost - naive_cost).abs() < 1e-6,
+        "fast ({fast_cost}) and naive ({naive_cost}) solvers disagree"
+    );
+    push(
+        "chord_naive_dp",
+        "n=256 k=8 alpha=1.2",
+        1,
+        time_median(profile.samples, profile.warmup, || {
+            std::hint::black_box(select_naive(&small).expect("solvable"));
+        }),
+    );
+
+    let pastry_big = random_pastry_problem(1024, 10, 1.2, 11);
+    push(
+        "pastry_greedy_dp",
+        "n=1024 k=10 alpha=1.2",
+        1,
+        time_median(profile.samples, profile.warmup, || {
+            std::hint::black_box(select_greedy(&pastry_big).expect("solvable"));
+        }),
+    );
+
+    let pastry_small = random_pastry_problem(256, 8, 1.2, 11);
+    push(
+        "pastry_exact_dp",
+        "n=256 k=8 alpha=1.2",
+        1,
+        time_median(profile.samples, profile.warmup, || {
+            std::hint::black_box(select_dp(&pastry_small).expect("solvable"));
+        }),
+    );
+
+    // Space-Saving: one summary consuming a pre-generated Zipf stream of
+    // owner observations (the churn driver's estimator hot path).
+    const STREAM: usize = 100_000;
+    let mut rng = StdRng::seed_from_u64(13);
+    let peers = random_ids(peercache_id::IdSpace::paper(), 1024, &mut rng);
+    let zipf = Zipf::new(peers.len(), 1.2).expect("valid Zipf");
+    let stream: Vec<Id> = (0..STREAM).map(|_| peers[zipf.sample(&mut rng)]).collect();
+    push(
+        "space_saving_update",
+        "capacity=64 stream=100k zipf1.2",
+        STREAM as u64,
+        time_median(profile.samples, profile.warmup, || {
+            let mut top = SpaceSaving::new(64);
+            for &p in &stream {
+                top.observe(p);
+            }
+            std::hint::black_box(top.observations());
+        }),
+    );
+}
+
+fn e2e_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>) {
+    let pool_threads = peercache_par::threads();
+    let scales: &[(&str, Scale)] = if profile.quick {
+        &[("fig3_quick", Scale::quick())]
+    } else {
+        &[
+            ("fig3_quick", Scale::quick()),
+            ("fig3_paper", Scale::paper()),
+        ]
+    };
+    for (name, scale) in scales {
+        let serial = time_median(profile.e2e_samples, 0, || {
+            std::hint::black_box(with_threads(1, || fig3(scale, 1)));
+        });
+        let parallel = time_median(profile.e2e_samples, 0, || {
+            std::hint::black_box(with_threads(pool_threads, || fig3(scale, 1)));
+        });
+        for (suffix, threads, ns, speedup) in [
+            ("serial", 1, serial, None),
+            ("parallel", pool_threads, parallel, Some(serial / parallel)),
+        ] {
+            let kernel = format!("{name}_{suffix}");
+            println!(
+                "  {kernel:<24} {:<28} {ns:>14.1} ns/op {:>12.2} units{}",
+                format!("threads={threads}"),
+                ns / calib,
+                speedup.map_or(String::new(), |s| format!("  ({s:.2}x vs serial)")),
+            );
+            kernels.push(KernelReport {
+                kernel,
+                config: "end-to-end figure sweep".to_string(),
+                ns_per_op: ns,
+                units: ns / calib,
+                ops_per_iter: 1,
+                samples: profile.e2e_samples,
+                threads,
+                speedup_vs_serial: speedup,
+                gated: false,
+            });
+        }
+    }
+}
+
+/// Compare a fresh report against a committed baseline; returns the
+/// number of gated kernels that regressed beyond `tolerance` percent.
+fn check_against_baseline(report: &BenchReport, path: &str, tolerance: f64) -> usize {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+    let base_kernels = doc
+        .get("kernels")
+        .and_then(Json::as_array)
+        .expect("baseline has a kernels array");
+    println!("\nregression gate vs {path} (tolerance {tolerance:.0} %, on normalised units):");
+    let mut regressions = 0;
+    for base in base_kernels {
+        let name = base
+            .get("kernel")
+            .and_then(Json::as_str)
+            .expect("baseline kernel has a name");
+        if base.get("gated").and_then(Json::as_bool) != Some(true) {
+            continue;
+        }
+        let base_units = base
+            .get("units")
+            .and_then(Json::as_f64)
+            .expect("baseline kernel has units");
+        let Some(fresh) = report.kernels.iter().find(|k| k.kernel == name) else {
+            println!("  {name:<24} MISSING from this run");
+            regressions += 1;
+            continue;
+        };
+        let ratio = fresh.units / base_units;
+        let verdict = if ratio > 1.0 + tolerance / 100.0 {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {name:<24} {base_units:>10.2} -> {:>10.2} units  ({:+.1} %)  {verdict}",
+            fresh.units,
+            (ratio - 1.0) * 100.0
+        );
+    }
+    regressions
+}
+
+fn main() {
+    let (profile, label, baseline, tolerance) = parse_args();
+    let calib = calibrate();
+    println!(
+        "perf_baseline: label={label} quick={} threads={} calibration={calib:.3} ns/mix",
+        profile.quick,
+        peercache_par::threads()
+    );
+    let mut kernels = Vec::new();
+    println!("solver micro-kernels (median of {}):", profile.samples);
+    micro_kernels(&profile, calib, &mut kernels);
+    println!("end-to-end sweeps (median of {}):", profile.e2e_samples);
+    e2e_kernels(&profile, calib, &mut kernels);
+
+    let report = BenchReport {
+        label: label.clone(),
+        quick: profile.quick,
+        threads: peercache_par::threads(),
+        calibration_ns_per_mix: calib,
+        kernels,
+    };
+    std::fs::create_dir_all("out").expect("create out/ directory");
+    let path = format!("out/BENCH_{label}.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("report serialises"),
+    )
+    .expect("write bench report");
+    println!("(report written to {path})");
+
+    if let Some(base_path) = baseline {
+        let regressions = check_against_baseline(&report, &base_path, tolerance);
+        if regressions > 0 {
+            eprintln!("{regressions} kernel(s) regressed beyond {tolerance:.0} %");
+            std::process::exit(1);
+        }
+        println!("all gated kernels within tolerance");
+    }
+}

@@ -13,7 +13,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cli = peercache_bench::BinArgs::parse("qos_guarantees");
+    let quick = cli.quick;
     let (n, queries_per_node) = if quick { (128, 60) } else { (512, 200) };
     let bound_hops = 3u32;
     let space = IdSpace::paper();
@@ -64,7 +65,7 @@ fn main() {
             let item = workload.sample_item(&mut rng);
             let out = overlay.query(origin, catalog.key(item));
             assert!(out.success);
-            hops_total += out.hops as u64;
+            hops_total += u64::from(out.hops);
             count += 1;
             if qos_targets.contains(&owners[item]) && origin != owners[item] {
                 bounded_total += 1;
@@ -82,14 +83,25 @@ fn main() {
 
     let (met_plain, avg_plain, nq) = run(&mut overlay, false);
     let (met_qos, avg_qos, _) = run(&mut overlay, true);
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
         "QoS guarantees on Chord, n = {n}, k = {k}, bound = {bound_hops} hops, \
          {nq} bounded queries\n"
     );
-    println!("                         bound met    avg hops (all queries)");
-    println!("unconstrained optimum:   {met_plain:>8.1}%    {avg_plain:.3}");
-    println!("QoS-aware optimum:       {met_qos:>8.1}%    {avg_qos:.3}");
-    println!(
+    peercache_bench::teeln!(
+        cli.tee,
+        "                         bound met    avg hops (all queries)"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "unconstrained optimum:   {met_plain:>8.1}%    {avg_plain:.3}"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
+        "QoS-aware optimum:       {met_qos:>8.1}%    {avg_qos:.3}"
+    );
+    peercache_bench::teeln!(
+        cli.tee,
         "\nQoS-aware selection trades {:.1}% average hops for meeting the bound \
          on {:.1}% of constrained queries.",
         (avg_qos - avg_plain) / avg_plain * 100.0,

@@ -4,7 +4,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::io::Write;
+use std::path::PathBuf;
 
 use peercache_core::{Candidate, ChordProblem, PastryProblem};
 use peercache_id::{Id, IdSpace};
@@ -12,6 +15,13 @@ use peercache_sim::{FigureRow, Scale};
 use peercache_workload::{random_ids, Zipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+// Rounded log2 of a candidate count is tiny and non-negative, so the
+// f64 → usize cast is exact.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn log2(n: usize) -> usize {
+    (n as f64).log2().round() as usize
+}
 
 /// Build a random Chord selection problem: `n` candidates with Zipf(α)
 /// weights, `log₂ n` core fingers at exponentially spaced offsets.
@@ -28,11 +38,7 @@ pub fn random_chord_problem(n: usize, k: usize, alpha: f64, seed: u64) -> ChordP
         .collect();
     // Core fingers: closest candidate at or after source + 2^i (re-using
     // extra ids so cores never collide with candidates).
-    let core: Vec<Id> = ids[n + 1..]
-        .iter()
-        .copied()
-        .take((n as f64).log2().round() as usize)
-        .collect();
+    let core: Vec<Id> = ids[n + 1..].iter().copied().take(log2(n)).collect();
     ChordProblem::new(space, source, core, candidates, k).expect("well-formed")
 }
 
@@ -49,12 +55,89 @@ pub fn random_pastry_problem(n: usize, k: usize, alpha: f64, seed: u64) -> Pastr
         .enumerate()
         .map(|(i, &id)| Candidate::new(id, zipf.rank_probability(i) * 1e6))
         .collect();
-    let core: Vec<Id> = ids[n + 1..]
-        .iter()
-        .copied()
-        .take((n as f64).log2().round() as usize)
-        .collect();
+    let core: Vec<Id> = ids[n + 1..].iter().copied().take(log2(n)).collect();
     PastryProblem::new(space, 1, source, core, candidates, k).expect("well-formed")
+}
+
+/// A writer mirroring a binary's report to stdout **and** to
+/// `out/<name>_output.txt`, so recorded outputs live in the gitignored
+/// `out/` directory instead of being committed by hand.
+pub struct Tee {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl Tee {
+    /// Open `out/<name>_output.txt` for mirroring (creating `out/`).
+    ///
+    /// # Panics
+    /// Panics when the output directory or file cannot be created.
+    pub fn create(name: &str) -> Self {
+        std::fs::create_dir_all("out").expect("create out/ directory");
+        let path = PathBuf::from(format!("out/{name}_output.txt"));
+        let file = std::fs::File::create(&path).expect("create output file");
+        Tee { file, path }
+    }
+
+    /// Write one line to stdout and the mirror file.
+    ///
+    /// # Panics
+    /// Panics when the mirror file cannot be written.
+    pub fn line(&mut self, text: &str) {
+        println!("{text}");
+        writeln!(self.file, "{text}").expect("write output file");
+    }
+
+    /// Where the mirror is being written.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+/// `println!`-style helper writing through a [`Tee`].
+#[macro_export]
+macro_rules! teeln {
+    ($tee:expr) => { $tee.line("") };
+    ($tee:expr, $($arg:tt)*) => { $tee.line(&format!($($arg)*)) };
+}
+
+/// Arguments shared by the ad-hoc ablation/extension binaries:
+/// `--quick` plus the engine-wide `--threads N`, and a [`Tee`] mirroring
+/// the report into `out/`.
+pub struct BinArgs {
+    /// Run at reduced scale.
+    pub quick: bool,
+    /// Mirror writer for the binary's report.
+    pub tee: Tee,
+}
+
+impl BinArgs {
+    /// Parse `[--quick] [--threads N]` and open the `out/` mirror.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(name: &str) -> Self {
+        let mut quick = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--threads" => peercache_par::set_threads(parse_threads(args.next())),
+                other => panic!("unknown argument {other}; usage: [--quick] [--threads N]"),
+            }
+        }
+        BinArgs {
+            quick,
+            tee: Tee::create(name),
+        }
+    }
+}
+
+fn parse_threads(value: Option<String>) -> usize {
+    value
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .expect("--threads takes a positive integer")
 }
 
 /// CLI options shared by the figure binaries.
@@ -68,7 +151,9 @@ pub struct FigureCli {
 }
 
 impl FigureCli {
-    /// Parse `--quick`, `--seed N`, `--json PATH` from `std::env::args`.
+    /// Parse `--quick`, `--seed N`, `--json PATH`, `--threads N` from
+    /// `std::env::args`. `--threads` sets the [`peercache_par`] pool width
+    /// for the whole process (results are bit-identical at any width).
     ///
     /// # Panics
     /// Panics with a usage message on malformed arguments (these are
@@ -90,8 +175,11 @@ impl FigureCli {
                 "--json" => {
                     json = Some(args.next().expect("--json takes a path"));
                 }
+                "--threads" => peercache_par::set_threads(parse_threads(args.next())),
                 other => {
-                    panic!("unknown argument {other}; usage: [--quick] [--seed N] [--json PATH]")
+                    panic!(
+                        "unknown argument {other}; usage: [--quick] [--seed N] [--json PATH] [--threads N]"
+                    )
                 }
             }
         }

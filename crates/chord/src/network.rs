@@ -25,7 +25,7 @@ impl ChordConfig {
         ChordConfig {
             space,
             successor_list_len: 8,
-            hop_limit: 4 * space.bits() as u32,
+            hop_limit: 4 * u32::from(space.bits()),
         }
     }
 }
@@ -71,6 +71,7 @@ impl Error for NetworkError {}
 /// ring.set_aux(Id::new(10), vec![Id::new(80)]).unwrap();
 /// assert_eq!(ring.lookup(Id::new(10), Id::new(100)).unwrap().hops, 1);
 /// ```
+#[derive(Clone)]
 pub struct ChordNetwork {
     config: ChordConfig,
     nodes: BTreeMap<u128, ChordNode>,
@@ -315,7 +316,10 @@ impl ChordNetwork {
         };
         for b in beliefs {
             if !self.is_live(b) {
-                self.nodes.get_mut(&id.value()).unwrap().forget(b);
+                self.nodes
+                    .get_mut(&id.value())
+                    .expect("stabilizing node is live")
+                    .forget(b);
             }
         }
         // 2. Successor handshake: adopt successor's predecessor if closer;
@@ -345,7 +349,10 @@ impl ChordNetwork {
                 }
             }
             list.truncate(self.config.successor_list_len);
-            self.nodes.get_mut(&id.value()).unwrap().successors = list;
+            self.nodes
+                .get_mut(&id.value())
+                .expect("stabilizing node is live")
+                .successors = list;
             // Notify: the successor adopts us as predecessor if we are
             // closer than its current belief.
             let new_succ = self.nodes[&id.value()].successor().expect("just set");
@@ -354,7 +361,10 @@ impl ChordNetwork {
                 Some(p) => p == id || space.between_open(p, id, new_succ) || !self.is_live(p),
             };
             if adopt {
-                self.nodes.get_mut(&new_succ.value()).unwrap().predecessor = Some(id);
+                self.nodes
+                    .get_mut(&new_succ.value())
+                    .expect("successor is live")
+                    .predecessor = Some(id);
             }
         } else {
             // Lost every successor: re-acquire from any live belief, or —
@@ -362,12 +372,18 @@ impl ChordNetwork {
             // would re-join through an out-of-band bootstrap server).
             let fallback = self.next_live(id).filter(|&s| s != id);
             if let Some(s) = fallback {
-                self.nodes.get_mut(&id.value()).unwrap().successors = vec![s];
+                self.nodes
+                    .get_mut(&id.value())
+                    .expect("stabilizing node is live")
+                    .successors = vec![s];
             }
         }
         // 3. Fix fingers (periodic re-initialization).
         let fingers = self.true_fingers(id);
-        self.nodes.get_mut(&id.value()).unwrap().fingers = fingers;
+        self.nodes
+            .get_mut(&id.value())
+            .expect("stabilizing node is live")
+            .fingers = fingers;
         Ok(())
     }
 
@@ -451,7 +467,10 @@ impl ChordNetwork {
                     break;
                 }
                 failed_probes += 1;
-                self.nodes.get_mut(&current.value()).unwrap().forget(w);
+                self.nodes
+                    .get_mut(&current.value())
+                    .expect("route current node is live")
+                    .forget(w);
             }
             if let Some(w) = next {
                 hops += 1;

@@ -114,7 +114,7 @@ mod tests {
         n.aux = vec![id(5)];
         n.predecessor = Some(id(5));
         n.forget(id(5));
-        assert!(n.fingers.iter().all(|f| f.is_none()));
+        assert!(n.fingers.iter().all(std::option::Option::is_none));
         assert_eq!(n.successors, vec![id(7)]);
         assert!(n.aux.is_empty());
         assert_eq!(n.predecessor, None);

@@ -39,26 +39,26 @@ proptest! {
         for op in seq {
             match op {
                 Op::Join(v) => {
-                    let _ = net.join(space.normalize(v as u128));
+                    let _ = net.join(space.normalize(u128::from(v)));
                 }
                 Op::Fail(v) => {
                     // Keep at least one node so lookups stay well-defined.
                     if net.len() > 1 {
-                        let _ = net.fail(space.normalize(v as u128));
+                        let _ = net.fail(space.normalize(u128::from(v)));
                     }
                 }
                 Op::Leave(v) => {
                     if net.len() > 1 {
-                        let _ = net.leave(space.normalize(v as u128));
+                        let _ = net.leave(space.normalize(u128::from(v)));
                     }
                 }
                 Op::Stabilize(v) => {
-                    let _ = net.stabilize(space.normalize(v as u128));
+                    let _ = net.stabilize(space.normalize(u128::from(v)));
                 }
                 Op::Lookup(from, key) => {
-                    let from = space.normalize(from as u128);
+                    let from = space.normalize(u128::from(from));
                     if net.is_live(from) {
-                        let res = net.lookup(from, space.normalize(key as u128)).unwrap();
+                        let res = net.lookup(from, space.normalize(u128::from(key))).unwrap();
                         // Hops may not exceed the configured budget.
                         prop_assert!(res.hops <= net.config().hop_limit);
                     }
@@ -92,9 +92,9 @@ proptest! {
         let mut net = ChordNetwork::build(ChordConfig::new(space), &seed);
         for op in seq {
             match op {
-                Op::Join(v) => { let _ = net.join(space.normalize(v as u128)); }
-                Op::Fail(v) if net.len() > 1 => { let _ = net.fail(space.normalize(v as u128)); }
-                Op::Stabilize(v) => { let _ = net.stabilize(space.normalize(v as u128)); }
+                Op::Join(v) => { let _ = net.join(space.normalize(u128::from(v))); }
+                Op::Fail(v) if net.len() > 1 => { let _ = net.fail(space.normalize(u128::from(v))); }
+                Op::Stabilize(v) => { let _ = net.stabilize(space.normalize(u128::from(v))); }
                 _ => {}
             }
         }

@@ -11,13 +11,13 @@ fn id(v: u128) -> Id {
 }
 
 fn build(bits: u8, ids: &[u128]) -> ChordNetwork {
-    let config = ChordConfig::new(IdSpace::new(bits).unwrap());
+    let config = ChordConfig::new(IdSpace::new(bits).expect("valid bits"));
     let ids: Vec<Id> = ids.iter().copied().map(Id::new).collect();
     ChordNetwork::build(config, &ids)
 }
 
 fn random_ring(bits: u8, n: usize, seed: u64) -> (ChordNetwork, Vec<Id>) {
-    let space = IdSpace::new(bits).unwrap();
+    let space = IdSpace::new(bits).expect("valid bits");
     let mut rng = StdRng::seed_from_u64(seed);
     let ids = peercache_workload_ids(space, n, &mut rng);
     let net = ChordNetwork::build(ChordConfig::new(space), &ids);
@@ -29,7 +29,7 @@ fn peercache_workload_ids(space: IdSpace, n: usize, rng: &mut StdRng) -> Vec<Id>
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
     while out.len() < n {
-        let v = space.normalize(rng.gen::<u64>() as u128);
+        let v = space.normalize(u128::from(rng.gen::<u64>()));
         if seen.insert(v) {
             out.push(v);
         }
@@ -87,7 +87,7 @@ fn stable_lookups_stay_within_log_bound() {
     let mut max_hops = 0;
     for _ in 0..2000 {
         let from = ids[rng.gen_range(0..ids.len())];
-        let key = id(rng.gen::<u32>() as u128);
+        let key = id(u128::from(rng.gen::<u32>()));
         let res = net.lookup(from, key).unwrap();
         assert!(res.is_success());
         assert_eq!(res.failed_probes, 0, "no dead probes in a stable ring");
@@ -204,7 +204,7 @@ fn churn_storm_recovers_after_stabilization_rounds() {
     let space = IdSpace::new(20).unwrap();
     for _ in 0..20 {
         loop {
-            let fresh = space.normalize(rng.gen::<u64>() as u128);
+            let fresh = space.normalize(u128::from(rng.gen::<u64>()));
             if !net.is_live(fresh) && net.join(fresh).is_ok() {
                 break;
             }

@@ -126,6 +126,61 @@ pub fn select_schedule(problem: &ChordProblem) -> Result<Vec<(usize, Selection)>
     Ok(out)
 }
 
+/// The §V-B solve split at its phase boundary: the source-rooted ring
+/// rebase (candidate ranking, distance estimates, prefix aggregates) is
+/// captured once at construction, and [`PreparedChord::solve`] then runs
+/// the segment-oracle precompute plus the layered DP per budget.
+///
+/// Exposed so the `perf_baseline` timer can attribute cost to the two
+/// phases separately, and so callers re-solving the same problem under
+/// several budgets `k` skip the rebase.
+pub struct PreparedChord {
+    ring: RingView,
+}
+
+impl PreparedChord {
+    /// Phase 1 of §V-B: rebase `problem` onto the source-rooted ring.
+    ///
+    /// # Errors
+    /// [`SelectError::InvalidProblem`] on malformed input.
+    pub fn new(problem: &ChordProblem) -> Result<Self, SelectError> {
+        Ok(PreparedChord {
+            ring: RingView::new(problem)?,
+        })
+    }
+
+    /// Number of ranked candidates in the rebased ring.
+    #[must_use]
+    pub fn candidates(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Phase 2 of §V-B: segment-oracle precompute (`O(n·b·log n)`) plus
+    /// the `k`-layer divide-and-conquer DP (`O(k·n·log n)`), escalating
+    /// the layer count when QoS bounds make exactly-`k` placements
+    /// infeasible (mirroring [`select_fast`]).
+    ///
+    /// # Errors
+    /// [`SelectError::QosInfeasible`] when delay bounds cannot be met
+    /// with `k` pointers.
+    pub fn solve(&self, k: usize) -> Result<Selection, SelectError> {
+        let ring = &self.ring;
+        let oracle = SegmentOracle::new(ring);
+        let mut dp = solve_fast(ring, &oracle, k);
+        #[cfg(feature = "check-invariants")]
+        crate::invariants::assert_chord_fast_matches_naive(ring, &dp, k);
+        let n = ring.len();
+        if n > 0 && !dp.layers[k][n].is_finite() {
+            let mut i = k;
+            while i < n && !dp.layers[i][n].is_finite() {
+                i += 1;
+                dp = solve_fast(ring, &oracle, i);
+            }
+        }
+        selection_from(ring, &dp, k)
+    }
+}
+
 /// One-shot selection via the fast algorithm (paper §V-B):
 /// `O(n·b·log n)` preprocessing plus `O(k·n·log n)` DP.
 ///
@@ -134,19 +189,5 @@ pub fn select_schedule(problem: &ChordProblem) -> Result<Vec<(usize, Selection)>
 /// [`SelectError::QosInfeasible`] when delay bounds cannot be met with
 /// `k` pointers.
 pub fn select_fast(problem: &ChordProblem) -> Result<Selection, SelectError> {
-    let ring = RingView::new(problem)?;
-    let oracle = SegmentOracle::new(&ring);
-    let k = problem.effective_k();
-    let mut dp = solve_fast(&ring, &oracle, k);
-    #[cfg(feature = "check-invariants")]
-    crate::invariants::assert_chord_fast_matches_naive(&ring, &dp, k);
-    let n = ring.len();
-    if n > 0 && !dp.layers[k][n].is_finite() {
-        let mut i = k;
-        while i < n && !dp.layers[i][n].is_finite() {
-            i += 1;
-            dp = solve_fast(&ring, &oracle, i);
-        }
-    }
-    selection_from(&ring, &dp, k)
+    PreparedChord::new(problem)?.solve(problem.effective_k())
 }

@@ -135,7 +135,7 @@ impl<'a> SegmentOracle<'a> {
                 .core_seg_prefix
                 .push(oracle.core_seg_prefix[q] + cost);
         }
-        if ring.qos_lo.iter().any(|q| q.is_some()) {
+        if ring.qos_lo.iter().any(std::option::Option::is_some) {
             let values: Vec<u128> = ring.qos_lo.iter().map(|q| q.unwrap_or(0)).collect();
             oracle.qos = Some(SparseMax::new(&values));
         }
@@ -216,7 +216,7 @@ mod tests {
                     return f64::INFINITY;
                 }
             }
-            total += ring.weight[l] * ring.dist_via(j0, l) as f64;
+            total += ring.weight[l] * f64::from(ring.dist_via(j0, l));
         }
         total
     }

@@ -77,7 +77,7 @@ fn instance(max_nodes: usize, with_qos: bool) -> impl Strategy<Value = Instance>
 
 fn pastry_problem(inst: &Instance, digit_bits: u8) -> PastryProblem {
     PastryProblem::new(
-        IdSpace::new(inst.bits).unwrap(),
+        IdSpace::new(inst.bits).expect("valid bits"),
         digit_bits,
         Id::new(inst.source),
         inst.core.iter().copied().map(Id::new).collect(),
@@ -91,12 +91,12 @@ fn pastry_problem(inst: &Instance, digit_bits: u8) -> PastryProblem {
             .collect(),
         inst.k,
     )
-    .unwrap()
+    .expect("well-formed instance")
 }
 
 fn chord_problem(inst: &Instance) -> ChordProblem {
     ChordProblem::new(
-        IdSpace::new(inst.bits).unwrap(),
+        IdSpace::new(inst.bits).expect("valid bits"),
         Id::new(inst.source),
         inst.core.iter().copied().map(Id::new).collect(),
         inst.candidates
@@ -109,7 +109,7 @@ fn chord_problem(inst: &Instance) -> ChordProblem {
             .collect(),
         inst.k,
     )
-    .unwrap()
+    .expect("well-formed instance")
 }
 
 proptest! {
@@ -264,7 +264,7 @@ proptest! {
                 }
                 // Insert a fresh candidate (skip when the id collides).
                 _ => {
-                    let space = IdSpace::new(inst.bits).unwrap();
+                    let space = IdSpace::new(inst.bits).expect("valid bits");
                     let id = space.normalize((pick as u128) * 7 + 3);
                     let collides = id == current.source
                         || current.core.contains(&id)

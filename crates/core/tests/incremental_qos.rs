@@ -52,7 +52,7 @@ struct Mirror {
 impl Mirror {
     fn problem(&self, k: usize) -> PastryProblem {
         PastryProblem::new(
-            IdSpace::new(BITS).unwrap(),
+            IdSpace::new(BITS).expect("valid bits"),
             1,
             Id::new(127), // source outside the edited id range 0..127
             self.core.clone(),
@@ -75,13 +75,13 @@ proptest! {
         for edit in seq {
             match edit {
                 Edit::Insert { id, weight, bound } => {
-                    let id = Id::new(id as u128);
+                    let id = Id::new(u128::from(id));
                     let exists = mirror.candidates.iter().any(|c| c.id == id)
                         || mirror.core.contains(&id)
                         || id == Id::new(127);
                     let cand = Candidate {
                         id,
-                        weight: weight as f64,
+                        weight: f64::from(weight),
                         max_hops: bound.map(u32::from),
                     };
                     if exists {
@@ -92,7 +92,7 @@ proptest! {
                     }
                 }
                 Edit::Remove(id) => {
-                    let id = Id::new(id as u128);
+                    let id = Id::new(u128::from(id));
                     match mirror.candidates.iter().position(|c| c.id == id) {
                         Some(i) => {
                             opt.remove(id).unwrap();
@@ -102,17 +102,17 @@ proptest! {
                     }
                 }
                 Edit::Reweight { id, weight } => {
-                    let id = Id::new(id as u128);
+                    let id = Id::new(u128::from(id));
                     match mirror.candidates.iter_mut().find(|c| c.id == id) {
                         Some(c) => {
-                            c.weight = weight as f64;
-                            opt.update_weight(id, weight as f64).unwrap();
+                            c.weight = f64::from(weight);
+                            opt.update_weight(id, f64::from(weight)).unwrap();
                         }
-                        None => prop_assert!(opt.update_weight(id, weight as f64).is_err()),
+                        None => prop_assert!(opt.update_weight(id, f64::from(weight)).is_err()),
                     }
                 }
                 Edit::AddCore(id) => {
-                    let id = Id::new(id as u128);
+                    let id = Id::new(u128::from(id));
                     let exists = mirror.candidates.iter().any(|c| c.id == id)
                         || mirror.core.contains(&id)
                         || id == Id::new(127);
@@ -124,7 +124,7 @@ proptest! {
                     }
                 }
                 Edit::RemoveCore(id) => {
-                    let id = Id::new(id as u128);
+                    let id = Id::new(u128::from(id));
                     match mirror.core.iter().position(|&c| c == id) {
                         Some(i) => {
                             opt.remove_core(id).unwrap();
@@ -175,11 +175,11 @@ proptest! {
         let mut mirror = Mirror::default();
         for edit in seq {
             if let Edit::Insert { id, weight, bound } = edit {
-                let id = Id::new(id as u128);
+                let id = Id::new(u128::from(id));
                 if !mirror.candidates.iter().any(|c| c.id == id) && id != Id::new(127) {
                     mirror.candidates.push(Candidate {
                         id,
-                        weight: weight as f64,
+                        weight: f64::from(weight),
                         max_hops: bound.map(u32::from),
                     });
                 }

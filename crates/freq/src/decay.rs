@@ -162,10 +162,10 @@ mod tests {
     fn recent_beats_stale_of_equal_raw_count() {
         let mut c = DecayingCounter::new(10.0);
         for t in 0..5 {
-            c.observe_at(id(1), t as f64); // early burst
+            c.observe_at(id(1), f64::from(t)); // early burst
         }
         for t in 95..100 {
-            c.observe_at(id(2), t as f64); // recent burst
+            c.observe_at(id(2), f64::from(t)); // recent burst
         }
         assert!(c.weight_at(id(2), 100.0) > c.weight_at(id(1), 100.0));
         assert_eq!(c.observations(), 10);

@@ -51,6 +51,9 @@ impl SlidingWindowCounter {
         self.observations
     }
 
+    // The value is floored and clamped non-negative, and epoch counts stay
+    // far below 2^53, so the f64 → u64 cast is exact.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     fn epoch(&self, now: f64) -> u64 {
         (now / self.bucket_width).floor().max(0.0) as u64
     }

@@ -244,7 +244,7 @@ mod tests {
             if i % 5 < 2 {
                 ss.observe(id(424242));
             } else {
-                ss.observe(id(i as u128));
+                ss.observe(id(u128::from(i)));
             }
         }
         let est = ss.estimate(id(424242));

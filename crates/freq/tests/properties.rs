@@ -15,11 +15,11 @@ proptest! {
         let mut exact = ExactCounter::new();
         let mut ss = SpaceSaving::new(cap);
         for &x in &s {
-            exact.observe(Id::new(x as u128));
-            ss.observe(Id::new(x as u128));
+            exact.observe(Id::new(u128::from(x)));
+            ss.observe(Id::new(u128::from(x)));
         }
         for x in 0u8..32 {
-            let peer = Id::new(x as u128);
+            let peer = Id::new(u128::from(x));
             let est = ss.estimate(peer);
             if est > 0 {
                 prop_assert!(est >= exact.estimate(peer),
@@ -33,12 +33,12 @@ proptest! {
         let mut exact = ExactCounter::new();
         let mut ss = SpaceSaving::new(cap);
         for &x in &s {
-            exact.observe(Id::new(x as u128));
-            ss.observe(Id::new(x as u128));
+            exact.observe(Id::new(u128::from(x)));
+            ss.observe(Id::new(u128::from(x)));
         }
         let bound = s.len() as u64 / cap as u64;
         for x in 0u8..32 {
-            let peer = Id::new(x as u128);
+            let peer = Id::new(u128::from(x));
             if ss.estimate(peer) > 0 {
                 let over = ss.estimate(peer) - exact.estimate(peer);
                 prop_assert!(over <= bound, "peer {x}: over {over} > N/m {bound}");
@@ -53,12 +53,12 @@ proptest! {
         let mut exact = ExactCounter::new();
         let mut ss = SpaceSaving::new(cap);
         for &x in &s {
-            exact.observe(Id::new(x as u128));
-            ss.observe(Id::new(x as u128));
+            exact.observe(Id::new(u128::from(x)));
+            ss.observe(Id::new(u128::from(x)));
         }
         let threshold = s.len() as u64 / cap as u64;
         for x in 0u8..32 {
-            let peer = Id::new(x as u128);
+            let peer = Id::new(u128::from(x));
             if exact.estimate(peer) > threshold {
                 prop_assert!(ss.estimate(peer) > 0,
                     "heavy hitter {x} (count {}) evicted", exact.estimate(peer));
@@ -72,12 +72,12 @@ proptest! {
         // bounds; and monitored set never exceeds capacity.
         let mut ss = SpaceSaving::new(cap);
         for &x in &s {
-            ss.observe(Id::new(x as u128));
+            ss.observe(Id::new(u128::from(x)));
         }
         prop_assert!(ss.monitored() <= cap);
         prop_assert_eq!(ss.observations(), s.len() as u64);
         let guaranteed: u64 = (0u8..32)
-            .map(|x| ss.guaranteed_count(Id::new(x as u128)))
+            .map(|x| ss.guaranteed_count(Id::new(u128::from(x))))
             .sum();
         prop_assert!(guaranteed <= s.len() as u64);
     }
@@ -86,11 +86,11 @@ proptest! {
     fn exact_counter_matches_naive(s in stream()) {
         let mut exact = ExactCounter::new();
         for &x in &s {
-            exact.observe(Id::new(x as u128));
+            exact.observe(Id::new(u128::from(x)));
         }
         for x in 0u8..32 {
             let naive = s.iter().filter(|&&y| y == x).count() as u64;
-            prop_assert_eq!(exact.estimate(Id::new(x as u128)), naive);
+            prop_assert_eq!(exact.estimate(Id::new(u128::from(x))), naive);
         }
         let snap = exact.snapshot();
         prop_assert_eq!(snap.total_weight(), s.len() as f64);
@@ -100,7 +100,7 @@ proptest! {
     fn snapshot_top_n_is_heaviest_subset(s in stream(), n in 1usize..8) {
         let mut exact = ExactCounter::new();
         for &x in &s {
-            exact.observe(Id::new(x as u128));
+            exact.observe(Id::new(u128::from(x)));
         }
         let full = exact.snapshot();
         let top = exact.snapshot().top_n(n);

@@ -19,8 +19,8 @@ proptest! {
         let mut events: Vec<(f64, u8)> = Vec::new();
         let mut t = 0.0;
         for &(peer, gap) in &s {
-            t += gap as f64 * 0.1;
-            counter.observe_at(Id::new(peer as u128), t);
+            t += f64::from(gap) * 0.1;
+            counter.observe_at(Id::new(u128::from(peer)), t);
             events.push((t, peer));
         }
         // Bucketing only UNDERCOUNTS: coverage is (lo, t] for some lo in
@@ -37,7 +37,7 @@ proptest! {
                 .iter()
                 .filter(|&&(et, ep)| ep == peer && et > t - window - eps && et <= t)
                 .count() as u64;
-            let got = counter.count_at(Id::new(peer as u128), t);
+            let got = counter.count_at(Id::new(u128::from(peer)), t);
             prop_assert!(
                 got >= lower && got <= upper,
                 "peer {peer}: got {got}, bounds [{lower}, {upper}]"
@@ -50,8 +50,8 @@ proptest! {
         let mut counter = SlidingWindowCounter::new(5.0, buckets);
         let mut t = 0.0;
         for &(peer, gap) in &s {
-            t += gap as f64 * 0.1;
-            counter.observe_at(Id::new(peer as u128), t);
+            t += f64::from(gap) * 0.1;
+            counter.observe_at(Id::new(u128::from(peer)), t);
         }
         let snap = counter.snapshot_at(t);
         prop_assert!(snap.total_weight() <= s.len() as f64);
@@ -66,17 +66,17 @@ proptest! {
         let mut counts = [0u64; 8];
         let mut t = 0.0;
         for &(peer, gap) in &s {
-            t += gap as f64 * 0.1;
+            t += f64::from(gap) * 0.1;
             // Mirror every event onto peer 0 as well, so peer 0's count
             // dominates everyone at identical observation times.
-            decayed.observe_at(Id::new(peer as u128), t);
+            decayed.observe_at(Id::new(u128::from(peer)), t);
             counts[peer as usize] += 1;
             decayed.observe_at(Id::new(0), t);
             counts[0] += 1;
         }
         let w0 = decayed.weight_at(Id::new(0), t);
         for peer in 1u8..8 {
-            let w = decayed.weight_at(Id::new(peer as u128), t);
+            let w = decayed.weight_at(Id::new(u128::from(peer)), t);
             prop_assert!(
                 w0 >= w - 1e-9,
                 "peer 0 (count {}) must outweigh peer {peer} (count {})",
@@ -92,12 +92,12 @@ proptest! {
         let mut counts = [0u64; 8];
         let mut t = 0.0;
         for &(peer, gap) in &s {
-            t += gap as f64 * 0.1;
-            decayed.observe_at(Id::new(peer as u128), t);
+            t += f64::from(gap) * 0.1;
+            decayed.observe_at(Id::new(u128::from(peer)), t);
             counts[peer as usize] += 1;
         }
         for peer in 0u8..8 {
-            let w = decayed.weight_at(Id::new(peer as u128), t);
+            let w = decayed.weight_at(Id::new(u128::from(peer)), t);
             prop_assert!(
                 w <= counts[peer as usize] as f64 + 1e-9,
                 "decay can only shrink: {w} vs {}",
@@ -112,12 +112,12 @@ proptest! {
         let mut decayed = DecayingCounter::new(5.0);
         let mut t = 0.0;
         for &(peer, gap) in &s {
-            t += gap as f64 * 0.1;
-            decayed.observe_at(Id::new(peer as u128), t);
+            t += f64::from(gap) * 0.1;
+            decayed.observe_at(Id::new(u128::from(peer)), t);
         }
         for peer in 0u8..8 {
-            let now = decayed.weight_at(Id::new(peer as u128), t);
-            let later = decayed.weight_at(Id::new(peer as u128), t + dt);
+            let now = decayed.weight_at(Id::new(u128::from(peer)), t);
+            let later = decayed.weight_at(Id::new(u128::from(peer)), t + dt);
             prop_assert!(later <= now + 1e-12);
         }
     }

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 fn space_and_ids() -> impl Strategy<Value = (IdSpace, Id, Id, Id)> {
     (1u8..=64).prop_flat_map(|bits| {
-        let space = IdSpace::new(bits).unwrap();
+        let space = IdSpace::new(bits).expect("valid bits");
         let max = if bits == 128 {
             u128::MAX
         } else {
@@ -55,7 +55,7 @@ proptest! {
         raw_c in 0u128..256,
     ) {
         // Only for small rings: check interval membership against a walk.
-        let s = IdSpace::new(bits).unwrap();
+        let s = IdSpace::new(bits).expect("valid bits");
         let a = s.normalize(raw_a);
         let c = s.normalize(raw_c);
         let n = s.size().unwrap();
@@ -94,7 +94,7 @@ proptest! {
         for i in 0..count {
             let hi = s.bits() - i * d;
             let width = d.min(hi);
-            rebuilt = (rebuilt << width) | s.digit(a, i, d).unwrap() as u128;
+            rebuilt = (rebuilt << width) | u128::from(s.digit(a, i, d).unwrap());
             used += width;
         }
         prop_assert_eq!(used, s.bits());
@@ -133,7 +133,7 @@ proptest! {
 
     #[test]
     fn chord_hops_monotone_in_distance(bits in 3u8..=16, d1 in 1u128..100, d2 in 1u128..100) {
-        let s = IdSpace::new(bits).unwrap();
+        let s = IdSpace::new(bits).expect("valid bits");
         let n = s.size().unwrap();
         prop_assume!(d1 < n && d2 < n && d1 <= d2);
         let h1 = s.chord_hops(Id::ZERO, s.normalize(d1));

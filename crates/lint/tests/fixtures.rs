@@ -199,6 +199,22 @@ fn l5_flags_wall_clock_reads_outside_bench() {
 }
 
 #[test]
+fn l5_covers_the_par_crate_as_library_code() {
+    // The thread pool must never read the wall clock (its determinism
+    // contract would quietly erode) and carries a zero lint.allow budget:
+    // classify it as plain Lib so L1 and L5 both scan it.
+    assert_eq!(ctx("crates/par/src/pool.rs").kind, FileKind::Lib);
+    let src = "use std::time::Instant;\n\
+               fn f() { let _t = Instant::now(); }\n";
+    assert_eq!(
+        fired("crates/par/src/pool.rs", src),
+        vec![(1, Rule::L5), (2, Rule::L5)]
+    );
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(fired("crates/par/src/seed.rs", src), vec![(1, Rule::L1)]);
+}
+
+#[test]
 fn lifetimes_are_not_mistaken_for_char_literals() {
     // If the scanner blanked from `'a` onwards, the unwrap would vanish.
     let src = "fn f<'a>(x: &'a Option<u8>) -> u8 { x.unwrap() }\n";

@@ -1,0 +1,146 @@
+//! The scoped worker pool behind [`par_map`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Process-wide default thread count; 0 means "auto-detect".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`]; 0 means "none".
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// True on pool worker threads: nested maps run serially inline.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Set the process-wide default thread count (`0` restores auto-detect).
+///
+/// This is what the bench binaries' `--threads N` flag calls; prefer the
+/// scoped [`with_threads`] in tests, which cannot leak across threads.
+pub fn set_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Run `f` with the thread count fixed to `n` on the current thread (and
+/// every `par_map` it issues), restoring the previous override afterwards
+/// — even on panic.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = THREAD_OVERRIDE.with(|o| {
+        let prev = o.get();
+        o.set(n);
+        Restore(prev)
+    });
+    f()
+}
+
+/// The thread count [`par_map`] will use, resolved as documented on the
+/// crate root: scoped override → process default → `PEERCACHE_THREADS` →
+/// available parallelism (at least 1).
+pub fn threads() -> usize {
+    let scoped = THREAD_OVERRIDE.with(Cell::get);
+    if scoped != 0 {
+        return scoped;
+    }
+    let default = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if default != 0 {
+        return default;
+    }
+    if let Ok(raw) = std::env::var("PEERCACHE_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n != 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Map `f` over `items` on [`threads`] worker threads, preserving input
+/// order in the returned vector.
+///
+/// See the crate root for the determinism contract, nesting behaviour and
+/// panic propagation.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(threads(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count (`threads <= 1` runs the
+/// serial inline path; so does any call issued from inside a pool worker).
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len <= 1 || IN_POOL.with(Cell::get) {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Work-stealing by atomic index; each task writes its own slot, so
+    // output order is input order no matter how the OS schedules workers.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let mut panic_payload = None;
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(len))
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_POOL.with(|p| p.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        let result = f(i, &items[i]);
+                        match slots[i].lock() {
+                            Ok(mut slot) => *slot = Some(result),
+                            // A sibling worker's panic can only poison its
+                            // own slot, never this one; recover the guard.
+                            Err(poisoned) => *poisoned.into_inner() = Some(result),
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly to capture the first worker's original panic
+        // payload (`thread::scope` alone would replace it with its own
+        // "a scoped thread panicked" message).
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panic_payload.get_or_insert(payload);
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            let inner = match slot.into_inner() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match inner {
+                Some(r) => r,
+                // Scope exit proves every index < len was claimed and
+                // completed (a panic would have propagated above).
+                None => unreachable!("par_map slot left unfilled after scope join"),
+            }
+        })
+        .collect()
+}

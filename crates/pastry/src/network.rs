@@ -31,9 +31,11 @@ impl PastryConfig {
     /// Locality-aware configuration over `space` with digit width `d`,
     /// four leaves per side, and a `4·⌈b/d⌉` hop budget.
     pub fn new(space: IdSpace, digit_bits: u8) -> Self {
-        let digits = space
-            .digit_count(digit_bits)
-            .expect("digit width must divide the id space") as u32;
+        let digits = u32::from(
+            space
+                .digit_count(digit_bits)
+                .expect("digit width must divide the id space"),
+        );
         PastryConfig {
             space,
             digit_bits,
@@ -76,6 +78,8 @@ impl Error for NetworkError {}
 /// Deterministic pseudo-random priority deciding which qualifying node a
 /// routing-table cell ends up holding (stands in for the accident of
 /// which node was encountered first during joins/row exchanges).
+// Truncating casts fold the 128-bit ids into a 64-bit hash input.
+#[allow(clippy::cast_possible_truncation)]
 fn encounter_score(owner: Id, entry: Id) -> u64 {
     let mixed = (owner.value() ^ entry.value().rotate_left(64)) as u64
         ^ (entry.value() >> 64) as u64
@@ -106,6 +110,7 @@ fn encounter_score(owner: Id, entry: Id) -> u64 {
 /// assert!(route.is_success());
 /// assert_eq!(route.path.last(), Some(&Id::new(0b1101_0000)));
 /// ```
+#[derive(Clone)]
 pub struct PastryNetwork {
     config: PastryConfig,
     digit_count: u8,
@@ -480,7 +485,10 @@ impl PastryNetwork {
                         current = next;
                     } else {
                         failed_probes += 1;
-                        self.nodes.get_mut(&current.value()).unwrap().forget(next);
+                        self.nodes
+                            .get_mut(&current.value())
+                            .expect("route current node is live")
+                            .forget(next);
                     }
                 }
             }

@@ -103,7 +103,7 @@ mod tests {
         n.leaves = vec![id(5), id(7)];
         n.aux = vec![id(5)];
         n.forget(id(5));
-        assert!(n.rows.iter().flatten().all(|c| c.is_none()));
+        assert!(n.rows.iter().flatten().all(std::option::Option::is_none));
         assert_eq!(n.leaves, vec![id(7)]);
         assert!(n.aux.is_empty());
     }

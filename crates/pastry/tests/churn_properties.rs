@@ -48,24 +48,24 @@ proptest! {
         for op in seq {
             match op {
                 Op::Join(v) => {
-                    let _ = net.join(space.normalize(v as u128), (0.1, 0.9));
+                    let _ = net.join(space.normalize(u128::from(v)), (0.1, 0.9));
                 }
                 Op::Fail(v) if net.len() > 1 => {
-                    let _ = net.fail(space.normalize(v as u128));
+                    let _ = net.fail(space.normalize(u128::from(v)));
                 }
                 Op::Leave(v) if net.len() > 1 => {
-                    let _ = net.leave(space.normalize(v as u128));
+                    let _ = net.leave(space.normalize(u128::from(v)));
                 }
                 Op::Repair(v) => {
-                    let id = space.normalize(v as u128);
+                    let id = space.normalize(u128::from(v));
                     if net.is_live(id) {
                         net.refresh_from_truth(id);
                     }
                 }
                 Op::Route(from, key) => {
-                    let from = space.normalize(from as u128);
+                    let from = space.normalize(u128::from(from));
                     if net.is_live(from) {
-                        let res = net.route(from, space.normalize(key as u128)).unwrap();
+                        let res = net.route(from, space.normalize(u128::from(key))).unwrap();
                         prop_assert!(res.hops <= net.config().hop_limit);
                     }
                 }
@@ -97,8 +97,8 @@ proptest! {
         let mut net = PastryNetwork::build(config, &seed, &mut rng);
         for op in seq {
             match op {
-                Op::Join(v) => { let _ = net.join(space.normalize(v as u128), (0.5, 0.5)); }
-                Op::Fail(v) if net.len() > 1 => { let _ = net.fail(space.normalize(v as u128)); }
+                Op::Join(v) => { let _ = net.join(space.normalize(u128::from(v)), (0.5, 0.5)); }
+                Op::Fail(v) if net.len() > 1 => { let _ = net.fail(space.normalize(u128::from(v))); }
                 _ => {}
             }
         }

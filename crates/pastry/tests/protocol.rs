@@ -11,12 +11,12 @@ fn id(v: u128) -> Id {
 }
 
 fn random_net(bits: u8, d: u8, n: usize, mode: RoutingMode, seed: u64) -> (PastryNetwork, Vec<Id>) {
-    let space = IdSpace::new(bits).unwrap();
+    let space = IdSpace::new(bits).expect("valid bits");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::new();
     let mut ids = Vec::new();
     while ids.len() < n {
-        let v = space.normalize(rng.gen::<u64>() as u128);
+        let v = space.normalize(u128::from(rng.gen::<u64>()));
         if seen.insert(v) {
             ids.push(v);
         }
@@ -58,7 +58,7 @@ fn routing_reaches_owner_from_everywhere() {
         let mut rng = StdRng::seed_from_u64(2);
         for &from in &ids {
             for _ in 0..10 {
-                let key = id(rng.gen::<u16>() as u128);
+                let key = id(u128::from(rng.gen::<u16>()));
                 let res = net.route(from, key).unwrap();
                 assert_eq!(
                     res.outcome,
@@ -79,7 +79,7 @@ fn stable_hops_within_logarithmic_bound() {
     let mut max_hops = 0;
     for _ in 0..2000 {
         let from = ids[rng.gen_range(0..ids.len())];
-        let key = id(rng.gen::<u32>() as u128);
+        let key = id(u128::from(rng.gen::<u32>()));
         let res = net.route(from, key).unwrap();
         assert!(res.is_success());
         max_hops = max_hops.max(res.hops);
@@ -97,9 +97,9 @@ fn base16_digits_route_in_fewer_hops() {
     let (mut h1, mut h4) = (0u64, 0u64);
     for _ in 0..500 {
         let from = ids[rng.gen_range(0..ids.len())];
-        let key = id(rng.gen::<u32>() as u128);
-        h1 += net1.route(from, key).unwrap().hops as u64;
-        h4 += net4.route(from, key).unwrap().hops as u64;
+        let key = id(u128::from(rng.gen::<u32>()));
+        h1 += u64::from(net1.route(from, key).unwrap().hops);
+        h4 += u64::from(net4.route(from, key).unwrap().hops);
     }
     assert!(h4 < h1, "base-16 ({h4}) must beat base-2 ({h1})");
 }
@@ -142,12 +142,12 @@ fn locality_mode_prefers_near_candidates() {
     let (mut hops_greedy, mut hops_local) = (0u64, 0u64);
     for _ in 0..400 {
         let from = ids[rng.gen_range(0..ids.len())];
-        let key = id(rng.gen::<u32>() as u128);
+        let key = id(u128::from(rng.gen::<u32>()));
         let rg = greedy.route(from, key).unwrap();
         let rl = local.route(from, key).unwrap();
         assert!(rg.is_success() && rl.is_success());
-        hops_greedy += rg.hops as u64;
-        hops_local += rl.hops as u64;
+        hops_greedy += u64::from(rg.hops);
+        hops_local += u64::from(rl.hops);
         for w in rg.path.windows(2) {
             lat_greedy += greedy.proximity(w[0], w[1]);
         }

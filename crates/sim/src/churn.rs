@@ -58,7 +58,7 @@ pub struct ChurnConfig {
 impl ChurnConfig {
     /// The paper's churn parameters over `nodes` Chord nodes.
     pub fn paper_defaults(nodes: usize, seed: u64) -> Self {
-        let k = (nodes as f64).log2().round() as usize;
+        let k = crate::experiments::log2(nodes);
         ChurnConfig {
             kind: OverlayKind::Chord,
             bits: 32,
@@ -96,7 +96,7 @@ enum Event {
 }
 
 /// The outcome of one churn-mode comparison.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct ChurnReport {
     /// Metrics under the frequency-aware strategy.
     pub aware: QueryMetrics,
@@ -259,9 +259,19 @@ pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics 
 }
 
 /// Run the paired comparison: identical schedules, two strategies.
+///
+/// The two runs share nothing but the (cloned) configuration — every RNG
+/// stream is re-derived from `config.seed` inside [`run_churn_once`] —
+/// so they execute in parallel on the pool while staying **paired**: the
+/// aware and oblivious strategies replay the identical event schedule
+/// whether the runs happen concurrently or back to back.
 pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
-    let aware = run_churn_once(config, Strategy::Aware);
-    let oblivious = run_churn_once(config, Strategy::Oblivious);
+    let strategies = [Strategy::Aware, Strategy::Oblivious];
+    let results = peercache_par::par_map(&strategies, |_, &s| run_churn_once(config, s));
+    let mut results = results.into_iter();
+    let (Some(aware), Some(oblivious)) = (results.next(), results.next()) else {
+        unreachable!("par_map yields one result per strategy");
+    };
     let reduction = reduction_pct(aware.avg_hops(), oblivious.avg_hops());
     ChurnReport {
         aware,

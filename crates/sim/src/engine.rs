@@ -174,7 +174,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 100_000;
         let total: f64 = (0..n).map(|_| exp_sample(900.0, &mut rng)).sum();
-        let mean = total / n as f64;
+        let mean = total / f64::from(n);
         assert!(
             (mean - 900.0).abs() < 15.0,
             "sample mean {mean} should be ≈ 900"

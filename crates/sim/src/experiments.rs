@@ -3,6 +3,11 @@
 //! Each runner returns serialisable rows that the `peercache-bench`
 //! binaries print (and EXPERIMENTS.md records). A [`Scale`] knob lets the
 //! integration tests exercise the identical code path at toy sizes.
+//!
+//! Every figure is a sweep of independent parameter points, so the
+//! runners fan the points out over the [`peercache_par`] pool (see
+//! [`SweepJob`]); by the pool's determinism contract the resulting tables
+//! are bit-identical at any thread count, including fully serial.
 
 use peercache_pastry::RoutingMode;
 use serde::Serialize;
@@ -51,7 +56,7 @@ impl Scale {
 }
 
 /// One figure row: a single (parameter point, comparison) result.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct FigureRow {
     /// Which figure the row reproduces.
     pub figure: String,
@@ -81,7 +86,11 @@ pub struct FigureRow {
     pub success_rate_oblivious: f64,
 }
 
-fn log2(n: usize) -> usize {
+/// `round(log2 n)` — the paper's `k = log n` budget rule.
+// Rounded log2 of a node count is tiny and non-negative, so the
+// f64 → usize cast is exact.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+pub(crate) fn log2(n: usize) -> usize {
     (n as f64).log2().round() as usize
 }
 
@@ -90,6 +99,44 @@ fn pastry_kind() -> OverlayKind {
         digit_bits: 1,
         mode: RoutingMode::LocalityAware,
     }
+}
+
+/// One parameter point of a figure sweep: everything needed to produce a
+/// [`FigureRow`] independently of every other point, so a figure's rows
+/// fan out over the [`peercache_par`] pool. Row order in the output is
+/// the construction order of the jobs (`par_map` preserves it), and each
+/// job re-derives all randomness from its own config seed, so the table
+/// is bit-identical at any thread count.
+enum SweepJob {
+    /// A stable-mode point.
+    Stable {
+        figure: &'static str,
+        system: &'static str,
+        config: StableConfig,
+        k_factor: usize,
+    },
+    /// A churn-mode point (paired strategies inside).
+    Churn {
+        figure: &'static str,
+        config: ChurnConfig,
+        k_factor: usize,
+    },
+}
+
+fn run_sweep(jobs: &[SweepJob]) -> Vec<FigureRow> {
+    peercache_par::par_map(jobs, |_, job| match job {
+        SweepJob::Stable {
+            figure,
+            system,
+            config,
+            k_factor,
+        } => stable_row(figure, system, config, *k_factor),
+        SweepJob::Churn {
+            figure,
+            config,
+            k_factor,
+        } => churn_row(figure, config, *k_factor),
+    })
 }
 
 fn stable_row(figure: &str, system: &str, config: &StableConfig, k_factor: usize) -> FigureRow {
@@ -133,7 +180,7 @@ fn churn_row(figure: &str, config: &ChurnConfig, k_factor: usize) -> FigureRow {
 /// Figure 3: Pastry, % hop reduction vs `n` for α ∈ {1.2, 0.91}
 /// (`k = log₂ n`, identical rankings, stable mode).
 pub fn fig3(scale: &Scale, seed: u64) -> Vec<FigureRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n_paper in &[256usize, 512, 1024, 2048] {
         let n = (n_paper / scale.node_divisor).max(16);
         for &alpha in &[1.2, 0.91] {
@@ -142,17 +189,22 @@ pub fn fig3(scale: &Scale, seed: u64) -> Vec<FigureRow> {
             config.items = scale.items;
             config.queries = scale.queries;
             config.ranking = RankingMode::Identical;
-            rows.push(stable_row("fig3", "pastry", &config, 1));
+            jobs.push(SweepJob::Stable {
+                figure: "fig3",
+                system: "pastry",
+                config,
+                k_factor: 1,
+            });
         }
     }
-    rows
+    run_sweep(&jobs)
 }
 
 /// Figure 4: Pastry, % hop reduction vs `k ∈ {1, 2, 3}·log₂ n`
 /// (`n = 1024`, α ∈ {1.2, 0.91}, stable mode, locality-aware routing).
 pub fn fig4(scale: &Scale, seed: u64) -> Vec<FigureRow> {
     let n = (1024 / scale.node_divisor).max(16);
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for k_factor in 1..=3 {
         for &alpha in &[1.2, 0.91] {
             let mut config = StableConfig::paper_defaults(pastry_kind(), n, seed);
@@ -161,53 +213,76 @@ pub fn fig4(scale: &Scale, seed: u64) -> Vec<FigureRow> {
             config.queries = scale.queries;
             config.k = k_factor * log2(n);
             config.ranking = RankingMode::Identical;
-            rows.push(stable_row("fig4", "pastry", &config, k_factor));
+            jobs.push(SweepJob::Stable {
+                figure: "fig4",
+                system: "pastry",
+                config,
+                k_factor,
+            });
         }
     }
-    rows
+    run_sweep(&jobs)
 }
 
 /// Figure 5: Chord, % hop reduction vs `n`, stable and churn-intensive
 /// modes (`k = log₂ n`, α = 1.2, 5 distinct rankings).
 pub fn fig5(scale: &Scale, seed: u64) -> Vec<FigureRow> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n_paper in &[128usize, 256, 512, 1024] {
         let n = (n_paper / scale.node_divisor).max(16);
         let mut stable = StableConfig::paper_defaults(OverlayKind::Chord, n, seed);
         stable.items = scale.items;
         stable.queries = scale.queries;
-        rows.push(stable_row("fig5", "chord", &stable, 1));
+        jobs.push(SweepJob::Stable {
+            figure: "fig5",
+            system: "chord",
+            config: stable,
+            k_factor: 1,
+        });
 
         let mut churn = ChurnConfig::paper_defaults(n, seed);
         churn.items = scale.items;
         churn.duration = scale.churn_duration;
         churn.warmup = scale.churn_warmup;
-        rows.push(churn_row("fig5", &churn, 1));
+        jobs.push(SweepJob::Churn {
+            figure: "fig5",
+            config: churn,
+            k_factor: 1,
+        });
     }
-    rows
+    run_sweep(&jobs)
 }
 
 /// Figure 6: Chord, % hop reduction vs `k ∈ {1, 2, 3}·log₂ n`
 /// (`n = 1024`, stable and churn modes).
 pub fn fig6(scale: &Scale, seed: u64) -> Vec<FigureRow> {
     let n = (1024 / scale.node_divisor).max(16);
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for k_factor in 1..=3 {
         let k = k_factor * log2(n);
         let mut stable = StableConfig::paper_defaults(OverlayKind::Chord, n, seed);
         stable.items = scale.items;
         stable.queries = scale.queries;
         stable.k = k;
-        rows.push(stable_row("fig6", "chord", &stable, k_factor));
+        jobs.push(SweepJob::Stable {
+            figure: "fig6",
+            system: "chord",
+            config: stable,
+            k_factor,
+        });
 
         let mut churn = ChurnConfig::paper_defaults(n, seed);
         churn.items = scale.items;
         churn.duration = scale.churn_duration;
         churn.warmup = scale.churn_warmup;
         churn.k = k;
-        rows.push(churn_row("fig6", &churn, k_factor));
+        jobs.push(SweepJob::Churn {
+            figure: "fig6",
+            config: churn,
+            k_factor,
+        });
     }
-    rows
+    run_sweep(&jobs)
 }
 
 /// Render rows as an aligned text table (what the bench binaries print).

@@ -3,7 +3,7 @@
 use serde::Serialize;
 
 /// Aggregate statistics over a set of routed queries.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct QueryMetrics {
     /// Queries issued.
     pub issued: u64,
@@ -23,10 +23,10 @@ impl QueryMetrics {
     /// Record one routed query.
     pub fn record(&mut self, success: bool, hops: u32, failed_probes: u32) {
         self.issued += 1;
-        self.failed_probes += failed_probes as u64;
+        self.failed_probes += u64::from(failed_probes);
         if success {
             self.succeeded += 1;
-            self.total_hops += hops as u64;
+            self.total_hops += u64::from(hops);
             let idx = hops as usize;
             if self.hop_histogram.len() <= idx {
                 self.hop_histogram.resize(idx + 1, 0);
@@ -51,6 +51,9 @@ impl QueryMetrics {
     }
 
     /// The `q`-quantile of the successful-hop distribution (`0 ≤ q ≤ 1`).
+    // The target is ceiled and clamped ≥ 1 so the f64 → u64 cast is exact,
+    // and histogram indices are bounded by the hop count, far below u32.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn hop_quantile(&self, q: f64) -> Option<u32> {
         if self.succeeded == 0 {
             return None;

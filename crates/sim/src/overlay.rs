@@ -46,6 +46,11 @@ pub struct QueryOutcome {
 }
 
 /// A live overlay instance of any supported kind.
+///
+/// Cloning duplicates the entire substrate (routing tables included); the
+/// stable driver uses this to route its three measurement passes over
+/// independent copies in parallel.
+#[derive(Clone)]
 pub enum SimOverlay {
     /// A Chord ring.
     Chord(ChordNetwork),
@@ -134,19 +139,19 @@ impl SimOverlay {
         match self {
             SimOverlay::Chord(net) => net
                 .node(node)
-                .map(|n| n.core_neighbors())
+                .map(peercache_chord::ChordNode::core_neighbors)
                 .unwrap_or_default(),
             SimOverlay::Pastry(net) => net
                 .node(node)
-                .map(|n| n.core_neighbors())
+                .map(peercache_pastry::PastryNode::core_neighbors)
                 .unwrap_or_default(),
             SimOverlay::Tapestry(net) => net
                 .node(node)
-                .map(|n| n.core_neighbors())
+                .map(peercache_tapestry::TapestryNode::core_neighbors)
                 .unwrap_or_default(),
             SimOverlay::SkipGraph(net) => net
                 .node(node)
-                .map(|n| n.core_neighbors())
+                .map(peercache_skipgraph::SkipNode::core_neighbors)
                 .unwrap_or_default(),
         }
     }
@@ -281,6 +286,8 @@ impl SimOverlay {
                 // §I transfer: run the Chord optimiser in rank space.
                 let ring = self.live_ids(); // sorted
                 let n = ring.len();
+                // At most usize::BITS + 1 = 65, well within u8.
+                #[allow(clippy::cast_possible_truncation)]
                 let rank_bits = (usize::BITS - n.leading_zeros() + 1) as u8;
                 let rank_space = IdSpace::new(rank_bits).expect("rank width is small and valid");
                 let cands: Vec<Candidate> = candidates

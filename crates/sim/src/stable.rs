@@ -57,7 +57,7 @@ impl StableConfig {
     /// Paper-style defaults: 32-bit ids, a 64-item hot catalog,
     /// `k = log₂ n`, α = 1.2, 50 000 queries.
     pub fn paper_defaults(kind: OverlayKind, nodes: usize, seed: u64) -> Self {
-        let k = (nodes as f64).log2().round() as usize;
+        let k = crate::experiments::log2(nodes);
         StableConfig {
             kind,
             bits: 32,
@@ -76,7 +76,7 @@ impl StableConfig {
 }
 
 /// The outcome of one stable-mode comparison.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct StableReport {
     /// Metrics with the frequency-aware optimal auxiliary sets.
     pub aware: QueryMetrics,
@@ -110,7 +110,7 @@ pub fn run_stable(config: &StableConfig) -> StableReport {
         }
     };
 
-    let mut overlay = SimOverlay::build(config.kind, space, &node_ids, &mut rng_topology);
+    let overlay = SimOverlay::build(config.kind, space, &node_ids, &mut rng_topology);
 
     // Item → owner, and per-ranking owner-weight aggregates (exact node
     // popularities, identical for every node sharing a ranking).
@@ -124,29 +124,42 @@ pub fn run_stable(config: &StableConfig) -> StableReport {
         })
         .collect();
 
-    // Per-node selections under both strategies.
-    let mut aware_sets = Vec::with_capacity(config.nodes);
+    // Per-node selections under both strategies. The oblivious baseline
+    // stays serial: it draws from a single `rng_select` stream whose
+    // ordering across nodes is part of the reproducibility contract (the
+    // aware pass below consumes no randomness, so draining the stream
+    // here yields the exact draw sequence of the historical interleaved
+    // loop). The baseline ignores frequencies entirely: random picks per
+    // distance slice over the whole ring (§VI-A), not just over the
+    // nodes that happen to own items.
     let mut oblivious_sets = Vec::with_capacity(config.nodes);
-    for (idx, &node) in node_ids.iter().enumerate() {
-        let freqs = &pool_weights[assignment.pool_index(idx)];
-        let aware = overlay
-            .select_aware(node, freqs, config.k)
-            .expect("stable problems are well-formed");
-        // The baseline ignores frequencies entirely: random picks per
-        // distance slice over the whole ring (§VI-A), not just over the
-        // nodes that happen to own items.
+    for &node in node_ids.iter() {
         let oblivious = overlay
             .select_oblivious_uniform(node, config.k, &mut rng_select)
             .expect("stable problems are well-formed");
-        aware_sets.push(aware.aux);
         oblivious_sets.push(oblivious.aux);
     }
+    // The aware DP solves are pure functions of (node, frequencies) — the
+    // hot inner loop of a stable run — and fan out over the pool. Order
+    // preservation in `par_map` keeps `aware_sets[idx]` aligned with
+    // `node_ids[idx]`.
+    let aware_sets: Vec<Vec<Id>> = peercache_par::par_map(&node_ids, |idx, &node| {
+        let freqs = &pool_weights[assignment.pool_index(idx)];
+        overlay
+            .select_aware(node, freqs, config.k)
+            .expect("stable problems are well-formed")
+            .aux
+    });
 
-    // Route the same query sequence under each strategy.
+    // Route the same query sequence under each strategy. Each pass gets
+    // its own overlay copy, so the three passes are independent and run
+    // in parallel; in stable mode routing never mutates the substrate
+    // (nothing dies, so no neighbor is ever forgotten), which makes the
+    // copies behaviourally identical to the historical sequential reuse.
     let per_node_workloads: Vec<NodeWorkload> = (0..config.nodes)
         .map(|idx| NodeWorkload::new(zipf.clone(), assignment.for_node(idx).clone()))
         .collect();
-    let measure = |overlay: &mut SimOverlay, sets: Option<&[Vec<Id>]>| -> QueryMetrics {
+    let measure = |mut overlay: SimOverlay, sets: Option<&[Vec<Id>]>| -> QueryMetrics {
         for (idx, &node) in node_ids.iter().enumerate() {
             let aux = sets.map(|s| s[idx].clone()).unwrap_or_default();
             overlay.set_aux(node, aux);
@@ -162,9 +175,14 @@ pub fn run_stable(config: &StableConfig) -> StableReport {
         metrics
     };
 
-    let core_only = measure(&mut overlay, None);
-    let aware = measure(&mut overlay, Some(&aware_sets));
-    let oblivious = measure(&mut overlay, Some(&oblivious_sets));
+    let passes: [Option<&[Vec<Id>]>; 3] = [None, Some(&aware_sets), Some(&oblivious_sets)];
+    let results = peercache_par::par_map(&passes, |_, sets| measure(overlay.clone(), *sets));
+    let mut results = results.into_iter();
+    let (Some(core_only), Some(aware), Some(oblivious)) =
+        (results.next(), results.next(), results.next())
+    else {
+        unreachable!("par_map yields one result per measurement pass");
+    };
     let reduction = reduction_pct(aware.avg_hops(), oblivious.avg_hops());
 
     StableReport {

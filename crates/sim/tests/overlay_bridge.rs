@@ -76,7 +76,10 @@ fn query_with_path_starts_at_origin_and_ends_at_owner() {
         assert!(out.success);
         assert_eq!(path.first(), Some(&ids[0]));
         assert_eq!(path.last(), Some(&overlay.true_owner(key).unwrap()));
-        assert_eq!(path.len() as u32, out.hops + 1);
+        assert_eq!(
+            u32::try_from(path.len()).expect("path fits u32"),
+            out.hops + 1
+        );
     }
 }
 

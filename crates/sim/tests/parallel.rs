@@ -1,0 +1,60 @@
+//! The determinism contract of the parallel experiment engine, asserted
+//! at the sim level: running the drivers over the pool must reproduce the
+//! serial results bit-for-bit.
+
+use peercache_par::with_threads;
+use peercache_pastry::RoutingMode;
+use peercache_sim::{
+    fig3, fig5, run_churn, run_stable, ChurnConfig, OverlayKind, Scale, StableConfig,
+};
+
+fn stable_config(kind: OverlayKind, seed: u64) -> StableConfig {
+    let mut c = StableConfig::paper_defaults(kind, 96, seed);
+    c.queries = 4_000;
+    c
+}
+
+#[test]
+fn run_stable_parallel_equals_serial() {
+    for kind in [
+        OverlayKind::Chord,
+        OverlayKind::Pastry {
+            digit_bits: 1,
+            mode: RoutingMode::LocalityAware,
+        },
+    ] {
+        let serial = with_threads(1, || run_stable(&stable_config(kind, 77)));
+        for threads in [2, 4, 8] {
+            let parallel = with_threads(threads, || run_stable(&stable_config(kind, 77)));
+            assert_eq!(serial, parallel, "{kind:?} with {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn run_churn_parallel_equals_serial() {
+    let mut config = ChurnConfig::paper_defaults(64, 78);
+    config.duration = 600.0;
+    config.warmup = 150.0;
+    let serial = with_threads(1, || run_churn(&config));
+    let parallel = with_threads(4, || run_churn(&config));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn figure_sweeps_parallel_equal_serial() {
+    let scale = Scale {
+        node_divisor: 16,
+        items: 64,
+        queries: 1_500,
+        churn_duration: 300.0,
+        churn_warmup: 60.0,
+    };
+    let serial3 = with_threads(1, || fig3(&scale, 5));
+    let parallel3 = with_threads(4, || fig3(&scale, 5));
+    assert_eq!(serial3, parallel3, "fig3 rows must not depend on threads");
+
+    let serial5 = with_threads(1, || fig5(&scale, 5));
+    let parallel5 = with_threads(4, || fig5(&scale, 5));
+    assert_eq!(serial5, parallel5, "fig5 rows must not depend on threads");
+}

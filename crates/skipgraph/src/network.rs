@@ -20,7 +20,7 @@ impl SkipGraphConfig {
     pub fn new(space: IdSpace) -> Self {
         SkipGraphConfig {
             space,
-            hop_limit: 4 * space.bits() as u32,
+            hop_limit: 4 * u32::from(space.bits()),
         }
     }
 }
@@ -50,6 +50,8 @@ impl Error for NetworkError {}
 
 /// Deterministic membership vector: 64 pseudo-random bits derived from
 /// the node id (SplitMix64 finalizer), so rebuilds are reproducible.
+/// Truncating casts fold the 128-bit id into the 64-bit hash input.
+#[allow(clippy::cast_possible_truncation)]
 fn membership_vector(id: Id) -> u64 {
     let mut z = (id.value() as u64) ^ ((id.value() >> 64) as u64) ^ 0x9E37_79B9_7F4A_7C15;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -130,6 +132,7 @@ impl SkipNode {
 /// // Level 0 links the whole ring; higher levels skip exponentially.
 /// assert!(graph.node(Id::new(10)).unwrap().levels[0].is_some());
 /// ```
+#[derive(Clone)]
 pub struct SkipGraphNetwork {
     config: SkipGraphConfig,
     nodes: BTreeMap<u128, SkipNode>,
@@ -250,7 +253,10 @@ impl SkipGraphNetwork {
             }
         }
         for (idx, id) in ids.iter().enumerate() {
-            self.nodes.get_mut(&id.value()).unwrap().levels = std::mem::take(&mut links[idx]);
+            self.nodes
+                .get_mut(&id.value())
+                .expect("relinked node is live")
+                .levels = std::mem::take(&mut links[idx]);
         }
     }
 
@@ -294,7 +300,10 @@ impl SkipGraphNetwork {
                 break;
             }
         }
-        self.nodes.get_mut(&id.value()).unwrap().levels = levels;
+        self.nodes
+            .get_mut(&id.value())
+            .expect("relinked node is live")
+            .levels = levels;
         Ok(())
     }
 
@@ -396,7 +405,10 @@ impl SkipGraphNetwork {
                     break;
                 }
                 failed_probes += 1;
-                self.nodes.get_mut(&current.value()).unwrap().forget(w);
+                self.nodes
+                    .get_mut(&current.value())
+                    .expect("route current node is live")
+                    .forget(w);
             }
             match next {
                 Some(w) => {

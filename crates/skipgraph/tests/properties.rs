@@ -16,9 +16,9 @@ proptest! {
     #[test]
     fn searches_always_reach_the_predecessor(raw in memberships(), key in 0u16..1024) {
         let space = IdSpace::new(10).unwrap();
-        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(v as u128)).collect();
+        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(u128::from(v))).collect();
         let mut net = SkipGraphNetwork::build(SkipGraphConfig::new(space), &ids);
-        let key = Id::new(key as u128);
+        let key = Id::new(u128::from(key));
         let owner = net.true_owner(key).unwrap();
         for &from in &ids {
             let res = net.search(from, key).unwrap();
@@ -30,7 +30,7 @@ proptest! {
     #[test]
     fn level_rings_partition_the_membership(raw in memberships()) {
         let space = IdSpace::new(10).unwrap();
-        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(v as u128)).collect();
+        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(u128::from(v))).collect();
         let net = SkipGraphNetwork::build(SkipGraphConfig::new(space), &ids);
         // Following level-i links from any node must cycle back to it,
         // visiting exactly the nodes sharing its i-bit membership prefix.
@@ -67,9 +67,9 @@ proptest! {
     #[test]
     fn search_paths_are_monotone_toward_the_key(raw in memberships(), key in 0u16..1024) {
         let space = IdSpace::new(10).unwrap();
-        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(v as u128)).collect();
+        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(u128::from(v))).collect();
         let mut net = SkipGraphNetwork::build(SkipGraphConfig::new(space), &ids);
-        let key = Id::new(key as u128);
+        let key = Id::new(u128::from(key));
         let from = ids[0];
         let res = net.search(from, key).unwrap();
         for pair in res.path.windows(2) {

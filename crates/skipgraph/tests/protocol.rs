@@ -16,7 +16,7 @@ fn id(v: u128) -> Id {
 }
 
 fn random_net(bits: u8, n: usize, seed: u64) -> (SkipGraphNetwork, Vec<Id>) {
-    let space = IdSpace::new(bits).unwrap();
+    let space = IdSpace::new(bits).expect("valid bits");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ids = random_ids(space, n, &mut rng);
     ids.sort();
@@ -93,7 +93,7 @@ fn search_reaches_owner_from_everywhere() {
     let mut rng = StdRng::seed_from_u64(5);
     for _ in 0..200 {
         let from = ids[rng.gen_range(0..ids.len())];
-        let key = id(rng.gen::<u16>() as u128);
+        let key = id(u128::from(rng.gen::<u16>()));
         let res = net.search(from, key).unwrap();
         assert!(res.is_success(), "from {from} key {key}");
         assert_eq!(res.path.last(), Some(&net.true_owner(key).unwrap()));
@@ -108,7 +108,7 @@ fn search_hops_are_logarithmic() {
     let mut max_hops = 0;
     for _ in 0..2000 {
         let from = ids[rng.gen_range(0..ids.len())];
-        let key = id(rng.gen::<u32>() as u128);
+        let key = id(u128::from(rng.gen::<u32>()));
         let res = net.search(from, key).unwrap();
         assert!(res.is_success());
         max_hops = max_hops.max(res.hops);
@@ -169,7 +169,7 @@ fn chord_selection_transfers_via_rank_space() {
         let total: f64 = weights.iter().map(|&(_, w)| w).sum();
         weights
             .iter()
-            .map(|&(nid, w)| w * net.search(me, nid).unwrap().hops as f64)
+            .map(|&(nid, w)| w * f64::from(net.search(me, nid).unwrap().hops))
             .sum::<f64>()
             / total
     };
@@ -207,7 +207,7 @@ fn searches_survive_failures_and_heal_after_rebuild() {
     let mut ok = 0;
     for _ in 0..100 {
         let from = live[rng.gen_range(0..live.len())];
-        let key = id(rng.gen::<u16>() as u128);
+        let key = id(u128::from(rng.gen::<u16>()));
         let res = net.search(from, key).unwrap();
         if res.is_success() {
             ok += 1;
@@ -222,7 +222,7 @@ fn searches_survive_failures_and_heal_after_rebuild() {
     }
     for _ in 0..100 {
         let from = live[rng.gen_range(0..live.len())];
-        let key = id(rng.gen::<u16>() as u128);
+        let key = id(u128::from(rng.gen::<u16>()));
         assert!(net.search(from, key).unwrap().is_success());
     }
 }

@@ -20,7 +20,7 @@
 
 mod network;
 
-pub use network::{NetworkError, TapestryConfig, TapestryNetwork};
+pub use network::{NetworkError, TapestryConfig, TapestryNetwork, TapestryNode};
 
 use peercache_id::Id;
 

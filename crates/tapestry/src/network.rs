@@ -21,9 +21,11 @@ impl TapestryConfig {
     /// A configuration over `space` with digit width `d` and a
     /// `4·⌈b/d⌉` hop budget.
     pub fn new(space: IdSpace, digit_bits: u8) -> Self {
-        let digits = space
-            .digit_count(digit_bits)
-            .expect("digit width must fit the id space") as u32;
+        let digits = u32::from(
+            space
+                .digit_count(digit_bits)
+                .expect("digit width must fit the id space"),
+        );
         TapestryConfig {
             space,
             digit_bits,
@@ -135,6 +137,7 @@ impl TapestryNode {
 /// let res = net.route(Id::new(0b0000), Id::new(0b1010)).unwrap();
 /// assert!(res.is_success());
 /// ```
+#[derive(Clone)]
 pub struct TapestryNetwork {
     config: TapestryConfig,
     digit_count: u8,
@@ -358,7 +361,10 @@ impl TapestryNetwork {
                 }
                 Some(next) => {
                     failed_probes += 1;
-                    self.nodes.get_mut(&current.value()).unwrap().forget(next);
+                    self.nodes
+                        .get_mut(&current.value())
+                        .expect("route current node is live")
+                        .forget(next);
                 }
                 None => {
                     let outcome = if current == true_owner {

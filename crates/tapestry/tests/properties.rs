@@ -21,9 +21,9 @@ proptest! {
     #[test]
     fn every_route_reaches_the_surrogate_root((d, raw) in memberships(), key in 0u16..1024) {
         let space = IdSpace::new(10).unwrap();
-        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(v as u128)).collect();
+        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(u128::from(v))).collect();
         let mut net = TapestryNetwork::build(TapestryConfig::new(space, d), &ids);
-        let key = Id::new(key as u128);
+        let key = Id::new(u128::from(key));
         let root = net.true_owner(key).unwrap();
         for &from in &ids {
             let res = net.route(from, key).unwrap();
@@ -41,9 +41,9 @@ proptest! {
     #[test]
     fn the_root_shares_the_deepest_prefix((d, raw) in memberships(), key in 0u16..1024) {
         let space = IdSpace::new(10).unwrap();
-        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(v as u128)).collect();
+        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(u128::from(v))).collect();
         let net = TapestryNetwork::build(TapestryConfig::new(space, d), &ids);
-        let key = Id::new(key as u128);
+        let key = Id::new(u128::from(key));
         let root = net.true_owner(key).unwrap();
         let depth = |w: Id| space.common_prefix_digits(w, key, d).unwrap();
         let max_depth = ids.iter().map(|&w| depth(w)).max().unwrap();
@@ -56,9 +56,9 @@ proptest! {
     #[test]
     fn aux_pointers_never_change_the_destination((d, raw) in memberships(), key in 0u16..1024) {
         let space = IdSpace::new(10).unwrap();
-        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(v as u128)).collect();
+        let ids: Vec<Id> = raw.iter().map(|&v| Id::new(u128::from(v))).collect();
         let mut net = TapestryNetwork::build(TapestryConfig::new(space, d), &ids);
-        let key = Id::new(key as u128);
+        let key = Id::new(u128::from(key));
         let root = net.true_owner(key).unwrap();
         // Install arbitrary aux sets everywhere (every 3rd node).
         let aux: Vec<Id> = ids.iter().copied().step_by(3).collect();

@@ -14,7 +14,7 @@ fn id(v: u128) -> Id {
 }
 
 fn random_net(bits: u8, d: u8, n: usize, seed: u64) -> (TapestryNetwork, Vec<Id>) {
-    let space = IdSpace::new(bits).unwrap();
+    let space = IdSpace::new(bits).expect("valid bits");
     let mut rng = StdRng::seed_from_u64(seed);
     let ids = random_ids(space, n, &mut rng);
     let net = TapestryNetwork::build(TapestryConfig::new(space, d), &ids);
@@ -42,7 +42,7 @@ fn root_is_start_independent() {
         let (mut net, ids) = random_net(16, d, 48, 1);
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..30 {
-            let key = id(rng.gen::<u16>() as u128);
+            let key = id(u128::from(rng.gen::<u16>()));
             let root = net.true_owner(key).unwrap();
             for &from in ids.iter().take(16) {
                 let res = net.route(from, key).unwrap();
@@ -65,7 +65,7 @@ fn stable_hops_within_digit_bound() {
     let mut max_hops = 0;
     for _ in 0..1500 {
         let from = ids[rng.gen_range(0..ids.len())];
-        let key = id(rng.gen::<u32>() as u128);
+        let key = id(u128::from(rng.gen::<u32>()));
         let res = net.route(from, key).unwrap();
         assert!(res.is_success());
         assert_eq!(res.failed_probes, 0);
@@ -117,7 +117,7 @@ fn pastry_selection_transfers_to_tapestry() {
         for &(target, w) in &weights {
             let res = net.route(me, target).unwrap();
             assert!(res.is_success());
-            acc += w * res.hops as f64;
+            acc += w * f64::from(res.hops);
         }
         let _ = rng;
         acc / total
@@ -152,7 +152,7 @@ fn fail_and_repair_heal_the_overlay() {
     let mut rng = StdRng::seed_from_u64(9);
     for _ in 0..200 {
         let from = live[rng.gen_range(0..live.len())];
-        let key = id(rng.gen::<u16>() as u128);
+        let key = id(u128::from(rng.gen::<u16>()));
         let res = net.route(from, key).unwrap();
         assert!(res.is_success(), "healed overlay must route");
     }
@@ -191,7 +191,12 @@ fn table_cells_hold_exact_prefix_lengths() {
             for (c, entry) in row.iter().enumerate() {
                 if let Some(w) = entry {
                     assert_eq!(space.common_prefix_digits(nid, *w, 2).unwrap() as usize, l);
-                    assert_eq!(space.digit(*w, l as u8, 2).unwrap() as usize, c);
+                    assert_eq!(
+                        space
+                            .digit(*w, u8::try_from(l).expect("row index fits u8"), 2)
+                            .unwrap() as usize,
+                        c
+                    );
                 }
             }
         }

@@ -19,8 +19,8 @@ pub fn random_ids<R: Rng + ?Sized>(space: IdSpace, count: usize, rng: &mut R) ->
     let mut seen = HashSet::with_capacity(count);
     let mut out = Vec::with_capacity(count);
     while out.len() < count {
-        let hi = rng.gen::<u64>() as u128;
-        let lo = rng.gen::<u64>() as u128;
+        let hi = u128::from(rng.gen::<u64>());
+        let lo = u128::from(rng.gen::<u64>());
         let id = space.normalize((hi << 64) | lo);
         if seen.insert(id) {
             out.push(id);
@@ -110,6 +110,6 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let ids = random_ids(space, 100, &mut rng);
         // With 128-bit ids, some draw must exceed 64 bits.
-        assert!(ids.iter().any(|i| i.value() > u64::MAX as u128));
+        assert!(ids.iter().any(|i| i.value() > u128::from(u64::MAX)));
     }
 }

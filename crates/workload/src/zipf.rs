@@ -135,7 +135,7 @@ mod tests {
         }
         for (r, &count) in counts.iter().enumerate() {
             let expected = z.rank_probability(r);
-            let observed = count as f64 / n as f64;
+            let observed = count as f64 / f64::from(n);
             assert!(
                 (observed - expected).abs() < 0.01,
                 "rank {r}: observed {observed}, expected {expected}"

@@ -11,6 +11,9 @@
 //!
 //! Run with `cargo run --release --example location_service`.
 
+// Demonstration code: unwrap keeps the walkthrough focused.
+#![allow(clippy::unwrap_used)]
+
 use peercache::pastry::RoutingMode;
 use peercache::sim::{run_churn_once, ChurnConfig, OverlayKind, RankingMode, Strategy};
 

@@ -13,6 +13,9 @@
 //!
 //! Run with `cargo run --release --example p2p_dns`.
 
+// Demonstration code: unwrap keeps the walkthrough focused.
+#![allow(clippy::unwrap_used)]
+
 use peercache::chord::{ChordConfig, ChordNetwork};
 use peercache::freq::ExactCounter;
 use peercache::select::chord::select_fast;
@@ -84,7 +87,7 @@ fn main() {
         for _ in 0..QUERIES {
             let item = workload.sample_item(rng);
             let res = net.lookup(resolver, domains.key(item)).unwrap();
-            hops += res.hops as u64;
+            hops += u64::from(res.hops);
         }
         hops as f64 / QUERIES as f64
     };

@@ -16,6 +16,9 @@
 //!
 //! Run with `cargo run --release --example qos_classes`.
 
+// Demonstration code: unwrap keeps the walkthrough focused.
+#![allow(clippy::unwrap_used)]
+
 use peercache::select::chord::{select_fast, select_naive};
 use peercache::select::cost::{chord_qos_satisfied, chord_set_distance};
 use peercache::workload::random_ids;

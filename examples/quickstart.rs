@@ -8,6 +8,9 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+// Demonstration code: unwrap keeps the walkthrough focused.
+#![allow(clippy::unwrap_used)]
+
 use peercache::chord::{ChordConfig, ChordNetwork};
 use peercache::freq::ExactCounter;
 use peercache::select::chord::select_fast;
@@ -37,7 +40,7 @@ fn main() {
         let key = catalog.key(workload.sample_item(&mut rng));
         let result = net.lookup(me, key).expect("we are live");
         assert!(result.is_success(), "stable rings never fail lookups");
-        hops_before += result.hops as u64;
+        hops_before += u64::from(result.hops);
         counter.observe(*result.path.last().unwrap());
     }
     println!(
@@ -73,10 +76,10 @@ fn main() {
     for _ in 0..queries {
         let key = catalog.key(workload.sample_item(&mut rng));
         let result = net.lookup(me, key).expect("we are live");
-        hops_after += result.hops as u64;
+        hops_after += u64::from(result.hops);
     }
-    let before = hops_before as f64 / queries as f64;
-    let after = hops_after as f64 / queries as f64;
+    let before = hops_before as f64 / f64::from(queries);
+    let after = hops_after as f64 / f64::from(queries);
     println!("average hops before: {before:.3}");
     println!("average hops after:  {after:.3}");
     println!(

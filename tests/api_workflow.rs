@@ -35,7 +35,7 @@ fn chord_workflow_improves_measured_hops() {
         let key = catalog.key(workload.sample_item(&mut rng));
         let res = net.lookup(me, key).unwrap();
         assert!(res.is_success());
-        hops_before += res.hops as u64;
+        hops_before += u64::from(res.hops);
         let owner = *res.path.last().unwrap();
         exact.observe(owner);
         sketch.observe(owner);
@@ -70,7 +70,7 @@ fn chord_workflow_improves_measured_hops() {
     let mut hops_after = 0u64;
     for _ in 0..4_000 {
         let key = catalog.key(workload.sample_item(&mut rng2));
-        hops_after += net.lookup(me, key).unwrap().hops as u64;
+        hops_after += u64::from(net.lookup(me, key).unwrap().hops);
     }
     assert!(
         hops_after < hops_before,

@@ -21,7 +21,9 @@ fn assert_rows_sane(rows: &[FigureRow], figure: &str) {
         if r.mode == "stable" {
             assert_eq!(r.success_rate_aware, 1.0, "stable mode never fails");
             assert!(
-                r.avg_hops_core_only.unwrap() >= r.avg_hops_aware,
+                r.avg_hops_core_only
+                    .expect("stable rows record core-only hops")
+                    >= r.avg_hops_aware,
                 "{figure}: core-only must not beat aware: {r:?}"
             );
         }

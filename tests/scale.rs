@@ -17,7 +17,7 @@ fn big_candidates(n: usize, seed: u64) -> (IdSpace, Id, Vec<Id>, Vec<Candidate>)
     let ids = random_ids(space, n + 33, &mut rng);
     let source = ids[0];
     let core = ids[1..33].to_vec();
-    let zipf = Zipf::new(n, 1.1).unwrap();
+    let zipf = Zipf::new(n, 1.1).expect("valid Zipf");
     let candidates = ids[33..]
         .iter()
         .enumerate()
@@ -74,7 +74,7 @@ fn ten_thousand_node_ring_routes_correctly() {
     let mut max_hops = 0;
     for _ in 0..5_000 {
         let from = ids[rng.gen_range(0..ids.len())];
-        let key = Id::new(rng.gen::<u32>() as u128);
+        let key = Id::new(u128::from(rng.gen::<u32>()));
         let res = net.lookup(from, key).unwrap();
         assert!(res.is_success());
         max_hops = max_hops.max(res.hops);
