@@ -208,10 +208,11 @@ impl ChordNetwork {
         let successors = self.true_successors(id);
         let fingers = self.true_fingers(id);
         let predecessor = self.true_predecessor(id);
-        let node = self.nodes.get_mut(&id.value()).expect("live node");
-        node.successors = successors;
-        node.fingers = fingers;
-        node.predecessor = predecessor;
+        if let Some(node) = self.nodes.get_mut(&id.value()) {
+            node.successors = successors;
+            node.fingers = fingers;
+            node.predecessor = predecessor;
+        }
     }
 
     fn true_predecessor(&self, id: Id) -> Option<Id> {
@@ -315,11 +316,11 @@ impl ChordNetwork {
                 .collect()
         };
         for b in beliefs {
-            if !self.is_live(b) {
-                self.nodes
-                    .get_mut(&id.value())
-                    .expect("stabilizing node is live")
-                    .forget(b);
+            if self.is_live(b) {
+                continue;
+            }
+            if let Some(node) = self.nodes.get_mut(&id.value()) {
+                node.forget(b);
             }
         }
         // 2. Successor handshake: adopt successor's predecessor if closer;
@@ -349,22 +350,22 @@ impl ChordNetwork {
                 }
             }
             list.truncate(self.config.successor_list_len);
-            self.nodes
-                .get_mut(&id.value())
-                .expect("stabilizing node is live")
-                .successors = list;
+            // The head of the (never-empty) list is the refreshed
+            // successor we notify below.
+            let new_succ = list.first().copied().unwrap_or(succ);
+            if let Some(node) = self.nodes.get_mut(&id.value()) {
+                node.successors = list;
+            }
             // Notify: the successor adopts us as predecessor if we are
             // closer than its current belief.
-            let new_succ = self.nodes[&id.value()].successor().expect("just set");
             let adopt = match self.nodes[&new_succ.value()].predecessor {
                 None => true,
                 Some(p) => p == id || space.between_open(p, id, new_succ) || !self.is_live(p),
             };
             if adopt {
-                self.nodes
-                    .get_mut(&new_succ.value())
-                    .expect("successor is live")
-                    .predecessor = Some(id);
+                if let Some(s) = self.nodes.get_mut(&new_succ.value()) {
+                    s.predecessor = Some(id);
+                }
             }
         } else {
             // Lost every successor: re-acquire from any live belief, or —
@@ -372,18 +373,16 @@ impl ChordNetwork {
             // would re-join through an out-of-band bootstrap server).
             let fallback = self.next_live(id).filter(|&s| s != id);
             if let Some(s) = fallback {
-                self.nodes
-                    .get_mut(&id.value())
-                    .expect("stabilizing node is live")
-                    .successors = vec![s];
+                if let Some(node) = self.nodes.get_mut(&id.value()) {
+                    node.successors = vec![s];
+                }
             }
         }
         // 3. Fix fingers (periodic re-initialization).
         let fingers = self.true_fingers(id);
-        self.nodes
-            .get_mut(&id.value())
-            .expect("stabilizing node is live")
-            .fingers = fingers;
+        if let Some(node) = self.nodes.get_mut(&id.value()) {
+            node.fingers = fingers;
+        }
         Ok(())
     }
 
@@ -425,7 +424,11 @@ impl ChordNetwork {
             return Err(NetworkError::NotPresent(from));
         }
         let space = self.config.space;
-        let true_owner = self.true_owner(key).expect("ring is non-empty");
+        // `from` is live, so the ring is non-empty and every key has an
+        // owner; the else-branch is unreachable but typed.
+        let Some(true_owner) = self.true_owner(key) else {
+            return Err(NetworkError::NotPresent(from));
+        };
         let mut current = from;
         let mut hops = 0u32;
         let mut failed_probes = 0u32;
@@ -467,10 +470,9 @@ impl ChordNetwork {
                     break;
                 }
                 failed_probes += 1;
-                self.nodes
-                    .get_mut(&current.value())
-                    .expect("route current node is live")
-                    .forget(w);
+                if let Some(node) = self.nodes.get_mut(&current.value()) {
+                    node.forget(w);
+                }
             }
             if let Some(w) = next {
                 hops += 1;

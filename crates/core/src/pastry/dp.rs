@@ -66,7 +66,7 @@ fn solve(trie: &Trie, v: u32, k: usize) -> Table {
                 if a.is_infinite() || b.is_infinite() {
                     continue;
                 }
-                if a + b < next.costs[j] {
+                if (a + b).total_cmp(&next.costs[j]).is_lt() {
                     next.costs[j] = a + b;
                     let mut set = acc.sets[i].clone();
                     set.extend_from_slice(&child.sets[j - i]);

@@ -17,6 +17,10 @@ use crate::cast;
 use crate::pastry::trie::{Trie, NONE};
 use crate::problem::{Candidate, PastryProblem, SelectError, Selection};
 
+/// Tolerance for the non-negativity of marginal gains: interleaved
+/// subtraction of eq. 1 sums accumulates rounding of this order.
+const GAIN_EPS: f64 = 1e-9;
+
 /// Incremental optimiser for Pastry auxiliary-neighbor selection.
 ///
 /// Construction runs the full greedy algorithm in `O(n·k·b)`. Afterwards,
@@ -222,14 +226,14 @@ impl PastryOptimizer {
                 let gain = d_of(&self.trie, c, t) - d_of(&self.trie, c, t + 1);
                 let better = match best {
                     None => true,
-                    Some((bg, _)) => gain > bg,
+                    Some((bg, _)) => gain.total_cmp(&bg).is_gt(),
                 };
                 if better {
                     best = Some((gain, i));
                 }
             }
             let (gain, i) = best.expect("cap ≤ Σ child caps guarantees a step");
-            debug_assert!(gain >= -1e-9, "marginal gains are non-negative");
+            debug_assert!(gain >= -GAIN_EPS, "marginal gains are non-negative");
             t_child[i] += 1;
             cost -= gain;
             costs.push(cost);

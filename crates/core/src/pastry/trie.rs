@@ -12,7 +12,7 @@
 //! subtree without a core neighbor must receive at least one auxiliary
 //! pointer (`req`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use peercache_id::{Id, IdSpace};
 
@@ -115,7 +115,7 @@ pub(crate) struct Trie {
     vertices: Vec<Vertex>,
     free: Vec<u32>,
     /// id → leaf vertex.
-    leaves: HashMap<Id, u32>,
+    leaves: BTreeMap<Id, u32>,
 }
 
 impl Trie {
@@ -134,7 +134,7 @@ impl Trie {
             arity,
             vertices: vec![root],
             free: Vec::new(),
-            leaves: HashMap::new(),
+            leaves: BTreeMap::new(),
         })
     }
 

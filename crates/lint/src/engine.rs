@@ -1,11 +1,41 @@
-//! Workspace walking and report assembly.
+//! Workspace walking, the two-pass driver and report assembly.
+//!
+//! Pass 1 reads every `.rs` file once, scans it ([`crate::scan`]),
+//! tokenizes it, parses its item tree ([`crate::items`]) and feeds the
+//! workspace symbol table ([`crate::symbols`]); the per-file rules
+//! (L1–L6, L8) run on the same artifacts. Pass 2 derives the
+//! workspace-level L7 violations from the completed symbol table. Both
+//! passes' findings then meet the `lint.allow` budgets: groups over
+//! budget become failing diagnostics, groups under budget become
+//! tightening notes, and every individual finding is retained in
+//! [`Report::findings`] for the SARIF emitter.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::allow::Allowlist;
-use crate::rules::{check, FileCtx, Rule, Violation};
+use crate::items::{parse_items, tokenize};
+use crate::rules::{check_tokens, FileCtx, Rule, Violation};
+use crate::scan::scan;
+use crate::symbols::SymbolTable;
+
+/// One finding with its allowlist disposition, as consumed by the SARIF
+/// emitter.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+    /// True when the finding's (rule, file) group exceeded its
+    /// `lint.allow` budget — i.e. it fails the build.
+    pub over_budget: bool,
+}
 
 /// The outcome of linting a tree.
 #[derive(Debug, Default)]
@@ -19,6 +49,9 @@ pub struct Report {
     pub files: usize,
     /// Total violations found (allowlisted ones included).
     pub violations: usize,
+    /// Every individual finding with its budget disposition, ordered by
+    /// (rule, path, line) — input to [`crate::sarif::to_sarif`].
+    pub findings: Vec<Finding>,
 }
 
 impl Report {
@@ -75,13 +108,20 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
     walk(root, &mut files)?;
     files.sort();
 
+    // Pass 1: per-file scanning, item trees, symbol collection, and the
+    // per-file rules L1–L6/L8.
     let mut grouped: BTreeMap<(Rule, String), Vec<Violation>> = BTreeMap::new();
+    let mut symbols = SymbolTable::new();
     let mut report = Report::default();
     for file in &files {
         let rel = rel_path(root, file);
         let source = fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
         let ctx = FileCtx::classify(&rel);
-        for violation in check(&ctx, &source) {
+        let lines = scan(&source);
+        let toks = tokenize(&lines);
+        let items = parse_items(&toks);
+        symbols.add_file(&rel, ctx.kind, &items, &toks);
+        for violation in check_tokens(&ctx, &lines, &toks) {
             report.violations += 1;
             grouped
                 .entry((violation.rule, rel.clone()))
@@ -91,9 +131,38 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
         report.files += 1;
     }
 
+    // Pass 2: workspace-level L7 over the completed symbol table.
+    for def in symbols.unreferenced() {
+        report.violations += 1;
+        grouped
+            .entry((Rule::L7, def.path.clone()))
+            .or_default()
+            .push(Violation {
+                line: def.line,
+                rule: Rule::L7,
+                message: format!(
+                    "`pub {} {}` is never referenced outside {} — demote to pub(crate), \
+                     delete, or budget it in lint.allow (rule L7)",
+                    def.kind.label(),
+                    def.name,
+                    def.path
+                ),
+            });
+    }
+
     for ((rule, path), violations) in &grouped {
         let budget = allow.budget(*rule, path);
-        if violations.len() > budget {
+        let over = violations.len() > budget;
+        for v in violations {
+            report.findings.push(Finding {
+                path: path.clone(),
+                line: v.line,
+                rule: *rule,
+                message: v.message.clone(),
+                over_budget: over,
+            });
+        }
+        if over {
             for v in violations {
                 report.diagnostics.push(format!(
                     "{path}:{}: {}: {}",

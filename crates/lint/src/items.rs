@@ -1,0 +1,451 @@
+//! Pass 1 of the semantic analyzer: tokens and the per-file item tree.
+//!
+//! The scanner ([`crate::scan`]) blanks comments and literal interiors;
+//! this module turns the surviving executable text into a flat token
+//! stream and then into a brace-matched **item tree**: modules, `fn`s,
+//! `impl` blocks, `struct`s, `enum`s, traits, type aliases, consts and
+//! statics, each with its visibility, its attributes, its line span, and
+//! whether it lives under `#[cfg(test)]`. The tree is what the
+//! workspace-level rules consume — L7 (dead public API) walks it to
+//! collect `pub` definitions, and the test-scoping of every rule can be
+//! answered from it.
+//!
+//! The parser is deliberately a *lint-grade* Rust item grammar: it
+//! understands the forms this workspace writes (and the tricky lexical
+//! cases the scanner normalizes away — raw strings, nested comments,
+//! `'a'`-vs-`'a`, `r#ident`), not every corner of the language. Bodies of
+//! functions, structs and enums are skipped by brace matching; modules,
+//! traits and `impl` blocks are recursed into so nested items keep their
+//! scope.
+
+use crate::scan::ScannedLine;
+
+/// What a token is: a word or a single punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier, keyword or numeric-literal fragment. Raw
+    /// identifiers (`r#type`) arrive as the bare name (`type`).
+    Ident(String),
+    /// One non-whitespace punctuation character.
+    Punct(char),
+}
+
+/// One token with its 0-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 0-based line index into the scanned file.
+    pub line: usize,
+    /// The token payload.
+    pub kind: TokKind,
+}
+
+/// Tokenize blanked source lines into identifiers and punctuation.
+///
+/// Raw identifiers are folded: the `r#` prefix of `r#ident` is dropped so
+/// downstream keyword matching sees the same name the compiler resolves
+/// (`r#fn` stays distinct from the `fn` keyword only in real Rust; for
+/// lint purposes the item parser never treats a *folded* name as a
+/// keyword because the `#` is consumed together with the `r`).
+pub fn tokenize(lines: &[ScannedLine]) -> Vec<Tok> {
+    let mut toks: Vec<Tok> = Vec::new();
+    for (line, scanned) in lines.iter().enumerate() {
+        let mut ident = String::new();
+        for ch in scanned.code.chars() {
+            if ch.is_alphanumeric() || ch == '_' {
+                ident.push(ch);
+            } else {
+                if !ident.is_empty() {
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Ident(std::mem::take(&mut ident)),
+                    });
+                }
+                if ch == '#' {
+                    // Fold `r#ident`: drop the just-pushed `r` and the
+                    // `#`, letting the following ident stand alone.
+                    let prev_is_raw_marker = matches!(
+                        toks.last(),
+                        Some(Tok { kind: TokKind::Ident(p), line: l }) if p == "r" && *l == line
+                    );
+                    if prev_is_raw_marker {
+                        toks.pop();
+                        continue;
+                    }
+                }
+                if !ch.is_whitespace() {
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Punct(ch),
+                    });
+                }
+            }
+        }
+        if !ident.is_empty() {
+            toks.push(Tok {
+                line,
+                kind: TokKind::Ident(ident),
+            });
+        }
+    }
+    toks
+}
+
+/// The identifier at token index `i`, if any.
+pub(crate) fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// The punctuation character at token index `i`, if any.
+pub(crate) fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// The kind of a parsed item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` or `mod name;`.
+    Module,
+    /// A free function or method.
+    Fn,
+    /// A struct (unit, tuple or braced).
+    Struct,
+    /// An enum.
+    Enum,
+    /// A trait definition.
+    Trait,
+    /// An `impl` block (inherent or trait); `name` is the self type.
+    Impl,
+    /// A `type` alias.
+    TypeAlias,
+    /// A `const` item (free or associated).
+    Const,
+    /// A `static` item.
+    Static,
+}
+
+impl ItemKind {
+    /// The keyword-ish label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ItemKind::Module => "mod",
+            ItemKind::Fn => "fn",
+            ItemKind::Struct => "struct",
+            ItemKind::Enum => "enum",
+            ItemKind::Trait => "trait",
+            ItemKind::Impl => "impl",
+            ItemKind::TypeAlias => "type",
+            ItemKind::Const => "const",
+            ItemKind::Static => "static",
+        }
+    }
+}
+
+/// Item visibility, as far as reachability analysis needs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// No `pub`.
+    Private,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — not workspace API.
+    Restricted,
+    /// Plain `pub`.
+    Public,
+}
+
+/// One node of the item tree.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// The declared name (for `impl` blocks, the self type's last path
+    /// segment).
+    pub name: String,
+    /// Visibility as written.
+    pub vis: Visibility,
+    /// 1-based line of the declaring keyword.
+    pub line: usize,
+    /// 1-based line of the item's closing brace / semicolon.
+    pub end_line: usize,
+    /// Attribute texts (`#[…]` interiors, idents and puncts flattened).
+    pub attrs: Vec<String>,
+    /// True when the item or an enclosing scope is `#[cfg(test)]`-gated.
+    pub cfg_test: bool,
+    /// Nested items (modules, traits and `impl` blocks recurse).
+    pub children: Vec<Item>,
+}
+
+/// Parse the item tree of one file from its token stream.
+pub fn parse_items(toks: &[Tok]) -> Vec<Item> {
+    let mut i = 0usize;
+    parse_level(toks, &mut i, false)
+}
+
+const ITEM_KEYWORDS: [&str; 9] = [
+    "mod", "fn", "struct", "enum", "trait", "impl", "type", "const", "static",
+];
+
+/// Skip a balanced group opened by the punct at `*i` (`(`, `[`, `{` or a
+/// generic `<`), leaving `*i` one past the closing token.
+fn skip_balanced(toks: &[Tok], i: &mut usize, open: char, close: char) {
+    let mut depth = 0usize;
+    while *i < toks.len() {
+        match punct_at(toks, *i) {
+            Some(c) if c == open => depth += 1,
+            Some(c) if c == close => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    *i += 1;
+                    return;
+                }
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Consume an attribute starting at the `#`; returns its flattened text.
+fn consume_attr(toks: &[Tok], i: &mut usize) -> String {
+    let mut text = String::new();
+    *i += 1; // '#'
+    if punct_at(toks, *i) == Some('!') {
+        *i += 1;
+    }
+    if punct_at(toks, *i) != Some('[') {
+        return text;
+    }
+    let mut depth = 0usize;
+    while *i < toks.len() {
+        match &toks[*i].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return text;
+                }
+            }
+            TokKind::Ident(s) => {
+                if !text.is_empty() {
+                    text.push(' ');
+                }
+                text.push_str(s);
+            }
+            TokKind::Punct(c) => text.push(*c),
+        }
+        *i += 1;
+    }
+    text
+}
+
+fn attr_is_cfg_test(text: &str) -> bool {
+    text.contains("cfg") && text.contains("test")
+}
+
+/// Parse items until the matching `}` of the enclosing level (consumed)
+/// or the end of the stream.
+fn parse_level(toks: &[Tok], i: &mut usize, in_test: bool) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut attrs: Vec<String> = Vec::new();
+    let mut cfg_test_attr = false;
+    let mut vis = Visibility::Private;
+
+    while *i < toks.len() {
+        match &toks[*i].kind {
+            TokKind::Punct('#') => {
+                let text = consume_attr(toks, i);
+                if attr_is_cfg_test(&text) {
+                    cfg_test_attr = true;
+                }
+                attrs.push(text);
+            }
+            TokKind::Punct('}') => {
+                *i += 1;
+                return items;
+            }
+            TokKind::Punct('{') => {
+                // A stray body (macro invocation, expression position):
+                // skip it wholesale.
+                skip_balanced(toks, i, '{', '}');
+                attrs.clear();
+                cfg_test_attr = false;
+                vis = Visibility::Private;
+            }
+            TokKind::Punct(_) => {
+                if punct_at(toks, *i) == Some(';') {
+                    attrs.clear();
+                    cfg_test_attr = false;
+                    vis = Visibility::Private;
+                }
+                *i += 1;
+            }
+            TokKind::Ident(word) => {
+                if word == "pub" {
+                    *i += 1;
+                    if punct_at(toks, *i) == Some('(') {
+                        skip_balanced(toks, i, '(', ')');
+                        vis = Visibility::Restricted;
+                    } else {
+                        vis = Visibility::Public;
+                    }
+                } else if word == "const" && ident_at(toks, *i + 1) == Some("fn") {
+                    // `const fn` — the modifier, not a const item.
+                    *i += 1;
+                } else if word == "async" || word == "extern" || word == "default" {
+                    *i += 1;
+                } else if word == "use" || word == "macro_rules" {
+                    // Skip to the terminating `;` (or the macro body).
+                    while *i < toks.len() {
+                        match punct_at(toks, *i) {
+                            Some(';') => {
+                                *i += 1;
+                                break;
+                            }
+                            Some('{') => {
+                                skip_balanced(toks, i, '{', '}');
+                                break;
+                            }
+                            _ => *i += 1,
+                        }
+                    }
+                    attrs.clear();
+                    cfg_test_attr = false;
+                    vis = Visibility::Private;
+                } else if ITEM_KEYWORDS.contains(&word.as_str()) {
+                    let cfg_test = in_test || cfg_test_attr;
+                    let item = parse_item(toks, i, std::mem::take(&mut attrs), vis, cfg_test);
+                    if let Some(item) = item {
+                        items.push(item);
+                    }
+                    cfg_test_attr = false;
+                    vis = Visibility::Private;
+                } else {
+                    *i += 1;
+                }
+            }
+        }
+    }
+    items
+}
+
+/// Parse one item whose keyword is at `*i`.
+fn parse_item(
+    toks: &[Tok],
+    i: &mut usize,
+    attrs: Vec<String>,
+    vis: Visibility,
+    cfg_test: bool,
+) -> Option<Item> {
+    let kw_line = toks[*i].line;
+    let kind = match ident_at(toks, *i)? {
+        "mod" => ItemKind::Module,
+        "fn" => ItemKind::Fn,
+        "struct" => ItemKind::Struct,
+        "enum" => ItemKind::Enum,
+        "trait" => ItemKind::Trait,
+        "impl" => ItemKind::Impl,
+        "type" => ItemKind::TypeAlias,
+        "const" => ItemKind::Const,
+        "static" => ItemKind::Static,
+        _ => return None,
+    };
+    *i += 1;
+    let name = if kind == ItemKind::Impl {
+        impl_self_type(toks, i)
+    } else {
+        // `static mut` (forbidden by L3 anyway) and `const _`:
+        while matches!(ident_at(toks, *i), Some("mut")) {
+            *i += 1;
+        }
+        ident_at(toks, *i).map(str::to_owned).unwrap_or_default()
+    };
+
+    // Find the item body (`{`) or terminator (`;`), skipping over
+    // parameter lists, generics, where clauses and tuple-struct fields.
+    let mut end_line = kw_line;
+    let mut body = None;
+    while *i < toks.len() {
+        end_line = toks[*i].line;
+        match punct_at(toks, *i) {
+            Some(';') => {
+                *i += 1;
+                break;
+            }
+            Some('{') => {
+                body = Some(*i);
+                break;
+            }
+            Some('(') => skip_balanced(toks, i, '(', ')'),
+            Some('[') => skip_balanced(toks, i, '[', ']'),
+            Some('<') => skip_balanced(toks, i, '<', '>'),
+            _ => *i += 1,
+        }
+    }
+
+    let mut children = Vec::new();
+    if let Some(open) = body {
+        *i = open + 1;
+        if matches!(kind, ItemKind::Module | ItemKind::Trait | ItemKind::Impl) {
+            children = parse_level(toks, i, cfg_test);
+            end_line = toks.get(i.saturating_sub(1)).map_or(end_line, |t| t.line);
+        } else {
+            *i = open;
+            skip_balanced(toks, i, '{', '}');
+            end_line = toks.get(i.saturating_sub(1)).map_or(end_line, |t| t.line);
+        }
+    }
+
+    Some(Item {
+        kind,
+        name,
+        vis,
+        line: kw_line + 1,
+        end_line: end_line + 1,
+        attrs,
+        cfg_test,
+        children,
+    })
+}
+
+/// The self-type name of an `impl` header: the last path segment before
+/// the body, preferring the segment after `for` when present
+/// (`impl Trait for Type`).
+fn impl_self_type(toks: &[Tok], i: &mut usize) -> String {
+    if punct_at(toks, *i) == Some('<') {
+        skip_balanced(toks, i, '<', '>');
+    }
+    let mut last = String::new();
+    let mut j = *i;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('{') | TokKind::Punct(';') => break,
+            TokKind::Punct('<') => skip_balanced(toks, &mut j, '<', '>'),
+            TokKind::Ident(s) if s == "for" => {
+                last.clear();
+                j += 1;
+            }
+            TokKind::Ident(s) if s == "where" => break,
+            TokKind::Ident(s) => {
+                last = s.clone();
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    *i = j;
+    last
+}
+
+/// Depth-first iteration over an item tree (the items themselves, then
+/// their children).
+pub fn walk_items<'a>(items: &'a [Item], visit: &mut impl FnMut(&'a Item)) {
+    for item in items {
+        visit(item);
+        walk_items(&item.children, visit);
+    }
+}

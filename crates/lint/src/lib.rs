@@ -1,15 +1,20 @@
 //! # peercache-lint
 //!
-//! Workspace-local static analysis for the peercache repository: five
-//! style rules (L1–L5) that keep the paper-reproduction code honest,
-//! enforced by a comment- and string-aware scanner rather than a naive
-//! grep. See [`rules`] for the rule table, [`scan`] for the scanner and
-//! [`allow`] for the `lint.allow` budget format.
+//! Workspace-local static analysis for the peercache repository: eight
+//! rules (L1–L8) that keep the paper-reproduction code honest, run as a
+//! two-pass semantic analyzer — pass 1 builds, per file, a blanked
+//! token stream ([`scan`]), a brace-matched item tree ([`items`]) and a
+//! workspace symbol table ([`symbols`]); pass 2 evaluates the rules,
+//! including the workspace-level dead-API rule L7. See [`rules`] for the
+//! rule table, [`allow`] for the `lint.allow` budget format and
+//! [`sarif`] for the hand-rolled SARIF 2.1.0 emitter.
 //!
 //! Run it from the workspace root:
 //!
 //! ```text
 //! cargo run -p peercache-lint
+//! cargo run -p peercache-lint -- --format sarif --output lint.sarif
+//! cargo run -p peercache-lint -- --explain L6
 //! ```
 //!
 //! Exit status is non-zero when any violation exceeds its allowlist
@@ -20,9 +25,13 @@
 
 pub mod allow;
 pub mod engine;
+pub mod items;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
+pub mod symbols;
 
 pub use allow::Allowlist;
-pub use engine::{lint_root, Report};
+pub use engine::{lint_root, Finding, Report};
 pub use rules::{check, FileCtx, FileKind, Rule, Violation};
+pub use sarif::to_sarif;

@@ -3,6 +3,16 @@
 //! Lints every `.rs` file under ROOT (default: the current directory,
 //! which `cargo run -p peercache-lint` sets to the workspace root)
 //! against `lint.allow`, printing `file:line: RULE: message` diagnostics.
+//!
+//! Flags:
+//!
+//! - `--root DIR` (or a bare DIR argument) — tree to lint.
+//! - `--format text|sarif` — diagnostic format; `sarif` emits a SARIF
+//!   2.1.0 document for GitHub code scanning.
+//! - `--output PATH` — write the report there instead of stdout.
+//! - `--explain RULE` — print one rule's rationale (with its paper
+//!   citation) and exit.
+//!
 //! Exits 0 when clean, 1 on violations, 2 on environmental errors.
 
 #![forbid(unsafe_code)]
@@ -10,8 +20,17 @@
 use std::path::Path;
 use std::process::ExitCode;
 
+use peercache_lint::Rule;
+
+enum Format {
+    Text,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let mut root = String::from(".");
+    let mut format = Format::Text;
+    let mut output: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -22,8 +41,38 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("sarif") => format = Format::Sarif,
+                _ => {
+                    eprintln!("peercache-lint: --format requires `text` or `sarif`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--output" => match args.next() {
+                Some(path) => output = Some(path),
+                None => {
+                    eprintln!("peercache-lint: --output requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => {
+                return match args.next().as_deref().and_then(Rule::parse) {
+                    Some(rule) => {
+                        println!("{}", rule.explain());
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("peercache-lint: --explain requires a rule name (L1..L8)");
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: peercache-lint [--root DIR]");
+                println!(
+                    "usage: peercache-lint [--root DIR] [--format text|sarif] \
+                     [--output PATH] [--explain RULE]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => root = other.to_owned(),
@@ -32,22 +81,44 @@ fn main() -> ExitCode {
 
     match peercache_lint::lint_root(Path::new(&root)) {
         Ok(report) => {
-            for line in &report.diagnostics {
-                println!("{line}");
-            }
-            for note in &report.notes {
-                println!("{note}");
-            }
-            println!(
-                "peercache-lint: {} file(s), {} violation(s), {}",
-                report.files,
-                report.violations,
-                if report.ok() {
-                    "all within lint.allow budgets"
-                } else {
-                    "FAILED"
+            let rendered = match format {
+                Format::Text => {
+                    let mut text = String::new();
+                    for line in &report.diagnostics {
+                        text.push_str(line);
+                        text.push('\n');
+                    }
+                    for note in &report.notes {
+                        text.push_str(note);
+                        text.push('\n');
+                    }
+                    text.push_str(&format!(
+                        "peercache-lint: {} file(s), {} violation(s), {}\n",
+                        report.files,
+                        report.violations,
+                        if report.ok() {
+                            "all within lint.allow budgets"
+                        } else {
+                            "FAILED"
+                        }
+                    ));
+                    text
                 }
-            );
+                Format::Sarif => peercache_lint::to_sarif(&report.findings),
+            };
+            match output {
+                Some(path) => {
+                    if let Err(err) = std::fs::write(&path, rendered) {
+                        eprintln!("peercache-lint: cannot write {path}: {err}");
+                        return ExitCode::from(2);
+                    }
+                    eprintln!(
+                        "peercache-lint: wrote {} finding(s) to {path}",
+                        report.findings.len()
+                    );
+                }
+                None => print!("{rendered}"),
+            }
             if report.ok() {
                 ExitCode::SUCCESS
             } else {

@@ -1,0 +1,116 @@
+//! Hand-rolled SARIF 2.1.0 emitter.
+//!
+//! The workspace's vendored-std-only policy means no serde derive
+//! machinery here: the report is assembled by string building with
+//! explicit JSON escaping. The emitted document carries one run with the
+//! full L1–L8 rule metadata under `runs[0].tool.driver.rules` and one
+//! `result` per finding, `level: "error"` for violations over their
+//! `lint.allow` budget and `level: "note"` for allowlisted ones — so
+//! GitHub code scanning annotates regressions loudly while still
+//! surfacing the tracked debt.
+
+use crate::engine::Finding;
+use crate::rules::ALL_RULES;
+
+/// The SARIF spec version this emitter targets.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the findings of one lint run as a SARIF 2.1.0 document.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(4096 + findings.len() * 256);
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str(&format!("  \"version\": \"{SARIF_VERSION}\",\n"));
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"peercache-lint\",\n");
+    out.push_str(&format!(
+        "          \"version\": \"{}\",\n",
+        escape(env!("CARGO_PKG_VERSION"))
+    ));
+    out.push_str(
+        "          \"informationUri\": \
+         \"https://example.invalid/peercache/crates/lint\",\n",
+    );
+    out.push_str("          \"rules\": [\n");
+    for (idx, rule) in ALL_RULES.iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!("              \"id\": \"{}\",\n", rule.name()));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": \"{}\" }},\n",
+            escape(rule.short_desc())
+        ));
+        out.push_str(&format!(
+            "              \"fullDescription\": {{ \"text\": \"{}\" }},\n",
+            escape(rule.explain())
+        ));
+        out.push_str(&format!(
+            "              \"help\": {{ \"text\": \"{}\" }}\n",
+            escape(rule.short_desc())
+        ));
+        out.push_str("            }");
+        if idx + 1 < ALL_RULES.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (idx, finding) in findings.iter().enumerate() {
+        let rule_index = ALL_RULES
+            .iter()
+            .position(|r| *r == finding.rule)
+            .unwrap_or_default();
+        let level = if finding.over_budget { "error" } else { "note" };
+        out.push_str("        {\n");
+        out.push_str(&format!(
+            "          \"ruleId\": \"{}\",\n",
+            finding.rule.name()
+        ));
+        out.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        out.push_str(&format!("          \"level\": \"{level}\",\n"));
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": \"{}\" }},\n",
+            escape(&finding.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n",
+            escape(&finding.path)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            finding.line.max(1)
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str("        }");
+        if idx + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}

@@ -180,9 +180,16 @@ impl Scanner {
     /// (or loop label) is kept as code.
     fn quote(&mut self) {
         if self.peek(1) == Some('\\') {
-            // Escaped char literal: blank until the closing quote.
+            // Escaped char literal: blank the opener, the backslash and
+            // the escaped character itself — consuming the latter before
+            // looking for the closing quote, so `'\''` closes on its
+            // fourth char and the second backslash of `'\\'` is not
+            // misread as opening another escape.
             self.emit_blank(); // '
             self.emit_blank(); // backslash
+            if self.i < self.chars.len() {
+                self.emit_blank(); // the escaped character
+            }
             while self.i < self.chars.len() {
                 match self.chars[self.i] {
                     '\\' => {

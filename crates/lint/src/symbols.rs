@@ -1,0 +1,123 @@
+//! Pass 1, workspace level: the symbol table behind rule L7.
+//!
+//! Each library file under `crates/*/src` contributes its `pub` items as
+//! **definitions**; every file in the workspace (tests, benches and
+//! examples included — a symbol exercised only by a test is still
+//! exercised) contributes the multiset of identifiers it mentions as
+//! **references**. A public definition that no file other than its own
+//! ever names is *unreferenced*: either dead API surface to delete, or
+//! intentional surface to record in `lint.allow` under an L7 budget.
+//!
+//! The match is name-based, which is deliberately conservative in the
+//! lint-friendly direction: two crates exporting the same name shadow
+//! each other's liveness, so a true-dead item can hide behind a
+//! same-named live one — but a *flagged* item really is unnamed anywhere
+//! else in the workspace. False negatives over false positives.
+
+use std::collections::BTreeMap;
+
+use crate::items::{walk_items, Item, ItemKind, TokKind, Visibility};
+use crate::rules::FileKind;
+
+/// One public definition recorded by the symbol table.
+#[derive(Debug, Clone)]
+pub struct PubDef {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// 1-based definition line.
+    pub line: usize,
+    /// The item kind (for the diagnostic message).
+    pub kind: ItemKind,
+    /// The item's name.
+    pub name: String,
+}
+
+/// Workspace-wide table of public definitions and name references.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    defs: Vec<PubDef>,
+    /// name → paths of files that mention it (with multiplicity folded
+    /// away; a BTreeMap keeps reporting order deterministic).
+    refs: BTreeMap<String, Vec<String>>,
+}
+
+/// True when `path` contributes `pub` definitions to the table: library
+/// source of an internal crate (`crates/<name>/src/…`), excluding the
+/// bench crate whose whole surface is binary-facing.
+fn defines_api(path: &str, kind: FileKind) -> bool {
+    kind == FileKind::Lib && path.starts_with("crates/") && path.contains("/src/")
+}
+
+impl SymbolTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one file's definitions (when it is API-defining) and its
+    /// identifier references.
+    pub fn add_file(
+        &mut self,
+        path: &str,
+        kind: FileKind,
+        items: &[Item],
+        toks: &[crate::items::Tok],
+    ) {
+        if defines_api(path, kind) && !is_crate_root(path) {
+            walk_items(items, &mut |item| {
+                if item.vis == Visibility::Public
+                    && !item.cfg_test
+                    && item.kind != ItemKind::Impl
+                    && !item.name.is_empty()
+                    && !item.attrs.iter().any(|a| a.contains("macro_export"))
+                {
+                    self.defs.push(PubDef {
+                        path: path.to_owned(),
+                        line: item.line,
+                        kind: item.kind,
+                        name: item.name.clone(),
+                    });
+                }
+            });
+        }
+        for tok in toks {
+            if let TokKind::Ident(name) = &tok.kind {
+                let paths = self.refs.entry(name.clone()).or_default();
+                if paths.last().map(String::as_str) != Some(path) {
+                    paths.push(path.to_owned());
+                }
+            }
+        }
+    }
+
+    /// Public definitions never named outside their defining file,
+    /// sorted by path then line for deterministic reporting.
+    pub fn unreferenced(&self) -> Vec<&PubDef> {
+        let mut dead: Vec<&PubDef> = self
+            .defs
+            .iter()
+            .filter(|def| {
+                let named_elsewhere = self
+                    .refs
+                    .get(&def.name)
+                    .is_some_and(|paths| paths.iter().any(|p| p != &def.path));
+                !named_elsewhere
+            })
+            .collect();
+        dead.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        dead
+    }
+
+    /// Number of recorded public definitions (for tests).
+    pub fn def_count(&self) -> usize {
+        self.defs.len()
+    }
+}
+
+/// Crate roots re-export and `pub mod` their internals; flagging a `pub
+/// mod` whose name is only used in paths *within* the crate would be
+/// noise, so `lib.rs` items are exempt from definition collection while
+/// still contributing references.
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("/lib.rs") || path.ends_with("/main.rs")
+}

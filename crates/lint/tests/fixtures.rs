@@ -215,6 +215,47 @@ fn l5_covers_the_par_crate_as_library_code() {
 }
 
 #[test]
+fn scanner_raw_strings_with_many_hashes_terminate_correctly() {
+    // A `"##` inside an `r###"…"###` literal must not close it early —
+    // otherwise the trailing text would leak back into scanned code and
+    // the real unwrap after the fn would be the second hit, not the
+    // first.
+    let src = "fn f() -> &'static str {\n\
+               r###\"inner \"## quote then .unwrap()\"###\n\
+               }\n\
+               fn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(fired("crates/sim/src/lib.rs", src), vec![(4, Rule::L1)]);
+}
+
+#[test]
+fn scanner_tracks_nested_block_comments() {
+    // Rust block comments nest: the inner `*/` must not end the outer
+    // comment, and code resumes only after the second `*/`.
+    let src = "/* outer /* inner panic!(\"x\") */ still comment .unwrap() */\n\
+               fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(fired("crates/sim/src/lib.rs", src), vec![(2, Rule::L1)]);
+}
+
+#[test]
+fn scanner_char_literal_escapes_do_not_blank_code() {
+    // An escaped quote or backslash inside a char literal must not make
+    // the scanner believe a string is still open on the rest of the line.
+    let src = "fn f(x: Option<u8>) -> u8 {\n\
+               let _q = '\\'';\n\
+               let _b = '\\\\';\n\
+               x.unwrap()\n\
+               }\n";
+    assert_eq!(fired("crates/sim/src/lib.rs", src), vec![(4, Rule::L1)]);
+}
+
+#[test]
+fn scanner_raw_identifiers_do_not_derail_tokens() {
+    // `r#type` is one identifier, not the raw-string opener `r#"`.
+    let src = "fn f(r#type: Option<u8>) -> u8 { r#type.unwrap() }\n";
+    assert_eq!(fired("crates/sim/src/lib.rs", src), vec![(1, Rule::L1)]);
+}
+
+#[test]
 fn lifetimes_are_not_mistaken_for_char_literals() {
     // If the scanner blanked from `'a` onwards, the unwrap would vanish.
     let src = "fn f<'a>(x: &'a Option<u8>) -> u8 { x.unwrap() }\n";

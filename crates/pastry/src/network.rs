@@ -1,4 +1,4 @@
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -116,7 +116,7 @@ pub struct PastryNetwork {
     digit_count: u8,
     arity: usize,
     nodes: BTreeMap<u128, PastryNode>,
-    coords: HashMap<u128, Coord>,
+    coords: BTreeMap<u128, Coord>,
 }
 
 impl PastryNetwork {
@@ -131,7 +131,7 @@ impl PastryNetwork {
             digit_count,
             arity: 1usize << config.digit_bits,
             nodes: BTreeMap::new(),
-            coords: HashMap::new(),
+            coords: BTreeMap::new(),
         }
     }
 
@@ -237,10 +237,13 @@ impl PastryNetwork {
     }
 
     fn lcp(&self, a: Id, b: Id) -> u8 {
+        // The digit width is validated by `PastryConfig::new`, so the
+        // error arm is unreachable; 0 is a safe (no-shared-prefix)
+        // fallback that keeps routing well-defined regardless.
         self.config
             .space
             .common_prefix_digits(a, b, self.config.digit_bits)
-            .expect("validated digit width")
+            .unwrap_or(0)
     }
 
     /// True leaf set of `id`: `leaf_half` ring neighbors per side
@@ -255,13 +258,15 @@ impl PastryNetwork {
         let mut cw = Vec::with_capacity(take);
         let mut cur = id.value();
         for _ in 0..take.min(n - 1) {
-            let prev = self
+            let Some(prev) = self
                 .nodes
                 .range(..cur)
                 .next_back()
                 .or_else(|| self.nodes.iter().next_back())
                 .map(|(&k, _)| k)
-                .expect("non-empty");
+            else {
+                break;
+            };
             if prev == id.value() || ccw.contains(&prev) {
                 break;
             }
@@ -270,12 +275,14 @@ impl PastryNetwork {
         }
         cur = id.value();
         for _ in 0..take.min(n - 1) {
-            let next = cur
+            let Some(next) = cur
                 .checked_add(1)
                 .and_then(|s| self.nodes.range(s..).next())
                 .or_else(|| self.nodes.iter().next())
                 .map(|(&k, _)| k)
-                .expect("non-empty");
+            else {
+                break;
+            };
             if next == id.value() || cw.contains(&next) || ccw.contains(&next) {
                 break;
             }
@@ -300,12 +307,10 @@ impl PastryNetwork {
             if l >= self.digit_count {
                 continue;
             }
-            let col = self
-                .config
-                .space
-                .digit(other, l, self.config.digit_bits)
-                .expect("l < digit_count") as usize;
-            let cell: &mut Option<Id> = &mut rows[l as usize][col];
+            let Ok(col) = self.config.space.digit(other, l, self.config.digit_bits) else {
+                continue; // unreachable: l < digit_count and width is validated
+            };
+            let cell: &mut Option<Id> = &mut rows[l as usize][col as usize];
             // Table cells hold whichever qualifying node the owner
             // happened to learn about (join paths, exchanged rows) — NOT
             // the globally proximity-optimal one. We model "first
@@ -320,9 +325,10 @@ impl PastryNetwork {
                 *cell = Some(other);
             }
         }
-        let node = self.nodes.get_mut(&id.value()).expect("live node");
-        node.leaves = leaves;
-        node.rows = rows;
+        if let Some(node) = self.nodes.get_mut(&id.value()) {
+            node.leaves = leaves;
+            node.rows = rows;
+        }
     }
 
     /// Repair every node (a full maintenance round).
@@ -363,14 +369,11 @@ impl PastryNetwork {
                 if l < self.digit_count {
                     // fill the table cell if empty (no proximity probe on
                     // announcement)
-                    let col = self
-                        .config
-                        .space
-                        .digit(id, l, self.config.digit_bits)
-                        .expect("l < digit_count") as usize;
-                    let cell = &mut m.rows[l as usize][col];
-                    if cell.is_none() {
-                        *cell = Some(id);
+                    if let Ok(col) = self.config.space.digit(id, l, self.config.digit_bits) {
+                        let cell = &mut m.rows[l as usize][col as usize];
+                        if cell.is_none() {
+                            *cell = Some(id);
+                        }
                     }
                 }
             }
@@ -403,9 +406,11 @@ impl PastryNetwork {
             .remove(&id.value())
             .ok_or(NetworkError::NotPresent(id))?;
         for member in node.leaves {
-            if self.is_live(member) {
-                let leaves = self.true_leaves(member);
-                let m = self.nodes.get_mut(&member.value()).expect("checked live");
+            if !self.is_live(member) {
+                continue;
+            }
+            let leaves = self.true_leaves(member);
+            if let Some(m) = self.nodes.get_mut(&member.value()) {
                 m.forget(id);
                 m.leaves = leaves;
             }
@@ -438,7 +443,11 @@ impl PastryNetwork {
         if !self.nodes.contains_key(&from.value()) {
             return Err(NetworkError::NotPresent(from));
         }
-        let true_owner = self.true_owner(key).expect("non-empty overlay");
+        // `from` is live, so the overlay is non-empty and the key has an
+        // owner; the else-branch is unreachable but typed.
+        let Some(true_owner) = self.true_owner(key) else {
+            return Err(NetworkError::NotPresent(from));
+        };
         let mut current = from;
         let mut hops = 0u32;
         let mut failed_probes = 0u32;
@@ -485,10 +494,9 @@ impl PastryNetwork {
                         current = next;
                     } else {
                         failed_probes += 1;
-                        self.nodes
-                            .get_mut(&current.value())
-                            .expect("route current node is live")
-                            .forget(next);
+                        if let Some(node) = self.nodes.get_mut(&current.value()) {
+                            node.forget(next);
+                        }
                     }
                 }
             }
@@ -510,10 +518,8 @@ impl PastryNetwork {
 
         // 1. Leaf-set short-circuit: if the key falls within the arc the
         //    leaf set covers, jump straight to the numerically closest.
-        if !node.leaves.is_empty() {
+        if let (Some(&ccw_most), Some(&cw_most)) = (node.leaves.first(), node.leaves.last()) {
             let space = self.config.space;
-            let ccw_most = node.leaves[0];
-            let cw_most = *node.leaves.last().expect("non-empty");
             let arc = space.clockwise_distance(ccw_most, cw_most);
             if space.clockwise_distance(ccw_most, key) <= arc {
                 let best = node
@@ -521,12 +527,10 @@ impl PastryNetwork {
                     .iter()
                     .copied()
                     .map(|w| (self.ring_abs(w, key), w.value()))
-                    .min()
-                    .expect("non-empty");
-                return if best < cur_key {
-                    Some(Id::new(best.1))
-                } else {
-                    None
+                    .min();
+                return match best {
+                    Some(best) if best < cur_key => Some(Id::new(best.1)),
+                    _ => None,
                 };
             }
         }
@@ -539,34 +543,30 @@ impl PastryNetwork {
             .copied()
             .filter(|&w| self.lcp(w, key) > l)
             .collect();
-        if !progress.is_empty() {
-            // Both modes first narrow to the candidates advancing the
-            // prefix the furthest (they are the "candidate nodes for the
-            // next hop"); the modes differ in the tie-break among them:
-            // FreePastry takes the one nearest in proximity space
-            // (§VI-D), the greedy mode the one numerically closest to the
-            // key.
-            let best_lcp = progress
-                .iter()
-                .map(|&w| self.lcp(w, key))
-                .max()
-                .expect("non-empty");
+        // Both modes first narrow to the candidates advancing the prefix
+        // the furthest (they are the "candidate nodes for the next hop");
+        // the modes differ in the tie-break among them: FreePastry takes
+        // the one nearest in proximity space (§VI-D), the greedy mode the
+        // one numerically closest to the key.
+        if let Some(best_lcp) = progress.iter().map(|&w| self.lcp(w, key)).max() {
             let bucket = progress
                 .into_iter()
                 .filter(|&w| self.lcp(w, key) == best_lcp);
             let chosen = match self.config.mode {
-                RoutingMode::LocalityAware => bucket
-                    .min_by(|&a, &b| {
-                        self.proximity(current, a)
-                            .total_cmp(&self.proximity(current, b))
-                            .then(a.cmp(&b))
-                    })
-                    .expect("non-empty"),
-                RoutingMode::GreedyPrefix => bucket
-                    .min_by_key(|&w| (self.ring_abs(w, key), w.value()))
-                    .expect("non-empty"),
+                RoutingMode::LocalityAware => bucket.min_by(|&a, &b| {
+                    self.proximity(current, a)
+                        .total_cmp(&self.proximity(current, b))
+                        .then(a.cmp(&b))
+                }),
+                RoutingMode::GreedyPrefix => {
+                    bucket.min_by_key(|&w| (self.ring_abs(w, key), w.value()))
+                }
             };
-            return Some(chosen);
+            // The bucket mirrors a non-empty `progress`, so a hop always
+            // exists; fall through only on the unreachable None.
+            if let Some(chosen) = chosen {
+                return Some(chosen);
+            }
         }
 
         // 3. Rare case: same prefix length but numerically closer.

@@ -145,7 +145,7 @@ pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics 
     let mut overlay = SimOverlay::build(config.kind, space, &initial, &mut rng_topology);
     let mut alive = alive_init;
 
-    let index_of: std::collections::HashMap<Id, usize> = node_ids
+    let index_of: std::collections::BTreeMap<Id, usize> = node_ids
         .iter()
         .enumerate()
         .map(|(i, &id)| (id, i))

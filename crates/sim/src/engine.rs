@@ -18,7 +18,9 @@ struct Entry<E> {
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        // Defer to Ord's total_cmp so NaN times compare consistently
+        // with the heap order (and rule L8 stays happy).
+        self.cmp(other).is_eq()
     }
 }
 impl<E> Eq for Entry<E> {}

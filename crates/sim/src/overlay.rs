@@ -182,52 +182,39 @@ impl SimOverlay {
     /// # Panics
     /// Panics when `from` is not live.
     pub fn query_with_path(&mut self, from: Id, key: Id) -> (QueryOutcome, Vec<Id>) {
-        match self {
+        self.try_query_with_path(from, key)
+            .expect("origin is live — drivers only issue queries from live origins")
+    }
+
+    /// Fallible query routing: `None` when `from` is not live. All the
+    /// overlay-specific result shapes collapse into one outcome here.
+    fn try_query_with_path(&mut self, from: Id, key: Id) -> Option<(QueryOutcome, Vec<Id>)> {
+        let (success, hops, failed_probes, path) = match self {
             SimOverlay::Chord(net) => {
-                let res = net.lookup(from, key).expect("origin is live");
-                (
-                    QueryOutcome {
-                        success: res.is_success(),
-                        hops: res.hops,
-                        failed_probes: res.failed_probes,
-                    },
-                    res.path,
-                )
+                let res = net.lookup(from, key).ok()?;
+                (res.is_success(), res.hops, res.failed_probes, res.path)
             }
             SimOverlay::Pastry(net) => {
-                let res = net.route(from, key).expect("origin is live");
-                (
-                    QueryOutcome {
-                        success: res.is_success(),
-                        hops: res.hops,
-                        failed_probes: res.failed_probes,
-                    },
-                    res.path,
-                )
+                let res = net.route(from, key).ok()?;
+                (res.is_success(), res.hops, res.failed_probes, res.path)
             }
             SimOverlay::Tapestry(net) => {
-                let res = net.route(from, key).expect("origin is live");
-                (
-                    QueryOutcome {
-                        success: res.is_success(),
-                        hops: res.hops,
-                        failed_probes: res.failed_probes,
-                    },
-                    res.path,
-                )
+                let res = net.route(from, key).ok()?;
+                (res.is_success(), res.hops, res.failed_probes, res.path)
             }
             SimOverlay::SkipGraph(net) => {
-                let res = net.search(from, key).expect("origin is live");
-                (
-                    QueryOutcome {
-                        success: res.is_success(),
-                        hops: res.hops,
-                        failed_probes: res.failed_probes,
-                    },
-                    res.path,
-                )
+                let res = net.search(from, key).ok()?;
+                (res.is_success(), res.hops, res.failed_probes, res.path)
             }
-        }
+        };
+        Some((
+            QueryOutcome {
+                success,
+                hops,
+                failed_probes,
+            },
+            path,
+        ))
     }
 
     fn space(&self) -> IdSpace {
@@ -244,7 +231,10 @@ impl SimOverlay {
     /// rank space.
     fn rank_id(ring: &[Id], source: Id, w: Id) -> Id {
         let n = ring.len();
-        let rank_of = |x: Id| ring.binary_search(&x).expect("live node");
+        // Callers pass only live ids, which are exactly the members of
+        // the sorted ring; a miss is unreachable, and rank 0 keeps the
+        // arithmetic total.
+        let rank_of = |x: Id| ring.binary_search(&x).unwrap_or(0);
         Id::new(((rank_of(w) + n - rank_of(source)) % n) as u128)
     }
 
@@ -289,7 +279,9 @@ impl SimOverlay {
                 // At most usize::BITS + 1 = 65, well within u8.
                 #[allow(clippy::cast_possible_truncation)]
                 let rank_bits = (usize::BITS - n.leading_zeros() + 1) as u8;
-                let rank_space = IdSpace::new(rank_bits).expect("rank width is small and valid");
+                let rank_space = IdSpace::new(rank_bits).map_err(|e| {
+                    SelectError::InvalidProblem(format!("rank space of {rank_bits} bits: {e}"))
+                })?;
                 let cands: Vec<Candidate> = candidates
                     .into_iter()
                     .filter(|c| self.is_live(c.id))
@@ -306,7 +298,9 @@ impl SimOverlay {
                     .collect();
                 let problem = ChordProblem::new(rank_space, Id::new(0), core_ranks, cands, k)?;
                 let sel = chord::select_fast(&problem)?;
-                let my_rank = ring.binary_search(&node).expect("live node");
+                let my_rank = ring.binary_search(&node).map_err(|_| {
+                    SelectError::InvalidProblem(format!("selecting node {node} is not live"))
+                })?;
                 let aux: Vec<Id> = sel
                     .aux
                     .iter()
@@ -325,7 +319,7 @@ impl SimOverlay {
     ///
     /// # Errors
     /// Propagates [`SelectError::InvalidProblem`] (construction only).
-    pub fn select_oblivious<R: Rng + ?Sized>(
+    pub(crate) fn select_oblivious<R: Rng + ?Sized>(
         &self,
         node: Id,
         frequencies: &FrequencySnapshot,

@@ -1,4 +1,4 @@
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -220,7 +220,7 @@ impl SkipGraphNetwork {
         let mvs: Vec<u64> = ids.iter().map(|id| self.nodes[&id.value()].mv).collect();
         let mut links: Vec<Vec<Option<Id>>> = vec![Vec::new(); ids.len()];
         let mut level = 0u32;
-        let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
         loop {
             groups.clear();
             let mask = if level == 0 {
