@@ -1,0 +1,84 @@
+//! A counting `#[global_allocator]`, compiled only under the
+//! `count-allocs` feature: the system allocator with an atomic call
+//! counter in front, so the perf baseline can report allocations per
+//! solve and hard-fail when a steady-state workspace kernel touches the
+//! heap at all.
+//!
+//! The counter tallies *calls* (alloc / realloc / alloc_zeroed), not
+//! bytes — the zero-alloc contract is about avoiding allocator traffic on
+//! the hot path, and a call count is exact where a byte count invites
+//! threshold-tuning. Feature-gated because a counting allocator taxes
+//! every allocation in the process; timing runs stay on the system
+//! allocator unless allocation accounting was asked for.
+
+// The one deliberate unsafe surface of the workspace: implementing
+// `GlobalAlloc` requires it. Everything defers to `System`.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// The system allocator with an allocation-call counter in front.
+struct CountingAlloc;
+
+// SAFETY: every method defers to `System`, which upholds the
+// `GlobalAlloc` contract; the counter update has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation calls made by the whole process so far. Subtract two reads
+/// to count a region; single-threaded regions count exactly.
+pub fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::alloc_calls;
+
+    #[test]
+    fn heap_traffic_is_counted() {
+        let before = alloc_calls();
+        let v: Vec<u64> = Vec::with_capacity(1024);
+        std::hint::black_box(&v);
+        assert!(alloc_calls() > before, "Vec::with_capacity must be seen");
+    }
+
+    #[test]
+    fn capacity_reuse_is_free() {
+        let mut v: Vec<u64> = Vec::with_capacity(1024);
+        let before = alloc_calls();
+        for i in 0..1024 {
+            v.push(i);
+        }
+        v.clear();
+        for i in 0..1024 {
+            v.push(i);
+        }
+        assert_eq!(alloc_calls(), before, "pushes within capacity are free");
+    }
+}

@@ -1,9 +1,10 @@
 //! Shared plumbing for the figure-regeneration binaries and the Criterion
 //! benchmarks: random problem builders and a tiny CLI/report layer.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "count-allocs")]
+pub mod alloc_count;
 pub mod json;
 
 use std::io::Write;

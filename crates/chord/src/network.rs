@@ -501,4 +501,92 @@ impl ChordNetwork {
             });
         }
     }
+
+    /// Read-only [`lookup`](Self::lookup): auxiliary neighbors come from
+    /// `aux_of` instead of the installed per-node sets, and dead entries
+    /// probed along the way are counted as `failed_probes` but **not**
+    /// forgotten (the snapshot is immutable, so a revisited node re-probes
+    /// them). With every node live — the stable-mode contract — the walk
+    /// is hop-for-hop identical to installing each `aux_of` set via
+    /// [`set_aux`](Self::set_aux) and calling `lookup`, which is what lets
+    /// a parallel sweep share one snapshot across threads.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn lookup_with_aux<'a, F>(
+        &'a self,
+        from: Id,
+        key: Id,
+        aux_of: F,
+    ) -> Result<LookupResult, NetworkError>
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        let space = self.config.space;
+        let Some(true_owner) = self.true_owner(key) else {
+            return Err(NetworkError::NotPresent(from));
+        };
+        let mut current = from;
+        let mut hops = 0u32;
+        let mut failed_probes = 0u32;
+        let mut path = vec![from];
+        loop {
+            if hops >= self.config.hop_limit {
+                return Ok(LookupResult {
+                    outcome: LookupOutcome::HopLimit,
+                    hops,
+                    failed_probes,
+                    path,
+                });
+            }
+            if current == key {
+                return Ok(LookupResult {
+                    outcome: LookupOutcome::Success,
+                    hops,
+                    failed_probes,
+                    path,
+                });
+            }
+            let mut candidates: Vec<Id> = self.nodes[&current.value()]
+                .known_neighbors_with(aux_of(current))
+                .into_iter()
+                .filter(|&w| space.between_open_closed(current, w, key))
+                .collect();
+            candidates.sort_by_key(|&w| space.clockwise_distance(w, key));
+            let mut next = None;
+            for w in candidates {
+                if self.is_live(w) {
+                    next = Some(w);
+                    break;
+                }
+                failed_probes += 1;
+            }
+            if let Some(w) = next {
+                hops += 1;
+                path.push(w);
+                current = w;
+                continue;
+            }
+            let owns = match self.nodes[&current.value()].successor() {
+                None => true,
+                Some(s) => space.between_closed_open(current, key, s),
+            };
+            let outcome = if current == true_owner {
+                LookupOutcome::Success
+            } else if owns {
+                LookupOutcome::WrongOwner(current)
+            } else {
+                LookupOutcome::DeadEnd(current)
+            };
+            return Ok(LookupResult {
+                outcome,
+                hops,
+                failed_probes,
+                path,
+            });
+        }
+    }
 }

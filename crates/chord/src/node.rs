@@ -42,13 +42,22 @@ impl ChordNode {
     /// All distinct routing candidates: fingers, successor list, and
     /// auxiliary neighbors (self excluded).
     pub fn known_neighbors(&self) -> Vec<Id> {
+        self.known_neighbors_with(&self.aux)
+    }
+
+    /// [`known_neighbors`](Self::known_neighbors) with `extra` standing in
+    /// for the installed auxiliary set. The read-only routing paths resolve
+    /// auxiliary pointers from a shared side table instead of mutating each
+    /// node, so many sweeps can route over one immutable snapshot; passing
+    /// the set that `set_aux` would have installed yields the same list.
+    pub fn known_neighbors_with(&self, extra: &[Id]) -> Vec<Id> {
         let mut out: Vec<Id> = self
             .fingers
             .iter()
             .flatten()
             .copied()
             .chain(self.successors.iter().copied())
-            .chain(self.aux.iter().copied())
+            .chain(extra.iter().copied())
             .filter(|&n| n != self.id)
             .collect();
         out.sort();

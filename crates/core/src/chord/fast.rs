@@ -16,9 +16,13 @@
 //!    `O(n log n)` oracle queries. QoS infeasibility (∞ entries) preserves
 //!    the inequality since `s(j, ·)` hits ∞ no later than `s(j', ·)` …
 //!    see `quadrangle_inequality_holds` in the crate tests.
+//!
+//! All solver state lives in flat, caller-owned buffers: the `_into`
+//! entry points and [`ChordWorkspace`] make repeated solves allocation
+//! free after warm-up.
 
 use crate::cast;
-use crate::chord::naive::{selection_from, DpResult};
+use crate::chord::naive::{selection_from, selection_into, DpResult};
 use crate::chord::oracle::SegmentOracle;
 use crate::chord::ring::RingView;
 use crate::problem::{ChordProblem, SelectError, Selection};
@@ -26,14 +30,23 @@ use crate::problem::{ChordProblem, SelectError, Selection};
 /// Solve one DP layer with divide-and-conquer over the monotone argmin.
 ///
 /// `g[j]` = `C_{i−1}(j − 1)` for `j ∈ 1..=n` (`g[0]` unused); outputs
-/// `cur[m]` and the achieving `j` in `ch[m]`.
-fn layer_dc(oracle: &SegmentOracle<'_>, g: &[f64], cur: &mut [f64], ch: &mut [u32]) {
+/// `cur[m]` and the achieving `j` in `ch[m]`. `stack` is the explicit
+/// recursion stack, reused across layers.
+fn layer_dc(
+    oracle: &SegmentOracle,
+    ring: &RingView,
+    g: &[f64],
+    cur: &mut [f64],
+    ch: &mut [u32],
+    stack: &mut Vec<(usize, usize, usize, usize)>,
+) {
     let n = g.len() - 1;
     if n == 0 {
         return;
     }
     // Explicit work-stack recursion: (m_lo, m_hi, j_lo, j_hi) inclusive.
-    let mut stack = vec![(1usize, n, 1usize, n)];
+    stack.clear();
+    stack.push((1usize, n, 1usize, n));
     while let Some((mlo, mhi, jlo, jhi)) = stack.pop() {
         if mlo > mhi {
             continue;
@@ -46,7 +59,7 @@ fn layer_dc(oracle: &SegmentOracle<'_>, g: &[f64], cur: &mut [f64], ch: &mut [u3
             if g[j].is_infinite() {
                 continue;
             }
-            let val = g[j] + oracle.s(j - 1, mid - 1);
+            let val = g[j] + oracle.s(ring, j - 1, mid - 1);
             if val < best {
                 best = val;
                 best_j = j;
@@ -66,35 +79,44 @@ fn layer_dc(oracle: &SegmentOracle<'_>, g: &[f64], cur: &mut [f64], ch: &mut [u3
     }
 }
 
-pub(crate) fn solve_fast(ring: &RingView, oracle: &SegmentOracle<'_>, k: usize) -> DpResult {
+/// The layered §V-B solve writing into caller-owned buffers: `dp` holds
+/// the result, `g` and `stack` are per-layer scratch. No allocation once
+/// all three have warmed-up capacity.
+pub(crate) fn solve_fast_into(
+    ring: &RingView,
+    oracle: &SegmentOracle,
+    k: usize,
+    dp: &mut DpResult,
+    g: &mut Vec<f64>,
+    stack: &mut Vec<(usize, usize, usize, usize)>,
+) {
     let n = ring.len();
-    let mut layers: Vec<Vec<f64>> = Vec::with_capacity(k + 1);
-    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(k + 1);
-    layers.push(ring.c0.clone());
-    choice.push(vec![0; n + 1]);
+    dp.reset_to_c0(ring);
     for i in 1..=k {
-        let prev = &layers[i - 1];
         // g[j] = C_{i−1}(j − 1) with the exactly-i placement convention:
         // C_{i−1}(0) is 0 only when i = 1.
-        let mut g = vec![f64::INFINITY; n + 1];
-        for j in 1..=n {
-            g[j] = if j == 1 {
-                if i == 1 {
-                    0.0
-                } else {
-                    f64::INFINITY
-                }
-            } else {
-                prev[j - 1]
-            };
+        let prev_row = (i - 1) * dp.stride;
+        g.clear();
+        g.resize(n + 1, f64::INFINITY);
+        if n >= 1 {
+            g[1] = if i == 1 { 0.0 } else { f64::INFINITY };
         }
-        let mut cur = vec![f64::INFINITY; n + 1];
-        let mut ch = vec![0u32; n + 1];
-        layer_dc(oracle, &g, &mut cur, &mut ch);
-        layers.push(cur);
-        choice.push(ch);
+        if n >= 2 {
+            g[2..=n].copy_from_slice(&dp.layers[prev_row + 1..prev_row + n]);
+        }
+        let row = dp.push_layer();
+        let (_, cur) = dp.layers.split_at_mut(row);
+        let (_, ch) = dp.choice.split_at_mut(row);
+        layer_dc(oracle, ring, g, cur, ch, stack);
     }
-    DpResult { layers, choice }
+}
+
+pub(crate) fn solve_fast(ring: &RingView, oracle: &SegmentOracle, k: usize) -> DpResult {
+    let mut dp = DpResult::new();
+    let mut g = Vec::new();
+    let mut stack = Vec::new();
+    solve_fast_into(ring, oracle, k, &mut dp, &mut g, &mut stack);
+    dp
 }
 
 /// The full budget schedule from one fast-DP run: the optimal selection
@@ -170,14 +192,97 @@ impl PreparedChord {
         #[cfg(feature = "check-invariants")]
         crate::invariants::assert_chord_fast_matches_naive(ring, &dp, k);
         let n = ring.len();
-        if n > 0 && !dp.layers[k][n].is_finite() {
+        if n > 0 && !dp.cost(k, n).is_finite() {
             let mut i = k;
-            while i < n && !dp.layers[i][n].is_finite() {
+            while i < n && !dp.cost(i, n).is_finite() {
                 i += 1;
                 dp = solve_fast(ring, &oracle, i);
             }
         }
         selection_from(ring, &dp, k)
+    }
+}
+
+/// A reusable §V-B solver: owns the rebased ring, the segment oracle, the
+/// DP tables and every scratch buffer, so that repeated
+/// [`solve_into`](Self::solve_into) calls allocate **nothing** once the
+/// buffer capacities have warmed up to the problem size.
+///
+/// Results are bit-identical to the one-shot [`select_fast`]; the
+/// workspace only changes where the intermediate state lives.
+pub struct ChordWorkspace {
+    ring: RingView,
+    oracle: SegmentOracle,
+    dp: DpResult,
+    g: Vec<f64>,
+    stack: Vec<(usize, usize, usize, usize)>,
+    selection: Selection,
+}
+
+impl Default for ChordWorkspace {
+    fn default() -> Self {
+        ChordWorkspace::new()
+    }
+}
+
+impl ChordWorkspace {
+    /// An empty workspace; buffers grow to the largest problem solved.
+    #[must_use]
+    pub fn new() -> Self {
+        ChordWorkspace {
+            ring: RingView::empty(),
+            oracle: SegmentOracle::empty(),
+            dp: DpResult::new(),
+            g: Vec::new(),
+            stack: Vec::new(),
+            selection: Selection {
+                aux: Vec::new(),
+                cost: 0.0,
+            },
+        }
+    }
+
+    /// Solve `problem` with the fast algorithm, reusing this workspace's
+    /// buffers. The returned selection borrows the workspace and is
+    /// overwritten by the next solve; clone it to keep it.
+    ///
+    /// # Errors
+    /// [`SelectError::InvalidProblem`] on malformed input;
+    /// [`SelectError::QosInfeasible`] when delay bounds cannot be met
+    /// with `k` pointers.
+    pub fn solve_into(&mut self, problem: &ChordProblem) -> Result<&Selection, SelectError> {
+        let k = problem.effective_k();
+        self.ring.rebase_into(problem)?;
+        self.oracle.rebuild(&self.ring);
+        solve_fast_into(
+            &self.ring,
+            &self.oracle,
+            k,
+            &mut self.dp,
+            &mut self.g,
+            &mut self.stack,
+        );
+        #[cfg(feature = "check-invariants")]
+        crate::invariants::assert_chord_fast_matches_naive(&self.ring, &self.dp, k);
+        let n = self.ring.len();
+        if n > 0 && !self.dp.cost(k, n).is_finite() {
+            // Escalate the layer count so QosInfeasible reports the exact
+            // smallest feasible budget, mirroring `PreparedChord::solve`.
+            let mut i = k;
+            while i < n && !self.dp.cost(i, n).is_finite() {
+                i += 1;
+                solve_fast_into(
+                    &self.ring,
+                    &self.oracle,
+                    i,
+                    &mut self.dp,
+                    &mut self.g,
+                    &mut self.stack,
+                );
+            }
+        }
+        selection_into(&self.ring, &self.dp, k, &mut self.selection)?;
+        Ok(&self.selection)
     }
 }
 

@@ -14,7 +14,7 @@ pub(crate) mod naive;
 pub(crate) mod oracle;
 pub(crate) mod ring;
 
-pub use fast::{select_fast, select_schedule, PreparedChord};
+pub use fast::{select_fast, select_schedule, ChordWorkspace, PreparedChord};
 pub use naive::select_naive;
 
 #[cfg(test)]
@@ -235,8 +235,8 @@ mod tests {
             for jp in j + 1..n {
                 for m in jp..n {
                     for mp in m + 1..n {
-                        let lhs = oracle.s(j, m) + oracle.s(jp, mp);
-                        let rhs = oracle.s(j, mp) + oracle.s(jp, m);
+                        let lhs = oracle.s(&ring, j, m) + oracle.s(&ring, jp, mp);
+                        let rhs = oracle.s(&ring, j, mp) + oracle.s(&ring, jp, m);
                         assert!(
                             lhs <= rhs + 1e-9 || (lhs.is_infinite() && rhs.is_infinite()),
                             "QI violated at ({j},{jp},{m},{mp}): {lhs} vs {rhs}"

@@ -7,35 +7,81 @@
 //! Kept as the reference implementation the fast algorithm (§V-B) is
 //! cross-validated against.
 
-use peercache_id::Id;
-
 use crate::cast;
 use crate::chord::ring::RingView;
 use crate::problem::{ChordProblem, SelectError, Selection};
 
-/// Solve the eq.-7 recurrence layer by layer; returns per-layer cost rows
-/// and the argmin choices for backtracking.
+/// The layered DP solution in one flat allocation per table.
 ///
-/// `layers[i][m]` = `C_i(m)`; `choice[i][m]` = the rank (1-based, i.e.
-/// `j`) achieving it, with `choice[i][m] = 0` meaning "undefined/∞".
+/// Cell `(i, m)` — `C_i(m)` and the 1-based rank `j` achieving it
+/// (`0` meaning "undefined/∞") — lives at `i * stride + m` with
+/// `stride = n + 1`. The flat layout lets solver workspaces reuse the
+/// two backing vectors across solves without per-layer reallocation.
 pub(crate) struct DpResult {
-    pub layers: Vec<Vec<f64>>,
-    pub choice: Vec<Vec<u32>>,
+    /// Row stride `n + 1`.
+    pub stride: usize,
+    /// `C_i(m)` rows, concatenated.
+    pub layers: Vec<f64>,
+    /// Argmin choices, same layout (1-based rank `j`; 0 = undefined/∞).
+    pub choice: Vec<u32>,
+}
+
+impl DpResult {
+    /// An empty result, ready to be filled by a solver.
+    pub fn new() -> Self {
+        DpResult {
+            stride: 0,
+            layers: Vec::new(),
+            choice: Vec::new(),
+        }
+    }
+
+    /// `C_i(m)`.
+    #[inline]
+    pub fn cost(&self, i: usize, m: usize) -> f64 {
+        self.layers[i * self.stride + m]
+    }
+
+    /// The 1-based rank choice achieving `C_i(m)` (0 = undefined/∞).
+    #[inline]
+    pub fn pick(&self, i: usize, m: usize) -> u32 {
+        self.choice[i * self.stride + m]
+    }
+
+    /// Number of computed layers (`k + 1` after a budget-`k` solve).
+    pub(crate) fn layer_count(&self) -> usize {
+        self.layers.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    /// Reset to layer 0 = `c0` (the core-only costs), dropping any DP
+    /// layers from a previous solve but keeping the allocations.
+    pub(crate) fn reset_to_c0(&mut self, ring: &RingView) {
+        self.stride = ring.len() + 1;
+        self.layers.clear();
+        self.layers.extend_from_slice(&ring.c0);
+        self.choice.clear();
+        self.choice.resize(self.stride, 0);
+    }
+
+    /// Append one uninitialised (∞/0) layer and return its row offset.
+    pub(crate) fn push_layer(&mut self) -> usize {
+        let row = self.layers.len();
+        self.layers.resize(row + self.stride, f64::INFINITY);
+        self.choice.resize(row + self.stride, 0);
+        row
+    }
 }
 
 pub(crate) fn solve_naive(ring: &RingView, k: usize) -> DpResult {
     let n = ring.len();
-    let mut layers: Vec<Vec<f64>> = Vec::with_capacity(k + 1);
-    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(k + 1);
-    layers.push(ring.c0.clone());
-    choice.push(vec![0; n + 1]);
+    let mut dp = DpResult::new();
+    dp.reset_to_c0(ring);
     for i in 1..=k {
-        let prev = &layers[i - 1];
         // "Exactly i pointers" semantics: C_i(m) = ∞ for m < i, including
         // C_i(0). The j = 1 transition reads C_{i−1}(0) via the special
-        // case below rather than prev[0].
-        let mut cur = vec![f64::INFINITY; n + 1];
-        let mut ch = vec![0u32; n + 1];
+        // case below rather than the previous row's cell 0.
+        let prev_row = (i - 1) * dp.stride;
+        let row = dp.push_layer();
         for j in 1..=n {
             let base = if j == 1 {
                 // No nodes before the first pointer.
@@ -45,7 +91,7 @@ pub(crate) fn solve_naive(ring: &RingView, k: usize) -> DpResult {
                     f64::INFINITY
                 }
             } else {
-                prev[j - 1]
+                dp.layers[prev_row + j - 1]
             };
             if base.is_infinite() {
                 continue;
@@ -71,31 +117,52 @@ pub(crate) fn solve_naive(ring: &RingView, k: usize) -> DpResult {
                     break;
                 }
                 let total = base + s;
-                if total < cur[m] {
-                    cur[m] = total;
-                    ch[m] = cast::index_to_u32(j);
+                if total < dp.layers[row + m] {
+                    dp.layers[row + m] = total;
+                    dp.choice[row + m] = cast::index_to_u32(j);
                 }
             }
         }
-        layers.push(cur);
-        choice.push(ch);
     }
-    DpResult { layers, choice }
+    dp
 }
 
-/// Backtrack the chosen pointer ranks for `C_i(n)`.
-pub(crate) fn backtrack(dp: &DpResult, i: usize, n: usize) -> Vec<usize> {
-    let mut ranks = Vec::with_capacity(i);
-    let (mut i, mut m) = (i, n);
-    while i > 0 {
-        let j = cast::index_from_u32(dp.choice[i][m]);
-        debug_assert!(j >= 1, "backtracking a feasible cell");
-        ranks.push(j - 1); // to 0-indexed rank
-        m = j - 1;
-        i -= 1;
+/// Write the selection for `C_k(n)` into `out` without allocating beyond
+/// `out`'s own (reused) buffers: backtrack the chosen ranks, map them to
+/// ids, sort.
+pub(crate) fn selection_into(
+    ring: &RingView,
+    dp: &DpResult,
+    k: usize,
+    out: &mut Selection,
+) -> Result<(), SelectError> {
+    let n = ring.len();
+    out.aux.clear();
+    out.cost = 0.0;
+    if n == 0 {
+        return Ok(());
     }
-    ranks.reverse();
-    ranks
+    if dp.cost(k, n).is_finite() {
+        let (mut i, mut m) = (k, n);
+        while i > 0 {
+            let j = cast::index_from_u32(dp.pick(i, m));
+            debug_assert!(j >= 1, "backtracking a feasible cell");
+            out.aux.push(ring.ids[j - 1]);
+            m = j - 1;
+            i -= 1;
+        }
+        // Ids are unique, so the unstable sort is deterministic.
+        out.aux.sort_unstable();
+        out.cost = ring.total_weight() + dp.cost(k, n);
+        return Ok(());
+    }
+    // Infeasible at k: the smallest feasible layer (if computed) tells the
+    // caller how many pointers the QoS bounds demand.
+    let required = (0..dp.layer_count()).position(|i| dp.cost(i, n).is_finite());
+    Err(SelectError::QosInfeasible {
+        required: required.map_or(u32::MAX, cast::index_to_u32),
+        k: cast::index_to_u32(k),
+    })
 }
 
 pub(crate) fn selection_from(
@@ -103,31 +170,12 @@ pub(crate) fn selection_from(
     dp: &DpResult,
     k: usize,
 ) -> Result<Selection, SelectError> {
-    let n = ring.len();
-    if n == 0 {
-        return Ok(Selection {
-            aux: vec![],
-            cost: 0.0,
-        });
-    }
-    if dp.layers[k][n].is_finite() {
-        let mut aux: Vec<Id> = backtrack(dp, k, n)
-            .into_iter()
-            .map(|r| ring.ids[r])
-            .collect();
-        aux.sort();
-        return Ok(Selection {
-            aux,
-            cost: ring.total_weight() + dp.layers[k][n],
-        });
-    }
-    // Infeasible at k: the smallest feasible layer (if computed) tells the
-    // caller how many pointers the QoS bounds demand.
-    let required = dp.layers.iter().position(|row| row[n].is_finite());
-    Err(SelectError::QosInfeasible {
-        required: required.map_or(u32::MAX, cast::index_to_u32),
-        k: cast::index_to_u32(k),
-    })
+    let mut out = Selection {
+        aux: Vec::new(),
+        cost: 0.0,
+    };
+    selection_into(ring, dp, k, &mut out)?;
+    Ok(out)
 }
 
 /// One-shot selection via the reference `O(n²·k)` dynamic program (§V-A).
@@ -142,10 +190,10 @@ pub fn select_naive(problem: &ChordProblem) -> Result<Selection, SelectError> {
     let k = problem.effective_k();
     let mut dp = solve_naive(&ring, k);
     let n = ring.len();
-    if n > 0 && !dp.layers[k][n].is_finite() {
+    if n > 0 && !dp.cost(k, n).is_finite() {
         // Extend layers until feasible so `required` is exact (≤ n).
         let mut i = k;
-        while i < n && !dp.layers[i][n].is_finite() {
+        while i < n && !dp.cost(i, n).is_finite() {
             i += 1;
             dp = solve_naive(&ring, i);
         }

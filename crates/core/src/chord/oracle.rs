@@ -12,33 +12,54 @@
 //! A full `s(j, m)` query then decomposes at the core neighbors between
 //! `j` and `m` (eq. 10): one partial segment from the pointer, a
 //! prefix-summed run of whole core segments, and one partial segment from
-//! the last core — a handful of binary searches in total.
+//! the last core. The rank↔core partition points those pieces need are
+//! *also* precomputed (one merge walk over the two sorted distance lists
+//! at build time), so a query performs no binary search at all — it is a
+//! handful of flat table reads.
+//!
+//! The oracle owns every table in a flat `Vec` and exposes
+//! [`rebuild`](SegmentOracle::rebuild), so a warmed-up workspace can
+//! re-prime it for a new ring without allocating.
 
 use crate::cast;
 use crate::chord::ring::{bitlen, RingView};
 
 /// Range-maximum sparse table over the QoS thresholds, so "is `s(j, m)`
-/// feasible" is one `O(1)` query.
+/// feasible" is one `O(1)` query. All levels share one flat backing
+/// vector (`offsets[level]` indexes the start of each level's row).
 struct SparseMax {
-    rows: Vec<Vec<u128>>,
+    offsets: Vec<usize>,
+    data: Vec<u128>,
 }
 
 impl SparseMax {
-    fn new(values: &[u128]) -> Self {
-        let n = values.len();
-        let mut rows = Vec::new();
-        let mut prev = values.to_vec();
-        let mut width = 1;
+    fn empty() -> Self {
+        SparseMax {
+            offsets: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Rebuild in place from `values` (level 0 is the values themselves;
+    /// level `L` holds maxima over windows of width `2^L`).
+    fn rebuild(&mut self, values: impl Iterator<Item = u128>) {
+        self.offsets.clear();
+        self.data.clear();
+        self.offsets.push(0);
+        self.data.extend(values);
+        let n = self.data.len();
+        let mut width = 1usize;
+        let mut prev = 0usize;
         while width * 2 <= n {
-            let next: Vec<u128> = (0..=n - width * 2)
-                .map(|i| prev[i].max(prev[i + width]))
-                .collect();
-            rows.push(prev);
-            prev = next;
+            let off = self.data.len();
+            for i in 0..=n - width * 2 {
+                let v = self.data[prev + i].max(self.data[prev + i + width]);
+                self.data.push(v);
+            }
+            self.offsets.push(off);
+            prev = off;
             width *= 2;
         }
-        rows.push(prev);
-        SparseMax { rows }
     }
 
     /// Max over `values[lo..hi)`; 0 when the range is empty.
@@ -48,7 +69,8 @@ impl SparseMax {
         }
         let level = cast::usize_from_u32(usize::BITS - 1 - (hi - lo).leading_zeros());
         let width = 1usize << level;
-        self.rows[level][lo].max(self.rows[level][hi - width])
+        let off = self.offsets[level];
+        self.data[off + lo].max(self.data[off + hi - width])
     }
 }
 
@@ -59,14 +81,20 @@ struct AnchorTables {
 }
 
 impl AnchorTables {
-    fn build(ring: &RingView, anchors: &[u128]) -> Self {
-        let stride = cast::usize_from_u32(ring.bits) + 1;
-        let mut pcount = Vec::with_capacity(anchors.len() * stride);
-        let mut wsum = Vec::with_capacity(anchors.len() * stride);
+    fn empty() -> Self {
+        AnchorTables {
+            pcount: Vec::new(),
+            wsum: Vec::new(),
+        }
+    }
+
+    fn rebuild(&mut self, ring: &RingView, anchors: &[u128]) {
+        self.pcount.clear();
+        self.wsum.clear();
         for &a in anchors {
             let mut prev_count = ring.dist.partition_point(|&d| d <= a);
-            pcount.push(cast::index_to_u32(prev_count));
-            wsum.push(0.0);
+            self.pcount.push(cast::index_to_u32(prev_count));
+            self.wsum.push(0.0);
             let mut acc = 0.0;
             for r in 1..=ring.bits {
                 let span = if r >= 128 {
@@ -77,46 +105,90 @@ impl AnchorTables {
                 let reach = a.saturating_add(span);
                 let count = ring.dist.partition_point(|&d| d <= reach);
                 acc += f64::from(r) * (ring.prefix_w[count] - ring.prefix_w[prev_count]);
-                pcount.push(cast::index_to_u32(count));
-                wsum.push(acc);
+                self.pcount.push(cast::index_to_u32(count));
+                self.wsum.push(acc);
                 prev_count = count;
             }
         }
-        AnchorTables { pcount, wsum }
     }
 }
 
 /// The oracle: precomputed structures answering `s(j, m)` queries.
-pub(crate) struct SegmentOracle<'a> {
-    ring: &'a RingView,
+///
+/// Owns its tables (no borrow of the ring); every query method takes the
+/// ring it was [`rebuild`](Self::rebuild)-primed with.
+pub(crate) struct SegmentOracle {
     stride: usize,
     cand: AnchorTables,
     core: AnchorTables,
     /// `core_seg_prefix[q]` = Σ over core indices `q' < q` of the whole
     /// segment cost from core `q'` to just before core `q' + 1`.
     core_seg_prefix: Vec<f64>,
-    qos: Option<SparseMax>,
+    /// Per candidate rank `r`: number of cores at distance ≤ `dist[r]`
+    /// (the partition point `q1`/`q2` of eq. 10, precomputed).
+    cores_through: Vec<u32>,
+    /// Per core index `q`: first candidate rank at distance
+    /// ≥ `core_dist[q]` (the partition point `r1` of eq. 10).
+    first_rank_at: Vec<u32>,
+    qos: SparseMax,
+    has_qos: bool,
 }
 
-impl<'a> SegmentOracle<'a> {
+impl SegmentOracle {
+    /// An unprimed oracle; call [`rebuild`](Self::rebuild) before querying.
+    pub fn empty() -> Self {
+        SegmentOracle {
+            stride: 0,
+            cand: AnchorTables::empty(),
+            core: AnchorTables::empty(),
+            core_seg_prefix: Vec::new(),
+            cores_through: Vec::new(),
+            first_rank_at: Vec::new(),
+            qos: SparseMax::empty(),
+            has_qos: false,
+        }
+    }
+
     /// Precompute the anchor tables for `ring` (`O(n·b)` space, built in
-    /// `O(n·b)` time); afterwards every [`s`](Self::s) query is `O(log n)`.
-    pub fn new(ring: &'a RingView) -> Self {
-        let stride = cast::usize_from_u32(ring.bits) + 1;
-        let cand = AnchorTables::build(ring, &ring.dist);
-        let core = AnchorTables::build(ring, &ring.core_dist);
+    /// `O(n·b·log n)` time); afterwards every [`s`](Self::s) query is
+    /// `O(1)`.
+    pub fn new(ring: &RingView) -> Self {
+        let mut oracle = SegmentOracle::empty();
+        oracle.rebuild(ring);
+        oracle
+    }
+
+    /// Re-prime the oracle for `ring`, reusing every table's allocation.
+    pub fn rebuild(&mut self, ring: &RingView) {
+        self.stride = cast::usize_from_u32(ring.bits) + 1;
+        self.cand.rebuild(ring, &ring.dist);
+        self.core.rebuild(ring, &ring.core_dist);
         let n = ring.len();
         let c = ring.core_dist.len();
-        let mut core_seg_prefix = Vec::with_capacity(c + 1);
-        core_seg_prefix.push(0.0);
-        let mut oracle = SegmentOracle {
-            ring,
-            stride,
-            cand,
-            core,
-            core_seg_prefix,
-            qos: None,
-        };
+
+        // Rank↔core partition points by one merge walk each (both lists
+        // are sorted by distance).
+        self.cores_through.clear();
+        let mut q = 0usize;
+        for &d in &ring.dist {
+            while q < c && ring.core_dist[q] <= d {
+                q += 1;
+            }
+            self.cores_through.push(cast::index_to_u32(q));
+        }
+        self.first_rank_at.clear();
+        let mut r = 0usize;
+        for &cd in &ring.core_dist {
+            while r < n && ring.dist[r] < cd {
+                r += 1;
+            }
+            self.first_rank_at.push(cast::index_to_u32(r));
+        }
+        #[cfg(feature = "check-invariants")]
+        self.assert_partition_tables_match_search(ring);
+
+        self.core_seg_prefix.clear();
+        self.core_seg_prefix.push(0.0);
         for q in 0..c {
             // Whole segment: ranks after core q, before core q + 1 (or the
             // end of the ring for the last core).
@@ -129,27 +201,55 @@ impl<'a> SegmentOracle<'a> {
             let cost = if seg_start >= seg_end {
                 0.0 // no candidates between this core and the next
             } else {
-                oracle.pure_from_core(q, seg_end - 1)
+                self.pure_from_core(ring, q, seg_end - 1)
             };
-            oracle
-                .core_seg_prefix
-                .push(oracle.core_seg_prefix[q] + cost);
+            let prev = self.core_seg_prefix[q];
+            self.core_seg_prefix.push(prev + cost);
         }
-        if ring.qos_lo.iter().any(std::option::Option::is_some) {
-            let values: Vec<u128> = ring.qos_lo.iter().map(|q| q.unwrap_or(0)).collect();
-            oracle.qos = Some(SparseMax::new(&values));
+
+        self.has_qos = ring.qos_lo.iter().any(std::option::Option::is_some);
+        if self.has_qos {
+            self.qos.rebuild(ring.qos_lo.iter().map(|q| q.unwrap_or(0)));
         }
-        oracle
+    }
+
+    /// Cross-check the merge-walk partition tables against the binary
+    /// searches they replace.
+    #[cfg(feature = "check-invariants")]
+    fn assert_partition_tables_match_search(&self, ring: &RingView) {
+        for (r, &d) in ring.dist.iter().enumerate() {
+            let reference = ring.core_dist.partition_point(|&cd| cd <= d);
+            debug_assert!(
+                cast::index_from_u32(self.cores_through[r]) == reference,
+                "cores_through[{r}] = {} disagrees with partition_point {reference}",
+                self.cores_through[r],
+            );
+        }
+        for (q, &cd) in ring.core_dist.iter().enumerate() {
+            let reference = ring.dist.partition_point(|&d| d < cd);
+            debug_assert!(
+                cast::index_from_u32(self.first_rank_at[q]) == reference,
+                "first_rank_at[{q}] = {} disagrees with partition_point {reference}",
+                self.first_rank_at[q],
+            );
+        }
     }
 
     /// Cost of ranks `l` with `anchor_dist < dist[l] ≤ dist[m0]`, priced
     /// from the anchor (eq. 9 in prefix-aggregated form).
-    fn pure(&self, tables: &AnchorTables, idx: usize, anchor_dist: u128, m0: usize) -> f64 {
+    fn pure(
+        &self,
+        ring: &RingView,
+        tables: &AnchorTables,
+        idx: usize,
+        anchor_dist: u128,
+        m0: usize,
+    ) -> f64 {
         debug_assert!(
-            anchor_dist <= self.ring.dist[m0],
+            anchor_dist <= ring.dist[m0],
             "anchor must not lie past the segment end"
         );
-        let d_bits = bitlen(self.ring.dist[m0] - anchor_dist);
+        let d_bits = bitlen(ring.dist[m0] - anchor_dist);
         if d_bits == 0 {
             return 0.0;
         }
@@ -157,46 +257,43 @@ impl<'a> SegmentOracle<'a> {
         let base = idx * self.stride;
         let inner = tables.wsum[base + d - 1];
         let covered = cast::index_from_u32(tables.pcount[base + d - 1]);
-        inner + f64::from(d_bits) * (self.ring.prefix_w[m0 + 1] - self.ring.prefix_w[covered])
+        inner + f64::from(d_bits) * (ring.prefix_w[m0 + 1] - ring.prefix_w[covered])
     }
 
-    fn pure_from_cand(&self, j0: usize, m0: usize) -> f64 {
-        self.pure(&self.cand, j0, self.ring.dist[j0], m0)
+    fn pure_from_cand(&self, ring: &RingView, j0: usize, m0: usize) -> f64 {
+        self.pure(ring, &self.cand, j0, ring.dist[j0], m0)
     }
 
-    fn pure_from_core(&self, q: usize, m0: usize) -> f64 {
-        self.pure(&self.core, q, self.ring.core_dist[q], m0)
+    fn pure_from_core(&self, ring: &RingView, q: usize, m0: usize) -> f64 {
+        self.pure(ring, &self.core, q, ring.core_dist[q], m0)
     }
 
     /// `s(j, m)` over 0-indexed ranks: the cost of ranks `(j0 .. m0]` when
     /// the nearest auxiliary pointer is at rank `j0` (∞ when a QoS bound
     /// inside the range is out of the pointer's reach).
-    pub fn s(&self, j0: usize, m0: usize) -> f64 {
+    pub fn s(&self, ring: &RingView, j0: usize, m0: usize) -> f64 {
         debug_assert!(j0 <= m0);
         if j0 == m0 {
             return 0.0;
         }
-        if let Some(qos) = &self.qos {
-            if qos.max(j0 + 1, m0 + 1) > self.ring.dist[j0] {
-                return f64::INFINITY;
-            }
+        if self.has_qos && self.qos.max(j0 + 1, m0 + 1) > ring.dist[j0] {
+            return f64::INFINITY;
         }
-        let ring = self.ring;
         // Core neighbors strictly between the pointer and the target.
-        let q1 = ring.core_dist.partition_point(|&c| c <= ring.dist[j0]);
-        let q2 = ring.core_dist.partition_point(|&c| c <= ring.dist[m0]);
+        let q1 = cast::index_from_u32(self.cores_through[j0]);
+        let q2 = cast::index_from_u32(self.cores_through[m0]);
         if q1 == q2 {
-            return self.pure_from_cand(j0, m0);
+            return self.pure_from_cand(ring, j0, m0);
         }
         // eq. 10: pointer segment + whole core segments + partial last.
         let mut total = 0.0;
-        let r1 = ring.dist.partition_point(|&d| d < ring.core_dist[q1]);
+        let r1 = cast::index_from_u32(self.first_rank_at[q1]);
         debug_assert!(r1 > j0);
         if r1 - 1 > j0 {
-            total += self.pure_from_cand(j0, r1 - 1);
+            total += self.pure_from_cand(ring, j0, r1 - 1);
         }
         total += self.core_seg_prefix[q2 - 1] - self.core_seg_prefix[q1];
-        total += self.pure_from_core(q2 - 1, m0);
+        total += self.pure_from_core(ring, q2 - 1, m0);
         total
     }
 }
@@ -238,8 +335,23 @@ mod tests {
 
     #[test]
     fn sparse_max_matches_scan() {
-        let values = vec![3u128, 1, 4, 1, 5, 9, 2, 6];
-        let sm = SparseMax::new(&values);
+        let values = [3u128, 1, 4, 1, 5, 9, 2, 6];
+        let mut sm = SparseMax::empty();
+        sm.rebuild(values.iter().copied());
+        for lo in 0..values.len() {
+            for hi in lo..=values.len() {
+                let expected = values[lo..hi].iter().copied().max().unwrap_or(0);
+                assert_eq!(sm.max(lo, hi), expected, "range {lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_max_rebuild_reuses_cleanly() {
+        let mut sm = SparseMax::empty();
+        sm.rebuild([7u128, 7, 7, 7, 7, 7, 7, 7, 7].into_iter());
+        let values = [3u128, 1, 4, 1, 5];
+        sm.rebuild(values.iter().copied());
         for lo in 0..values.len() {
             for hi in lo..=values.len() {
                 let expected = values[lo..hi].iter().copied().max().unwrap_or(0);
@@ -265,7 +377,7 @@ mod tests {
         let oracle = SegmentOracle::new(&ring);
         for j in 0..ring.len() {
             for m in j..ring.len() {
-                let (fast, direct) = (oracle.s(j, m), s_direct(&ring, j, m));
+                let (fast, direct) = (oracle.s(&ring, j, m), s_direct(&ring, j, m));
                 assert!(
                     (fast - direct).abs() < 1e-9,
                     "s({j},{m}) = {fast} vs {direct}"
@@ -292,7 +404,7 @@ mod tests {
         let oracle = SegmentOracle::new(&ring);
         for j in 0..ring.len() {
             for m in j..ring.len() {
-                let (fast, direct) = (oracle.s(j, m), s_direct(&ring, j, m));
+                let (fast, direct) = (oracle.s(&ring, j, m), s_direct(&ring, j, m));
                 assert!(
                     (fast - direct).abs() < 1e-9,
                     "s({j},{m}) = {fast} vs {direct}"
@@ -313,7 +425,7 @@ mod tests {
         let oracle = SegmentOracle::new(&ring);
         for j in 0..ring.len() {
             for m in j..ring.len() {
-                let (fast, direct) = (oracle.s(j, m), s_direct(&ring, j, m));
+                let (fast, direct) = (oracle.s(&ring, j, m), s_direct(&ring, j, m));
                 assert!(
                     (fast - direct).abs() < 1e-9,
                     "s({j},{m}) = {fast} vs {direct}"
@@ -328,7 +440,29 @@ mod tests {
         let oracle = SegmentOracle::new(&ring);
         for j in 0..ring.len() {
             for m in j..ring.len() {
-                assert!((oracle.s(j, m) - s_direct(&ring, j, m)).abs() < 1e-9);
+                assert!((oracle.s(&ring, j, m) - s_direct(&ring, j, m)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_rebuild_matches_fresh_build() {
+        let warm = ring_of(6, vec![5, 16], vec![(3, 2.0), (30, 3.0), (61, 2.5)]);
+        let ring = ring_of(
+            6,
+            vec![10, 12, 14, 40],
+            vec![(5, 2.0), (18, 1.5), (50, 3.0), (62, 1.0)],
+        );
+        let mut reused = SegmentOracle::new(&warm);
+        reused.rebuild(&ring);
+        let fresh = SegmentOracle::new(&ring);
+        for j in 0..ring.len() {
+            for m in j..ring.len() {
+                assert_eq!(
+                    reused.s(&ring, j, m).to_bits(),
+                    fresh.s(&ring, j, m).to_bits(),
+                    "s({j},{m}) differs after rebuild"
+                );
             }
         }
     }
@@ -352,7 +486,7 @@ mod tests {
         let oracle = SegmentOracle::new(&ring);
         for j in 0..ring.len() {
             for m in j..ring.len() {
-                let (fast, direct) = (oracle.s(j, m), s_direct(&ring, j, m));
+                let (fast, direct) = (oracle.s(&ring, j, m), s_direct(&ring, j, m));
                 assert!(
                     fast == direct || (fast - direct).abs() < 1e-9,
                     "s({j},{m}) = {fast} vs {direct}"

@@ -43,79 +43,109 @@ pub(crate) struct RingView {
     /// `c0[m]` = cost of ranks `0..m` using core neighbors only
     /// (`∞` once an unsatisfied QoS bound appears). Length n + 1.
     pub c0: Vec<f64>,
+    /// Sort scratch reused across rebases: `(distance, candidate index)`.
+    scratch: Vec<(u128, usize)>,
 }
 
 impl RingView {
+    /// An empty view; populate it with [`rebase_into`](Self::rebase_into).
+    pub fn empty() -> Self {
+        RingView {
+            bits: 0,
+            ids: Vec::new(),
+            dist: Vec::new(),
+            weight: Vec::new(),
+            prefix_w: Vec::new(),
+            core_dist: Vec::new(),
+            dcore: Vec::new(),
+            qos_lo: Vec::new(),
+            c0: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
     /// Re-base the problem around the source node: sort candidates by
     /// clockwise distance and precompute the distance, weight-prefix and
     /// QoS tables the DP recurrences consume.
     pub fn new(problem: &ChordProblem) -> Result<Self, SelectError> {
+        let mut view = RingView::empty();
+        view.rebase_into(problem)?;
+        Ok(view)
+    }
+
+    /// [`new`](Self::new), but reusing this view's buffers: after the
+    /// capacities have warmed up, rebasing a same-sized problem performs
+    /// no allocation.
+    pub fn rebase_into(&mut self, problem: &ChordProblem) -> Result<(), SelectError> {
         let space = problem.space;
-        let bits = u32::from(space.bits());
-        let mut order: Vec<usize> = (0..problem.candidates.len()).collect();
-        let cand_dist: Vec<u128> = problem
-            .candidates
-            .iter()
-            .map(|c| space.clockwise_distance(problem.source, c.id))
-            .collect();
-        order.sort_by_key(|&i| cand_dist[i]);
+        self.bits = u32::from(space.bits());
 
-        let n = order.len();
-        let mut ids = Vec::with_capacity(n);
-        let mut dist = Vec::with_capacity(n);
-        let mut weight = Vec::with_capacity(n);
-        let mut bounds = Vec::with_capacity(n);
-        for &i in &order {
-            ids.push(problem.candidates[i].id);
-            dist.push(cand_dist[i]);
-            weight.push(problem.candidates[i].weight);
-            bounds.push(problem.candidates[i].max_hops);
+        // Distances from the same source are injective over distinct ids,
+        // so the unstable sort on (distance, index) pairs is deterministic
+        // and orders ranks exactly like the previous stable sort-by-key.
+        self.scratch.clear();
+        for (i, c) in problem.candidates.iter().enumerate() {
+            self.scratch
+                .push((space.clockwise_distance(problem.source, c.id), i));
+        }
+        self.scratch.sort_unstable();
+
+        let n = self.scratch.len();
+        self.ids.clear();
+        self.dist.clear();
+        self.weight.clear();
+        for &(d, i) in &self.scratch {
+            self.ids.push(problem.candidates[i].id);
+            self.dist.push(d);
+            self.weight.push(problem.candidates[i].weight);
         }
 
-        let mut prefix_w = Vec::with_capacity(n + 1);
-        prefix_w.push(0.0);
+        self.prefix_w.clear();
+        self.prefix_w.push(0.0);
         let mut acc_w = 0.0;
-        for &w in &weight {
+        for &w in &self.weight {
             acc_w += w;
-            prefix_w.push(acc_w);
+            self.prefix_w.push(acc_w);
         }
 
-        let mut core_dist: Vec<u128> = problem
-            .core
-            .iter()
-            .map(|&c| space.clockwise_distance(problem.source, c))
-            .collect();
-        core_dist.sort_unstable();
+        self.core_dist.clear();
+        self.core_dist.extend(
+            problem
+                .core
+                .iter()
+                .map(|&c| space.clockwise_distance(problem.source, c)),
+        );
+        self.core_dist.sort_unstable();
 
-        // Best preceding core neighbor per rank.
-        let dcore: Vec<u32> = dist
-            .iter()
-            .map(|&d| match core_dist.partition_point(|&c| c <= d) {
-                0 => bits,
-                idx => bitlen(d - core_dist[idx - 1]),
-            })
-            .collect();
-
+        // Best preceding core neighbor per rank, plus the QoS window
+        // bound, in one merge walk (both rank lists are sorted).
+        //
         // QoS: a bound of x hops means d(v, N ∪ A) ≤ x − 1, i.e. a usable
         // neighbor within clockwise distance window
         // [dist(v) − (2^(x−1) − 1), dist(v)].
-        let mut qos_lo = Vec::with_capacity(n);
-        for (r, bound) in bounds.iter().enumerate() {
-            let lo = match bound {
+        self.dcore.clear();
+        self.qos_lo.clear();
+        let mut ci = 0usize; // number of cores at distance ≤ current rank
+        for (r, &d) in self.dist.iter().enumerate() {
+            while ci < self.core_dist.len() && self.core_dist[ci] <= d {
+                ci += 1;
+            }
+            self.dcore.push(if ci == 0 {
+                self.bits
+            } else {
+                bitlen(d - self.core_dist[ci - 1])
+            });
+            let lo = match problem.candidates[self.scratch[r].1].max_hops {
                 None => None,
                 Some(x) => {
                     let allowed = x - 1;
-                    if allowed >= bits {
+                    if allowed >= self.bits {
                         None // vacuous: even b hops satisfy it
                     } else {
                         let reach = (1u128 << allowed) - 1;
-                        let lo = dist[r].saturating_sub(reach);
+                        let lo = d.saturating_sub(reach);
                         // Satisfied outright by a core neighbor in window?
-                        let covered = match core_dist.partition_point(|&c| c <= dist[r]) {
-                            0 => false,
-                            idx => core_dist[idx - 1] >= lo,
-                        };
-                        if covered {
+                        if ci > 0 && self.core_dist[ci - 1] >= lo {
                             None
                         } else {
                             // Any pointer at distance ≥ max(lo, 1) works
@@ -125,34 +155,24 @@ impl RingView {
                     }
                 }
             };
-            qos_lo.push(lo);
+            self.qos_lo.push(lo);
         }
 
         // Core-only cost prefix (the DP's C_0), ∞ once a bound is unmet.
-        let mut c0 = Vec::with_capacity(n + 1);
-        c0.push(0.0);
+        self.c0.clear();
+        self.c0.push(0.0);
         let mut acc: f64 = 0.0;
         for r in 0..n {
-            if acc.is_finite() && qos_lo[r].is_some() {
+            if acc.is_finite() && self.qos_lo[r].is_some() {
                 acc = f64::INFINITY;
             }
             if acc.is_finite() {
-                acc += weight[r] * f64::from(dcore[r]);
+                acc += self.weight[r] * f64::from(self.dcore[r]);
             }
-            c0.push(acc);
+            self.c0.push(acc);
         }
 
-        Ok(RingView {
-            bits,
-            ids,
-            dist,
-            weight,
-            prefix_w,
-            core_dist,
-            dcore,
-            qos_lo,
-            c0,
-        })
+        Ok(())
     }
 
     /// Number of candidates.

@@ -22,6 +22,8 @@
 //! fast. Run the suite with `cargo test --workspace --features
 //! check-invariants`.
 
+use peercache_id::Id;
+
 use crate::chord::naive::{solve_naive, DpResult};
 use crate::chord::ring::RingView;
 use crate::problem::{PastryProblem, Selection};
@@ -53,11 +55,11 @@ pub(crate) fn assert_chord_fast_matches_naive(ring: &RingView, dp: &DpResult, k:
     for i in 0..=k {
         for m in 0..=n {
             debug_assert!(
-                costs_agree(dp.layers[i][m], reference.layers[i][m]),
+                costs_agree(dp.cost(i, m), reference.cost(i, m)),
                 "fast DP disagrees with naive DP at C_{i}({m}): \
                  fast = {}, naive = {}",
-                dp.layers[i][m],
-                reference.layers[i][m],
+                dp.cost(i, m),
+                reference.cost(i, m),
             );
         }
     }
@@ -90,6 +92,33 @@ pub(crate) fn assert_schedule_selections_nested(schedule: &[(usize, Selection)])
             pair[1].0,
             smaller.aux,
             larger.aux,
+        );
+    }
+}
+
+/// Largest leaf count for which the trie's flat sorted leaf index is
+/// cross-checked against a freshly built `BTreeMap` on every mutation.
+const TRIE_INDEX_CHECK_MAX_N: usize = 256;
+
+/// Check that the trie's flat sorted `Vec<(Id, vertex)>` leaf index is
+/// exactly what the `BTreeMap` it replaced would hold: same length (no
+/// duplicate ids) and same iteration order (sorted, so binary search is
+/// valid). No-op above [`TRIE_INDEX_CHECK_MAX_N`] leaves.
+pub(crate) fn assert_leaf_index_sorted(leaves: &[(Id, u32)]) {
+    if leaves.len() > TRIE_INDEX_CHECK_MAX_N {
+        return;
+    }
+    let reference: std::collections::BTreeMap<Id, u32> = leaves.iter().copied().collect();
+    debug_assert_eq!(
+        reference.len(),
+        leaves.len(),
+        "flat leaf index holds a duplicate id"
+    );
+    for (pair, (&id, &v)) in leaves.iter().zip(reference.iter()) {
+        debug_assert_eq!(
+            *pair,
+            (id, v),
+            "flat leaf index diverges from the BTreeMap reference"
         );
     }
 }

@@ -16,33 +16,59 @@ struct Table {
     /// `costs[j]` = min cost with exactly `j` pointers in the subtree
     /// (`∞` when infeasible or `j` exceeds the candidate supply).
     costs: Vec<f64>,
-    /// The achieving pointer sets, parallel to `costs`.
-    sets: Vec<Vec<Id>>,
+    /// Achieving-set bounds, parallel to `costs`: set `j` occupies
+    /// `arena[bounds[j].0 .. bounds[j].1]`.
+    bounds: Vec<(u32, u32)>,
+    /// All achieving sets, flattened into one id arena. Superseded
+    /// entries are left as dead ranges (this is the reference path; the
+    /// greedy solver avoids the quadratic storage altogether).
+    arena: Vec<Id>,
+}
+
+impl Table {
+    fn with_budget(k: usize) -> Self {
+        Table {
+            costs: vec![f64::INFINITY; k + 1],
+            bounds: vec![(0, 0); k + 1],
+            arena: Vec::new(),
+        }
+    }
+
+    fn set(&self, j: usize) -> &[Id] {
+        let (lo, hi) = self.bounds[j];
+        &self.arena[cast::usize_from_u32(lo)..cast::usize_from_u32(hi)]
+    }
+
+    /// Record the achieving set for budget `j` as the concatenation of
+    /// two prior sets.
+    fn record_set(&mut self, j: usize, left: &[Id], right: &[Id]) {
+        let lo = cast::index_to_u32(self.arena.len());
+        self.arena.extend_from_slice(left);
+        self.arena.extend_from_slice(right);
+        let hi = cast::index_to_u32(self.arena.len());
+        self.bounds[j] = (lo, hi);
+    }
 }
 
 fn solve(trie: &Trie, v: u32, k: usize) -> Table {
     let vert = trie.vertex(v);
     if let Some(leaf) = &vert.leaf {
-        let mut costs = vec![f64::INFINITY; k + 1];
-        let mut sets = vec![Vec::new(); k + 1];
-        costs[0] = 0.0;
+        let mut table = Table::with_budget(k);
+        table.costs[0] = 0.0;
         if !leaf.is_core {
             if k >= 1 {
-                costs[1] = 0.0;
-                sets[1] = vec![leaf.id];
+                table.costs[1] = 0.0;
+                table.record_set(1, &[leaf.id], &[]);
             }
             // A marked candidate leaf must be selected itself.
             if vert.mark_count > 0 {
-                costs[0] = f64::INFINITY;
+                table.costs[0] = f64::INFINITY;
             }
         }
-        return Table { costs, sets };
+        return table;
     }
 
-    let mut acc = Table {
-        costs: vec![f64::INFINITY; k + 1],
-        sets: vec![Vec::new(); k + 1],
-    };
+    let mut acc = Table::with_budget(k);
     acc.costs[0] = 0.0;
     for (_, c) in trie.children_of(v) {
         let child = solve(trie, c, k);
@@ -56,10 +82,7 @@ fn solve(trie: &Trie, v: u32, k: usize) -> Table {
             };
             child.costs[t] + edge
         };
-        let mut next = Table {
-            costs: vec![f64::INFINITY; k + 1],
-            sets: vec![Vec::new(); k + 1],
-        };
+        let mut next = Table::with_budget(k);
         for j in 0..=k {
             for i in 0..=j {
                 let (a, b) = (acc.costs[i], d_child(j - i));
@@ -68,9 +91,7 @@ fn solve(trie: &Trie, v: u32, k: usize) -> Table {
                 }
                 if (a + b).total_cmp(&next.costs[j]).is_lt() {
                     next.costs[j] = a + b;
-                    let mut set = acc.sets[i].clone();
-                    set.extend_from_slice(&child.sets[j - i]);
-                    next.sets[j] = set;
+                    next.record_set(j, acc.set(i), child.set(j - i));
                 }
             }
         }
@@ -79,7 +100,7 @@ fn solve(trie: &Trie, v: u32, k: usize) -> Table {
     // §IV-D: a marked subtree without a core neighbor needs ≥ 1 pointer.
     if vert.mark_count > 0 && vert.core_count == 0 {
         acc.costs[0] = f64::INFINITY;
-        acc.sets[0].clear();
+        acc.bounds[0] = (0, 0);
     }
     acc
 }
@@ -141,7 +162,7 @@ pub fn select_dp(problem: &PastryProblem) -> Result<Selection, SelectError> {
             k: cast::index_to_u32(k),
         });
     }
-    let mut aux = table.sets[k].clone();
+    let mut aux = table.set(k).to_vec();
     aux.sort();
     Ok(Selection {
         aux,

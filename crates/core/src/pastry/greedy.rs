@@ -59,6 +59,14 @@ pub struct PastryOptimizer {
     trie: Trie,
     k: usize,
     source: Id,
+    /// Scratch for `resolve_vertex`: the live `(slot, child)` pairs.
+    child_scratch: Vec<(u16, u32)>,
+    /// Scratch for `resolve_vertex`: per-child pointer counts.
+    t_scratch: Vec<u32>,
+    /// Scratch for `resolve_all`: the post-order visit sequence.
+    order_scratch: Vec<u32>,
+    /// Scratch for `resolve_all`: the post-order DFS stack.
+    stack_scratch: Vec<(u32, bool)>,
 }
 
 impl PastryOptimizer {
@@ -70,20 +78,46 @@ impl PastryOptimizer {
     /// here — it surfaces from [`selection`](Self::selection), because
     /// subsequent incremental updates may restore feasibility.
     pub fn new(problem: &PastryProblem) -> Result<Self, SelectError> {
-        let mut trie = Trie::new(problem.space, problem.digit_bits)?;
-        for cand in &problem.candidates {
-            trie.insert_leaf(cand.id, cand.weight, false, cand.max_hops)?;
-        }
-        for &core in &problem.core {
-            trie.insert_leaf(core, 0.0, true, None)?;
-        }
         let mut opt = PastryOptimizer {
-            trie,
+            trie: Trie::new(problem.space, problem.digit_bits)?,
             k: problem.k,
             source: problem.source,
+            child_scratch: Vec::new(),
+            t_scratch: Vec::new(),
+            order_scratch: Vec::new(),
+            stack_scratch: Vec::new(),
         };
-        opt.resolve_all();
+        opt.fill(problem)?;
         Ok(opt)
+    }
+
+    /// Re-target this optimiser at a new problem, reusing the trie slab,
+    /// the solver tables and every scratch buffer. Equivalent to (and
+    /// bit-identical with) `PastryOptimizer::new(problem)`, but allocation
+    /// free once the buffer capacities have warmed up.
+    ///
+    /// # Errors
+    /// As for [`new`](Self::new). On error the optimiser holds the
+    /// partially built trie; call `rebuild` again before further use.
+    pub fn rebuild(&mut self, problem: &PastryProblem) -> Result<(), SelectError> {
+        self.trie.reset(problem.space, problem.digit_bits)?;
+        self.k = problem.k;
+        self.source = problem.source;
+        self.fill(problem)
+    }
+
+    /// Shared tail of [`new`](Self::new)/[`rebuild`](Self::rebuild):
+    /// populate the (empty) trie and run the full greedy solve.
+    fn fill(&mut self, problem: &PastryProblem) -> Result<(), SelectError> {
+        for cand in &problem.candidates {
+            self.trie
+                .insert_leaf(cand.id, cand.weight, false, cand.max_hops)?;
+        }
+        for &core in &problem.core {
+            self.trie.insert_leaf(core, 0.0, true, None)?;
+        }
+        self.resolve_all();
+        Ok(())
     }
 
     /// The pointer budget the solver was built for.
@@ -109,14 +143,21 @@ impl PastryOptimizer {
     // ---- solving --------------------------------------------------------
 
     fn resolve_all(&mut self) {
-        for v in self.trie.post_order() {
+        let mut order = std::mem::take(&mut self.order_scratch);
+        let mut stack = std::mem::take(&mut self.stack_scratch);
+        self.trie.post_order_into(&mut order, &mut stack);
+        for &v in &order {
             self.resolve_vertex(v);
         }
+        self.order_scratch = order;
+        self.stack_scratch = stack;
     }
 
     fn resolve_path(&mut self, from: u32) {
-        for v in self.trie.path_to_root(from) {
+        let mut v = from;
+        while v != NONE {
             self.resolve_vertex(v);
+            v = self.trie.vertex(v).parent;
         }
     }
 
@@ -140,17 +181,18 @@ impl PastryOptimizer {
             };
             vert.impossible = vert.req > vert.cand_count;
             let cap = k.min(vert.cand_count);
-            if vert.impossible || vert.req > cap {
-                vert.costs.clear();
-                vert.alloc.clear();
-            } else {
-                vert.costs = vec![0.0; cast::usize_from_u32(cap) + 1];
-                vert.alloc = vec![0; cast::usize_from_u32(cap)];
+            vert.costs.clear();
+            vert.alloc.clear();
+            if !(vert.impossible || vert.req > cap) {
+                vert.costs.resize(cast::usize_from_u32(cap) + 1, 0.0);
+                vert.alloc.resize(cast::usize_from_u32(cap), 0);
             }
             return;
         }
 
-        let children: Vec<(u16, u32)> = self.trie.children_of(v).collect();
+        let mut children = std::mem::take(&mut self.child_scratch);
+        children.clear();
+        children.extend(self.trie.children_of(v));
         let mut weight = 0.0;
         let mut cand_count = 0u32;
         let mut core_count = 0u32;
@@ -183,6 +225,7 @@ impl PastryOptimizer {
             vert.impossible = impossible;
             vert.costs.clear();
             vert.alloc.clear();
+            self.child_scratch = children;
             return;
         }
 
@@ -199,17 +242,23 @@ impl PastryOptimizer {
         };
 
         // Force each child's requirement, then greedily interleave gains.
-        let mut t_child: Vec<u32> = children
-            .iter()
-            .map(|&(_, c)| self.trie.vertex(c).req)
-            .collect();
+        let mut t_child = std::mem::take(&mut self.t_scratch);
+        t_child.clear();
+        t_child.extend(children.iter().map(|&(_, c)| self.trie.vertex(c).req));
         let mut cost = 0.0;
         for (i, &(_, c)) in children.iter().enumerate() {
             cost += d_of(&self.trie, c, t_child[i]);
         }
         let steps = cast::usize_from_u32(cap - base);
-        let mut costs = Vec::with_capacity(steps + 1);
-        let mut alloc = Vec::with_capacity(steps);
+        let (mut costs, mut alloc) = {
+            let vert = self.trie.vertex_mut(v);
+            (
+                std::mem::take(&mut vert.costs),
+                std::mem::take(&mut vert.alloc),
+            )
+        };
+        costs.clear();
+        alloc.clear();
         costs.push(cost);
         for _ in 0..steps {
             let mut best: Option<(f64, usize)> = None;
@@ -249,6 +298,8 @@ impl PastryOptimizer {
         vert.impossible = false;
         vert.costs = costs;
         vert.alloc = alloc;
+        self.child_scratch = children;
+        self.t_scratch = t_child;
     }
 
     // ---- extraction ------------------------------------------------------
@@ -260,6 +311,27 @@ impl PastryOptimizer {
     /// [`SelectError::QosInfeasible`] when the delay bounds cannot be met
     /// with `j` pointers (or at all).
     pub fn selection(&self, j: usize) -> Result<Selection, SelectError> {
+        let mut out = Selection {
+            aux: Vec::new(),
+            cost: 0.0,
+        };
+        self.selection_into(j, &mut Vec::new(), &mut Vec::new(), &mut out)?;
+        Ok(out)
+    }
+
+    /// [`selection`](Self::selection) writing into caller-owned buffers:
+    /// `stack` and `counts` are traversal scratch, `out` receives the
+    /// selection. Allocation free once capacities have warmed up.
+    ///
+    /// # Errors
+    /// [`SelectError::QosInfeasible`] as for `selection`.
+    pub(crate) fn selection_into(
+        &self,
+        j: usize,
+        stack: &mut Vec<(u32, u32)>,
+        counts: &mut Vec<u32>,
+        out: &mut Selection,
+    ) -> Result<(), SelectError> {
         let root = self.trie.vertex(Trie::ROOT);
         if root.impossible {
             return Err(SelectError::QosInfeasible {
@@ -278,12 +350,14 @@ impl PastryOptimizer {
                 k: j_eff,
             });
         }
-        let mut aux = Vec::with_capacity(cast::usize_from_u32(j_eff));
-        self.collect(Trie::ROOT, j_eff, &mut aux);
-        aux.sort();
-        debug_assert_eq!(aux.len(), cast::usize_from_u32(j_eff));
-        let cost = self.total_weight() + root.cost_at(j_eff);
-        Ok(Selection { aux, cost })
+        out.aux.clear();
+        self.collect_into(j_eff, stack, counts, &mut out.aux);
+        // Ids are unique (trie leaves), so the unstable sort is
+        // deterministic and matches the previous stable sort.
+        out.aux.sort_unstable();
+        debug_assert_eq!(out.aux.len(), cast::usize_from_u32(j_eff));
+        out.cost = self.total_weight() + root.cost_at(j_eff);
+        Ok(())
     }
 
     /// [`selection`](Self::selection) at the full budget `k`.
@@ -321,37 +395,50 @@ impl PastryOptimizer {
         out
     }
 
-    fn collect(&self, v: u32, t: u32, out: &mut Vec<Id>) {
-        if t == 0 {
-            return;
-        }
-        let vert = self.trie.vertex(v);
-        if let Some(leaf) = &vert.leaf {
-            debug_assert_eq!(t, 1);
-            debug_assert!(!leaf.is_core);
-            out.push(leaf.id);
-            return;
-        }
-        // Per-child totals: forced requirement + greedy allocations.
-        let extra = cast::usize_from_u32(t - vert.base);
-        let mut per_slot: Vec<(u16, u32)> = self
-            .trie
-            .children_of(v)
-            .map(|(slot, c)| (slot, self.trie.vertex(c).req))
-            .collect();
-        for &slot in &vert.alloc[..extra] {
-            let entry = per_slot
-                .iter_mut()
-                .find(|(s, _)| *s == slot)
-                .expect("alloc refers to live children");
-            entry.1 += 1;
-        }
-        for (slot, count) in per_slot {
-            if count > 0 {
-                let child = self.trie.vertex(v).children[usize::from(slot)];
-                debug_assert_ne!(child, NONE);
-                self.collect(child, count, out);
+    /// Walk the allocation tree, pushing the `t`-pointer optimal leaf set.
+    /// Iterative (explicit `stack`) with a dense per-slot count buffer so
+    /// extraction reuses caller scratch instead of allocating per vertex.
+    /// Visit order differs from the old recursive walk, but the caller
+    /// sorts `out`, so the final selection is identical.
+    fn collect_into(
+        &self,
+        t_root: u32,
+        stack: &mut Vec<(u32, u32)>,
+        counts: &mut Vec<u32>,
+        out: &mut Vec<Id>,
+    ) {
+        stack.clear();
+        stack.push((Trie::ROOT, t_root));
+        while let Some((v, t)) = stack.pop() {
+            if t == 0 {
+                continue;
             }
+            let vert = self.trie.vertex(v);
+            if let Some(leaf) = &vert.leaf {
+                debug_assert_eq!(t, 1);
+                debug_assert!(!leaf.is_core);
+                out.push(leaf.id);
+                continue;
+            }
+            // Per-child totals: forced requirement + greedy allocations.
+            counts.clear();
+            counts.resize(self.trie.arity, 0);
+            for (slot, c) in self.trie.children_of(v) {
+                counts[usize::from(slot)] = self.trie.vertex(c).req;
+            }
+            let extra = cast::usize_from_u32(t - vert.base);
+            for &slot in &vert.alloc[..extra] {
+                counts[usize::from(slot)] += 1;
+            }
+            let mut assigned = 0u32;
+            for (slot, c) in self.trie.children_of(v) {
+                let count = counts[usize::from(slot)];
+                if count > 0 {
+                    assigned += count;
+                    stack.push((c, count));
+                }
+            }
+            debug_assert_eq!(assigned, t, "alloc refers to live children");
         }
     }
 
@@ -474,6 +561,70 @@ impl PastryOptimizer {
         let survivor = self.trie.remove_leaf(id)?;
         self.resolve_path(survivor);
         Ok(())
+    }
+}
+
+/// A reusable §IV-B solver: owns the trie slab, the per-vertex solver
+/// tables and every traversal scratch buffer, so that repeated
+/// [`solve_into`](Self::solve_into) calls allocate **nothing** once the
+/// buffer capacities have warmed up to the problem size.
+///
+/// Results are bit-identical to the one-shot [`select_greedy`]; the
+/// workspace only changes where the intermediate state lives.
+pub struct PastryWorkspace {
+    opt: Option<PastryOptimizer>,
+    stack: Vec<(u32, u32)>,
+    counts: Vec<u32>,
+    selection: Selection,
+}
+
+impl Default for PastryWorkspace {
+    fn default() -> Self {
+        PastryWorkspace::new()
+    }
+}
+
+impl PastryWorkspace {
+    /// An empty workspace; buffers grow to the largest problem solved.
+    #[must_use]
+    pub fn new() -> Self {
+        PastryWorkspace {
+            opt: None,
+            stack: Vec::new(),
+            counts: Vec::new(),
+            selection: Selection {
+                aux: Vec::new(),
+                cost: 0.0,
+            },
+        }
+    }
+
+    /// Solve `problem` with the greedy algorithm, reusing this workspace's
+    /// buffers. The returned selection borrows the workspace and is
+    /// overwritten by the next solve; clone it to keep it.
+    ///
+    /// # Errors
+    /// [`SelectError::InvalidProblem`] on malformed input;
+    /// [`SelectError::QosInfeasible`] when delay bounds cannot be met
+    /// with `k` pointers.
+    pub fn solve_into(&mut self, problem: &PastryProblem) -> Result<&Selection, SelectError> {
+        let opt = match self.opt.take() {
+            Some(mut opt) => {
+                opt.rebuild(problem)?;
+                opt
+            }
+            None => PastryOptimizer::new(problem)?,
+        };
+        let opt = self.opt.insert(opt);
+        opt.selection_into(
+            problem.k,
+            &mut self.stack,
+            &mut self.counts,
+            &mut self.selection,
+        )?;
+        #[cfg(feature = "check-invariants")]
+        crate::invariants::assert_greedy_matches_dp(problem, &self.selection);
+        Ok(&self.selection)
     }
 }
 

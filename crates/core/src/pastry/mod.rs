@@ -16,7 +16,7 @@ mod greedy;
 pub(crate) mod trie;
 
 pub use dp::select_dp;
-pub use greedy::{select_greedy, PastryOptimizer};
+pub use greedy::{select_greedy, PastryOptimizer, PastryWorkspace};
 
 #[cfg(test)]
 mod tests {

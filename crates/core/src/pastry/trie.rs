@@ -11,8 +11,15 @@
 //! hops on leaf `v` marks `v`'s ancestor at height `x − 1`; a marked
 //! subtree without a core neighbor must receive at least one auxiliary
 //! pointer (`req`).
-
-use std::collections::BTreeMap;
+//!
+//! ## Memory layout
+//!
+//! Hot state lives in flat vectors rather than per-vertex heap objects:
+//! child links occupy one slab (`child_arena`, `arity` slots per vertex)
+//! and the id → leaf index is a sorted `Vec` probed by binary search
+//! (deterministic by construction, so L6-clean — see DESIGN.md). The slab
+//! plus free list let [`reset`](Trie::reset) rebuild the trie for a new
+//! problem without allocating once capacities have warmed up.
 
 use peercache_id::{Id, IdSpace};
 
@@ -36,14 +43,13 @@ pub(crate) struct Leaf {
 /// One trie vertex. Aggregates (`weight`, `cand_count`, `core_count`) cover
 /// the whole subtree; `mark_count` counts QoS marks anchored *at* this
 /// vertex. Solver fields (`req`, `base`, `costs`, `alloc`) are maintained
-/// by the greedy optimiser.
+/// by the greedy optimiser. Child links live in the trie's `child_arena`,
+/// not here.
 #[derive(Clone, Debug)]
 pub(crate) struct Vertex {
     pub parent: u32,
     /// Which child slot of `parent` this vertex occupies.
     pub slot: u16,
-    /// Child vertex per digit value (`NONE` = absent).
-    pub children: Vec<u32>,
     /// Depth in digits (root = 0); structural metadata used by tests and
     /// diagnostics.
     #[cfg_attr(not(test), allow(dead_code))]
@@ -71,11 +77,10 @@ pub(crate) struct Vertex {
 }
 
 impl Vertex {
-    fn new(parent: u32, slot: u16, depth: u8, arity: usize) -> Self {
+    fn new(parent: u32, slot: u16, depth: u8) -> Self {
         Vertex {
             parent,
             slot,
-            children: vec![NONE; arity],
             depth,
             leaf: None,
             weight: 0.0,
@@ -88,6 +93,23 @@ impl Vertex {
             costs: Vec::new(),
             alloc: Vec::new(),
         }
+    }
+
+    /// Re-initialise in place, keeping the `costs`/`alloc` capacities.
+    fn reset(&mut self, parent: u32, slot: u16, depth: u8) {
+        self.parent = parent;
+        self.slot = slot;
+        self.depth = depth;
+        self.leaf = None;
+        self.weight = 0.0;
+        self.cand_count = 0;
+        self.core_count = 0;
+        self.mark_count = 0;
+        self.req = 0;
+        self.base = 0;
+        self.impossible = false;
+        self.costs.clear();
+        self.alloc.clear();
     }
 
     /// Largest pointer count this vertex has a cost for, if any.
@@ -106,7 +128,8 @@ impl Vertex {
 }
 
 /// The trie of observed ids, with slab storage and a free list so that
-/// churn (insert/remove) does not leak vertices.
+/// churn (insert/remove) does not leak vertices and [`reset`](Trie::reset)
+/// can rebuild without allocating.
 pub(crate) struct Trie {
     pub space: IdSpace,
     pub digit_bits: u8,
@@ -114,8 +137,10 @@ pub(crate) struct Trie {
     pub arity: usize,
     vertices: Vec<Vertex>,
     free: Vec<u32>,
-    /// id → leaf vertex.
-    leaves: BTreeMap<Id, u32>,
+    /// Child links, `arity` consecutive slots per vertex (`NONE` = absent).
+    child_arena: Vec<u32>,
+    /// id → leaf vertex, sorted by id (binary-search index).
+    leaves: Vec<(Id, u32)>,
 }
 
 impl Trie {
@@ -126,20 +151,52 @@ impl Trie {
             .digit_count(digit_bits)
             .map_err(|e| SelectError::InvalidProblem(e.to_string()))?;
         let arity = 1usize << digit_bits;
-        let root = Vertex::new(NONE, 0, 0, arity);
         Ok(Trie {
             space,
             digit_bits,
             digit_count,
             arity,
-            vertices: vec![root],
+            vertices: vec![Vertex::new(NONE, 0, 0)],
             free: Vec::new(),
-            leaves: BTreeMap::new(),
+            child_arena: vec![NONE; arity],
+            leaves: Vec::new(),
         })
     }
 
     /// Index of the root vertex (always allocated, never freed).
     pub const ROOT: u32 = 0;
+
+    /// Clear the trie for a new problem over `space`, keeping the vertex
+    /// slab (including warmed `costs`/`alloc` capacities), the child
+    /// arena and the leaf index. Freed slots are queued so that
+    /// allocation order matches a fresh build — a rebuild with the same
+    /// insertion sequence assigns every vertex the same index and role.
+    ///
+    /// # Errors
+    /// `InvalidProblem` when the digit width does not divide the id width.
+    pub fn reset(&mut self, space: IdSpace, digit_bits: u8) -> Result<(), SelectError> {
+        let digit_count = space
+            .digit_count(digit_bits)
+            .map_err(|e| SelectError::InvalidProblem(e.to_string()))?;
+        let arity = 1usize << digit_bits;
+        self.space = space;
+        self.digit_bits = digit_bits;
+        self.digit_count = digit_count;
+        if arity != self.arity {
+            self.arity = arity;
+            self.child_arena.clear();
+            self.child_arena.resize(self.vertices.len() * arity, NONE);
+        }
+        self.leaves.clear();
+        self.free.clear();
+        // Push descending so pops ascend: slot 1 is handed out first,
+        // exactly like a fresh build's first push.
+        for idx in (1..self.vertices.len()).rev() {
+            self.free.push(cast::index_to_u32(idx));
+        }
+        self.reset_slot(Self::ROOT, NONE, 0, 0);
+        Ok(())
+    }
 
     /// The vertex at index `v`; panics on a dangling index.
     pub fn vertex(&self, v: u32) -> &Vertex {
@@ -151,9 +208,21 @@ impl Trie {
         &mut self.vertices[cast::index_from_u32(v)]
     }
 
+    /// The child of `v` in `slot` (`NONE` = absent).
+    fn child(&self, v: u32, slot: usize) -> u32 {
+        self.child_arena[cast::index_from_u32(v) * self.arity + slot]
+    }
+
+    fn set_child(&mut self, v: u32, slot: usize, c: u32) {
+        self.child_arena[cast::index_from_u32(v) * self.arity + slot] = c;
+    }
+
     /// The leaf vertex currently holding candidate `id`, if present.
     pub fn leaf_vertex(&self, id: Id) -> Option<u32> {
-        self.leaves.get(&id).copied()
+        self.leaves
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.leaves[pos].1)
     }
 
     /// Number of live vertices (diagnostics / tests).
@@ -161,16 +230,26 @@ impl Trie {
         self.vertices.len() - self.free.len()
     }
 
+    /// Re-initialise slot `idx` (vertex fields and child links) in place.
+    fn reset_slot(&mut self, idx: u32, parent: u32, slot: u16, depth: u8) {
+        let base = cast::index_from_u32(idx) * self.arity;
+        for c in &mut self.child_arena[base..base + self.arity] {
+            *c = NONE;
+        }
+        self.vertices[cast::index_from_u32(idx)].reset(parent, slot, depth);
+    }
+
     fn alloc_vertex(&mut self, parent: u32, slot: u16, depth: u8) -> u32 {
-        let arity = self.arity;
         match self.free.pop() {
             Some(idx) => {
-                self.vertices[cast::index_from_u32(idx)] = Vertex::new(parent, slot, depth, arity);
+                self.reset_slot(idx, parent, slot, depth);
                 idx
             }
             None => {
                 let idx = cast::index_to_u32(self.vertices.len());
-                self.vertices.push(Vertex::new(parent, slot, depth, arity));
+                self.vertices.push(Vertex::new(parent, slot, depth));
+                self.child_arena
+                    .resize(self.child_arena.len() + self.arity, NONE);
                 idx
             }
         }
@@ -187,11 +266,14 @@ impl Trie {
         is_core: bool,
         max_hops: Option<u32>,
     ) -> Result<u32, SelectError> {
-        if self.leaves.contains_key(&id) {
-            return Err(SelectError::InvalidProblem(format!(
-                "leaf {id} already present in trie"
-            )));
-        }
+        let pos = match self.leaves.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(_) => {
+                return Err(SelectError::InvalidProblem(format!(
+                    "leaf {id} already present in trie"
+                )));
+            }
+            Err(pos) => pos,
+        };
         let mut v = Self::ROOT;
         for depth in 0..self.digit_count {
             let digit = self
@@ -199,10 +281,10 @@ impl Trie {
                 .digit(id, depth, self.digit_bits)
                 .expect("depth < digit_count and digit width ≤ 16");
             let digit_idx = usize::from(digit);
-            let child = self.vertices[cast::index_from_u32(v)].children[digit_idx];
+            let child = self.child(v, digit_idx);
             v = if child == NONE {
                 let c = self.alloc_vertex(v, digit, depth + 1);
-                self.vertices[cast::index_from_u32(v)].children[digit_idx] = c;
+                self.set_child(v, digit_idx, c);
                 c
             } else {
                 child
@@ -214,13 +296,15 @@ impl Trie {
             is_core,
             max_hops,
         });
-        self.leaves.insert(id, v);
+        self.leaves.insert(pos, (id, v));
         if let Some(bound) = max_hops {
             let mark = self.mark_vertex_for(v, bound);
             if let Some(m) = mark {
                 self.vertices[cast::index_from_u32(m)].mark_count += 1;
             }
         }
+        #[cfg(feature = "check-invariants")]
+        crate::invariants::assert_leaf_index_sorted(&self.leaves);
         Ok(v)
     }
 
@@ -248,10 +332,11 @@ impl Trie {
     /// # Errors
     /// `InvalidProblem` if no leaf for `id` exists.
     pub fn remove_leaf(&mut self, id: Id) -> Result<u32, SelectError> {
-        let v = self
+        let pos = self
             .leaves
-            .remove(&id)
-            .ok_or_else(|| SelectError::InvalidProblem(format!("leaf {id} not present in trie")))?;
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .map_err(|_| SelectError::InvalidProblem(format!("leaf {id} not present in trie")))?;
+        let (_, v) = self.leaves.remove(pos);
         let leaf = self.vertices[cast::index_from_u32(v)]
             .leaf
             .take()
@@ -262,50 +347,44 @@ impl Trie {
                 self.vertices[cast::index_from_u32(m)].mark_count -= 1;
             }
         }
+        #[cfg(feature = "check-invariants")]
+        crate::invariants::assert_leaf_index_sorted(&self.leaves);
         // Prune upward while a vertex has no leaf, no children, and no marks.
         let mut cur = v;
         loop {
             let vert = &self.vertices[cast::index_from_u32(cur)];
             let prunable = vert.leaf.is_none()
                 && vert.mark_count == 0
-                && vert.children.iter().all(|&c| c == NONE)
-                && cur != Self::ROOT;
+                && cur != Self::ROOT
+                && self.children_of(cur).next().is_none();
             if !prunable {
                 return Ok(cur);
             }
+            let vert = &self.vertices[cast::index_from_u32(cur)];
             let parent = vert.parent;
             let slot = usize::from(vert.slot);
-            self.vertices[cast::index_from_u32(parent)].children[slot] = NONE;
+            self.set_child(parent, slot, NONE);
             self.free.push(cur);
             cur = parent;
         }
     }
 
-    /// Iterate the live children of `v`.
+    /// Iterate the live children of `v` in ascending slot order.
     pub fn children_of(&self, v: u32) -> impl Iterator<Item = (u16, u32)> + '_ {
-        self.vertices[cast::index_from_u32(v)]
-            .children
+        let base = cast::index_from_u32(v) * self.arity;
+        self.child_arena[base..base + self.arity]
             .iter()
             .enumerate()
             .filter(|(_, &c)| c != NONE)
             .map(|(slot, &c)| (cast::slot_to_u16(slot), c))
     }
 
-    /// Vertices from `v` (inclusive) up to the root (inclusive).
-    pub fn path_to_root(&self, v: u32) -> Vec<u32> {
-        let mut path = Vec::with_capacity(usize::from(self.digit_count) + 1);
-        let mut cur = v;
-        while cur != NONE {
-            path.push(cur);
-            cur = self.vertices[cast::index_from_u32(cur)].parent;
-        }
-        path
-    }
-
-    /// All vertices in post-order (children before parents).
-    pub fn post_order(&self) -> Vec<u32> {
-        let mut order = Vec::with_capacity(self.vertex_count());
-        let mut stack = vec![(Self::ROOT, false)];
+    /// All vertices in post-order (children before parents), written into
+    /// caller-owned buffers (`stack` is DFS scratch).
+    pub fn post_order_into(&self, order: &mut Vec<u32>, stack: &mut Vec<(u32, bool)>) {
+        order.clear();
+        stack.clear();
+        stack.push((Self::ROOT, false));
         while let Some((v, expanded)) = stack.pop() {
             if expanded {
                 order.push(v);
@@ -316,6 +395,13 @@ impl Trie {
                 }
             }
         }
+    }
+
+    /// All vertices in post-order (children before parents).
+    pub fn post_order(&self) -> Vec<u32> {
+        let mut order = Vec::with_capacity(self.vertex_count());
+        let mut stack = Vec::new();
+        self.post_order_into(&mut order, &mut stack);
         order
     }
 
@@ -395,6 +481,25 @@ mod tests {
     }
 
     #[test]
+    fn reset_rebuild_reassigns_identical_indices() {
+        let mut t = trie(8, 1);
+        let ids = [0xAAu128, 0x55, 0x5A, 0xA5];
+        let fresh: Vec<u32> = ids
+            .iter()
+            .map(|&i| t.insert_leaf(id(i), 1.0, false, None).unwrap())
+            .collect();
+        let slab_size = t.vertex_count();
+        t.reset(IdSpace::new(8).unwrap(), 1).unwrap();
+        assert_eq!(t.vertex_count(), 1, "reset leaves only the root live");
+        let rebuilt: Vec<u32> = ids
+            .iter()
+            .map(|&i| t.insert_leaf(id(i), 1.0, false, None).unwrap())
+            .collect();
+        assert_eq!(fresh, rebuilt, "same insertion order, same slots");
+        assert_eq!(t.vertex_count(), slab_size, "slab reused, not grown");
+    }
+
+    #[test]
     fn qos_mark_lands_at_height_bound_minus_one() {
         let mut t = trie(4, 1);
         let leaf = t.insert_leaf(id(0b1010), 1.0, false, Some(3)).unwrap();
@@ -450,5 +555,16 @@ mod tests {
         let v = t.insert_leaf(id(0xAB), 1.0, false, None).unwrap();
         assert_eq!(t.vertex(v).depth, 2, "two hex digits");
         assert_eq!(t.arity, 16);
+    }
+
+    #[test]
+    fn reset_to_wider_digits_regrows_arena() {
+        let mut t = trie(8, 1);
+        t.insert_leaf(id(0xAB), 1.0, false, None).unwrap();
+        t.reset(IdSpace::new(8).unwrap(), 4).unwrap();
+        assert_eq!(t.arity, 16);
+        let v = t.insert_leaf(id(0xAB), 1.0, false, None).unwrap();
+        assert_eq!(t.vertex(v).depth, 2);
+        assert_eq!(t.leaf_vertex(id(0xAB)), Some(v));
     }
 }

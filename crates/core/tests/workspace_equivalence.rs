@@ -1,0 +1,171 @@
+//! Workspace-reuse equivalence: the zero-alloc `solve_into` entry points
+//! must be **bit-identical** to the one-shot solvers, across many random
+//! problems solved through the *same* workspace (so every solve after the
+//! first runs on dirty, previously-warmed buffers).
+//!
+//! Costs are compared with `to_bits` equality, not a tolerance: the
+//! workspace paths are required to perform the same floating-point
+//! operations in the same order as the one-shot paths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use peercache_core::chord::{select_fast, ChordWorkspace};
+use peercache_core::pastry::{select_greedy, PastryWorkspace};
+use peercache_core::{Candidate, ChordProblem, PastryProblem, SelectError, Selection};
+use peercache_id::{Id, IdSpace};
+
+/// Draw a random (bits, source, core, candidates, k) skeleton. Sizes vary
+/// widely so the workspace sees growing *and* shrinking problems.
+fn skeleton(rng: &mut StdRng) -> (u8, Id, Vec<Id>, Vec<Candidate>, usize) {
+    let bits = rng.gen_range(4u8..=12);
+    let max_nodes = 1usize << bits.min(7);
+    let n = rng.gen_range(1..=max_nodes.min(60));
+    let mut ids: Vec<u128> = Vec::new();
+    while ids.len() < n + 1 {
+        let id = rng.gen_range(0..(1u128 << bits));
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+        if ids.len() == 1usize << bits {
+            break;
+        }
+    }
+    let source = Id::new(ids[0]);
+    let rest = &ids[1..];
+    let n_core = rng.gen_range(0..=rest.len().min(4));
+    let core: Vec<Id> = rest[..n_core].iter().copied().map(Id::new).collect();
+    let candidates: Vec<Candidate> = rest[n_core..]
+        .iter()
+        .map(|&id| {
+            let weight = rng.gen_range(0.0..100.0);
+            if rng.gen_bool(0.25) {
+                Candidate::with_max_hops(Id::new(id), weight, rng.gen_range(1..8))
+            } else {
+                Candidate::new(Id::new(id), weight)
+            }
+        })
+        .collect();
+    let k = rng.gen_range(0..=5);
+    (bits, source, core, candidates, k)
+}
+
+fn assert_identical(case: &str, seed: u64, a: &Result<Selection, SelectError>, b: &Selection) {
+    match a {
+        Ok(one_shot) => {
+            assert_eq!(one_shot.aux, b.aux, "{case} aux diverged at seed {seed}");
+            assert_eq!(
+                one_shot.cost.to_bits(),
+                b.cost.to_bits(),
+                "{case} cost not bit-identical at seed {seed}: {} vs {}",
+                one_shot.cost,
+                b.cost
+            );
+        }
+        Err(e) => panic!("{case} one-shot failed ({e:?}) but workspace succeeded, seed {seed}"),
+    }
+}
+
+#[test]
+fn chord_workspace_matches_one_shot_across_seeds() {
+    let mut ws = ChordWorkspace::new();
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (bits, source, core, candidates, k) = skeleton(&mut rng);
+        let Ok(problem) =
+            ChordProblem::new(IdSpace::new(bits).unwrap(), source, core, candidates, k)
+        else {
+            continue;
+        };
+        let one_shot = select_fast(&problem);
+        match ws.solve_into(&problem) {
+            Ok(sel) => assert_identical("chord", seed, &one_shot, sel),
+            Err(ws_err) => match one_shot {
+                Err(os_err) => assert_eq!(
+                    format!("{ws_err:?}"),
+                    format!("{os_err:?}"),
+                    "chord error mismatch at seed {seed}"
+                ),
+                Ok(_) => panic!(
+                    "chord workspace failed ({ws_err:?}) but one-shot succeeded, seed {seed}"
+                ),
+            },
+        }
+    }
+}
+
+#[test]
+fn pastry_workspace_matches_one_shot_across_seeds() {
+    let mut ws = PastryWorkspace::new();
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (bits, source, core, candidates, k) = skeleton(&mut rng);
+        let digit_bits = if bits % 4 == 0 && rng.gen_bool(0.3) {
+            4
+        } else {
+            1
+        };
+        let Ok(problem) = PastryProblem::new(
+            IdSpace::new(bits).unwrap(),
+            digit_bits,
+            source,
+            core,
+            candidates,
+            k,
+        ) else {
+            continue;
+        };
+        let one_shot = select_greedy(&problem);
+        match ws.solve_into(&problem) {
+            Ok(sel) => assert_identical("pastry", seed, &one_shot, sel),
+            Err(ws_err) => match one_shot {
+                Err(os_err) => assert_eq!(
+                    format!("{ws_err:?}"),
+                    format!("{os_err:?}"),
+                    "pastry error mismatch at seed {seed}"
+                ),
+                Ok(_) => panic!(
+                    "pastry workspace failed ({ws_err:?}) but one-shot succeeded, seed {seed}"
+                ),
+            },
+        }
+    }
+}
+
+#[test]
+fn workspaces_interleave_large_and_small_problems() {
+    // Shrinking after a large solve must not leak stale state into a
+    // small one: alternate sizes through one workspace pair.
+    let mut chord_ws = ChordWorkspace::new();
+    let mut pastry_ws = PastryWorkspace::new();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for round in 0..40u64 {
+        let n = if round % 2 == 0 { 60 } else { 3 };
+        let mut ids: Vec<u128> = (0..200u128).filter(|_| rng.gen_bool(0.6)).collect();
+        ids.truncate(n + 1);
+        if ids.len() < 2 {
+            continue;
+        }
+        let source = Id::new(ids[0]);
+        let candidates: Vec<Candidate> = ids[1..]
+            .iter()
+            .map(|&i| Candidate::new(Id::new(i), rng.gen_range(0.0..10.0)))
+            .collect();
+        let space = IdSpace::new(8).unwrap();
+        let k = rng.gen_range(0..=4);
+        let cp = ChordProblem::new(space, source, vec![], candidates.clone(), k).unwrap();
+        assert_identical(
+            "chord-interleave",
+            round,
+            &select_fast(&cp),
+            chord_ws.solve_into(&cp).unwrap(),
+        );
+        let pp = PastryProblem::new(space, 1, source, vec![], candidates, k).unwrap();
+        assert_identical(
+            "pastry-interleave",
+            round,
+            &select_greedy(&pp),
+            pastry_ws.solve_into(&pp).unwrap(),
+        );
+    }
+}

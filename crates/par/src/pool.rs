@@ -77,6 +77,38 @@ where
     par_map_with(threads(), items, f)
 }
 
+/// Map `f` over `items` in chunks of `chunk_size`, preserving input order
+/// in the flattened result.
+///
+/// Where [`par_map`] dispatches one task per item, this dispatches one
+/// task per *chunk*: `f` receives the chunk's starting index and the chunk
+/// slice, and returns one output per input (the chunk results are
+/// concatenated in input order). Use it when per-item work is too small to
+/// amortize a dispatch, or when a task wants to reuse scratch state across
+/// the items of its chunk. The determinism contract is unchanged — the
+/// serial path applies `f` to the exact same chunks in order, so results
+/// are bit-identical at any thread count as long as `f` is a pure function
+/// of `(start, chunk)`.
+pub fn par_map_chunked<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let chunks: Vec<(usize, &[T])> = items
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(c, chunk)| (c * chunk_size, chunk))
+        .collect();
+    let per_chunk = par_map_with(threads(), &chunks, |_, &(start, chunk)| f(start, chunk));
+    let mut out = Vec::with_capacity(items.len());
+    for part in per_chunk {
+        out.extend(part);
+    }
+    out
+}
+
 /// [`par_map`] with an explicit thread count (`threads <= 1` runs the
 /// serial inline path; so does any call issued from inside a pool worker).
 pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>

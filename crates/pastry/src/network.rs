@@ -19,6 +19,9 @@ pub struct PastryConfig {
     pub space: IdSpace,
     /// Digit width in bits (`d`; the paper exposits `d = 1`).
     pub digit_bits: u8,
+    /// Digits per id (`⌈b/d⌉`; derived once in [`PastryConfig::new`] so
+    /// every later consumer reads a validated value).
+    pub digit_count: u8,
     /// Leaf-set entries per side.
     pub leaf_half: usize,
     /// Next-hop tie-breaking policy.
@@ -30,18 +33,20 @@ pub struct PastryConfig {
 impl PastryConfig {
     /// Locality-aware configuration over `space` with digit width `d`,
     /// four leaves per side, and a `4·⌈b/d⌉` hop budget.
+    ///
+    /// # Panics
+    /// Panics when `digit_bits` does not divide the id-space width — a
+    /// configuration is programmer input.
     pub fn new(space: IdSpace, digit_bits: u8) -> Self {
-        let digits = u32::from(
-            space
-                .digit_count(digit_bits)
-                .expect("digit width must divide the id space"),
-        );
+        let digit_count = space.digit_count(digit_bits).unwrap_or(0);
+        assert!(digit_count > 0, "digit width must divide the id space");
         PastryConfig {
             space,
             digit_bits,
+            digit_count,
             leaf_half: 4,
             mode: RoutingMode::LocalityAware,
-            hop_limit: 4 * digits,
+            hop_limit: 4 * u32::from(digit_count),
         }
     }
 
@@ -122,13 +127,9 @@ pub struct PastryNetwork {
 impl PastryNetwork {
     /// An empty overlay.
     pub fn new(config: PastryConfig) -> Self {
-        let digit_count = config
-            .space
-            .digit_count(config.digit_bits)
-            .expect("validated by PastryConfig");
         PastryNetwork {
             config,
-            digit_count,
+            digit_count: config.digit_count,
             arity: 1usize << config.digit_bits,
             nodes: BTreeMap::new(),
             coords: BTreeMap::new(),
@@ -503,14 +504,104 @@ impl PastryNetwork {
         }
     }
 
+    /// Read-only [`route`](Self::route): auxiliary neighbors come from
+    /// `aux_of` instead of the installed per-node sets, and dead entries
+    /// probed along the way are counted as `failed_probes` but **not**
+    /// forgotten. With every node live — the stable-mode contract — the
+    /// walk is hop-for-hop identical to installing each `aux_of` set via
+    /// [`set_aux`](Self::set_aux) and calling `route`, which lets a
+    /// parallel sweep share one snapshot across threads. A dead next hop
+    /// is a hard dead end here (the snapshot cannot repair around it).
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn route_with_aux<'a, F>(
+        &'a self,
+        from: Id,
+        key: Id,
+        aux_of: F,
+    ) -> Result<RouteResult, NetworkError>
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        let Some(true_owner) = self.true_owner(key) else {
+            return Err(NetworkError::NotPresent(from));
+        };
+        let mut current = from;
+        let mut hops = 0u32;
+        let mut failed_probes = 0u32;
+        let mut path = vec![from];
+        loop {
+            if hops >= self.config.hop_limit {
+                return Ok(RouteResult {
+                    outcome: RouteOutcome::HopLimit,
+                    hops,
+                    failed_probes,
+                    path,
+                });
+            }
+            match self.next_hop_with(current, key, aux_of(current)) {
+                None => {
+                    let outcome = if current == true_owner {
+                        RouteOutcome::Success
+                    } else if self.nodes[&current.value()]
+                        .known_neighbors_with(aux_of(current))
+                        .iter()
+                        .any(|&w| {
+                            (self.ring_abs(w, key), w.value())
+                                < (self.ring_abs(current, key), current.value())
+                        })
+                    {
+                        RouteOutcome::DeadEnd(current)
+                    } else {
+                        RouteOutcome::WrongOwner(current)
+                    };
+                    return Ok(RouteResult {
+                        outcome,
+                        hops,
+                        failed_probes,
+                        path,
+                    });
+                }
+                Some(next) => {
+                    if self.is_live(next) {
+                        hops += 1;
+                        path.push(next);
+                        current = next;
+                    } else {
+                        // The forwarding rule would re-select this dead
+                        // entry forever on an immutable snapshot; count
+                        // the probe and stop here.
+                        failed_probes += 1;
+                        return Ok(RouteResult {
+                            outcome: RouteOutcome::DeadEnd(current),
+                            hops,
+                            failed_probes,
+                            path,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// The forwarding decision at `current` for `key` (None = `current`
     /// believes it is the destination).
     fn next_hop(&self, current: Id, key: Id) -> Option<Id> {
+        self.next_hop_with(current, key, &self.nodes[&current.value()].aux)
+    }
+
+    /// [`next_hop`](Self::next_hop) with `extra` standing in for the
+    /// auxiliary set of `current`.
+    fn next_hop_with(&self, current: Id, key: Id, extra: &[Id]) -> Option<Id> {
         if current == key {
             return None;
         }
         let node = &self.nodes[&current.value()];
-        let known = node.known_neighbors();
+        let known = node.known_neighbors_with(extra);
         if known.is_empty() {
             return None;
         }

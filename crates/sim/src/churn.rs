@@ -19,7 +19,7 @@ use serde::Serialize;
 
 use crate::engine::{exp_sample, EventQueue};
 use crate::metrics::{reduction_pct, QueryMetrics};
-use crate::overlay::{OverlayKind, SimOverlay};
+use crate::overlay::{OverlayKind, SelectScratch, SimOverlay};
 use crate::stable::RankingMode;
 
 /// Configuration of one churn-mode comparison run.
@@ -172,6 +172,11 @@ pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics 
     }
 
     let mut metrics = QueryMetrics::default();
+    // Reused across events: the live-origin scratch (a per-query
+    // allocation otherwise) and the solver workspaces for the aware
+    // recomputes.
+    let mut live: Vec<usize> = Vec::with_capacity(config.nodes);
+    let mut select_scratch = SelectScratch::new();
     while let Some((now, event)) = queue.pop() {
         if now > config.duration {
             break;
@@ -183,7 +188,8 @@ pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics 
                     Event::Query,
                 );
                 // Uniform live origin; skip the beat if the ring is empty.
-                let live: Vec<usize> = (0..config.nodes).filter(|&i| alive[i]).collect();
+                live.clear();
+                live.extend((0..config.nodes).filter(|&i| alive[i]));
                 if live.is_empty() {
                     continue;
                 }
@@ -241,7 +247,7 @@ pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics 
                         if freqs.is_empty() {
                             continue;
                         }
-                        overlay.select_aware(node, &freqs, config.k)
+                        overlay.select_aware_into(node, &freqs, config.k, &mut select_scratch)
                     }
                     // The baseline ignores observations entirely: random
                     // per-slice picks from the live ring (§VI-A).

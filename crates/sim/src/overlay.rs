@@ -45,11 +45,39 @@ pub struct QueryOutcome {
     pub failed_probes: u32,
 }
 
+/// Reusable per-thread selection scratch: one solver workspace per family
+/// (the fast Chord DP and the greedy Pastry trie), so a sweep over many
+/// nodes reuses the DP tables and trie storage instead of reallocating
+/// them per solve. One scratch per worker thread — the workspaces are not
+/// shared.
+pub struct SelectScratch {
+    chord: chord::ChordWorkspace,
+    pastry: pastry::PastryWorkspace,
+}
+
+impl SelectScratch {
+    /// An empty scratch; buffers grow to fit on first use.
+    pub fn new() -> Self {
+        SelectScratch {
+            chord: chord::ChordWorkspace::new(),
+            pastry: pastry::PastryWorkspace::new(),
+        }
+    }
+}
+
+impl Default for SelectScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A live overlay instance of any supported kind.
 ///
-/// Cloning duplicates the entire substrate (routing tables included); the
-/// stable driver uses this to route its three measurement passes over
-/// independent copies in parallel.
+/// Cloning duplicates the entire substrate (routing tables included). The
+/// stable driver no longer needs that: its three measurement passes route
+/// read-only over **one** shared snapshot via
+/// [`query_with_aux`](Self::query_with_aux), resolving auxiliary sets from
+/// side tables instead of installing them per copy.
 #[derive(Clone)]
 pub enum SimOverlay {
     /// A Chord ring.
@@ -167,10 +195,6 @@ impl SimOverlay {
     }
 
     /// Route one query from `from` for `key`.
-    ///
-    /// # Panics
-    /// Panics when `from` is not live — drivers only issue queries from
-    /// live origins.
     pub fn query(&mut self, from: Id, key: Id) -> QueryOutcome {
         self.query_with_path(from, key).0
     }
@@ -179,11 +203,64 @@ impl SimOverlay {
     /// churn driver: every node that *sees* a query — origin or forwarder
     /// — learns the access, §III).
     ///
-    /// # Panics
-    /// Panics when `from` is not live.
+    /// Total: a dead origin yields a failed outcome with an empty path.
+    /// Drivers only issue queries from live origins, so that arm is never
+    /// taken in practice.
     pub fn query_with_path(&mut self, from: Id, key: Id) -> (QueryOutcome, Vec<Id>) {
-        self.try_query_with_path(from, key)
-            .expect("origin is live — drivers only issue queries from live origins")
+        self.try_query_with_path(from, key).unwrap_or((
+            QueryOutcome {
+                success: false,
+                hops: 0,
+                failed_probes: 0,
+            },
+            Vec::new(),
+        ))
+    }
+
+    /// Route one query **read-only**, resolving each node's auxiliary set
+    /// through `aux_of` instead of the installed per-node state. This is
+    /// the stable driver's hot path: all measurement passes share one
+    /// immutable snapshot (no clone, no `set_aux`), so they can run on
+    /// parallel threads over `&self`. Dead entries probed along the way
+    /// are counted but not repaired; with every node live the walk is
+    /// identical to `set_aux` + [`query`](Self::query).
+    ///
+    /// Total like [`query_with_path`](Self::query_with_path): a dead
+    /// origin yields a failed outcome.
+    pub fn query_with_aux<'a, F>(&'a self, from: Id, key: Id, aux_of: F) -> QueryOutcome
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        let routed = match self {
+            SimOverlay::Chord(net) => net
+                .lookup_with_aux(from, key, aux_of)
+                .ok()
+                .map(|r| (r.is_success(), r.hops, r.failed_probes)),
+            SimOverlay::Pastry(net) => net
+                .route_with_aux(from, key, aux_of)
+                .ok()
+                .map(|r| (r.is_success(), r.hops, r.failed_probes)),
+            SimOverlay::Tapestry(net) => net
+                .route_with_aux(from, key, aux_of)
+                .ok()
+                .map(|r| (r.is_success(), r.hops, r.failed_probes)),
+            SimOverlay::SkipGraph(net) => net
+                .search_with_aux(from, key, aux_of)
+                .ok()
+                .map(|r| (r.is_success(), r.hops, r.failed_probes)),
+        };
+        match routed {
+            Some((success, hops, failed_probes)) => QueryOutcome {
+                success,
+                hops,
+                failed_probes,
+            },
+            None => QueryOutcome {
+                success: false,
+                hops: 0,
+                failed_probes: 0,
+            },
+        }
     }
 
     /// Fallible query routing: `None` when `from` is not live. All the
@@ -251,6 +328,9 @@ impl SimOverlay {
     /// `frequencies` (entries for the node itself or its core neighbors
     /// are filtered out automatically).
     ///
+    /// One-shot wrapper over [`select_aware_into`](Self::select_aware_into)
+    /// with a throwaway scratch.
+    ///
     /// # Errors
     /// Propagates [`SelectError`] from the solver (malformed inputs; QoS
     /// is not used by the experiment drivers).
@@ -260,17 +340,36 @@ impl SimOverlay {
         frequencies: &FrequencySnapshot,
         k: usize,
     ) -> Result<Selection, SelectError> {
+        let mut scratch = SelectScratch::new();
+        self.select_aware_into(node, frequencies, k, &mut scratch)
+    }
+
+    /// [`select_aware`](Self::select_aware) through a reusable
+    /// [`SelectScratch`]: the solver DP tables, trie storage, and scratch
+    /// buffers live in `scratch` and are reused across calls, so a sweep
+    /// over many nodes allocates per-solve only for the returned
+    /// `Selection` and the candidate pool.
+    ///
+    /// # Errors
+    /// Propagates [`SelectError`] from the solver.
+    pub fn select_aware_into(
+        &self,
+        node: Id,
+        frequencies: &FrequencySnapshot,
+        k: usize,
+        scratch: &mut SelectScratch,
+    ) -> Result<Selection, SelectError> {
         let candidates = self.candidates_for(node, frequencies);
         let core = self.core_neighbors(node);
         match self.kind() {
             OverlayKind::Chord => {
                 let problem = ChordProblem::new(self.space(), node, core, candidates, k)?;
-                chord::select_fast(&problem)
+                Ok(scratch.chord.solve_into(&problem)?.clone())
             }
             OverlayKind::Pastry { digit_bits, .. } | OverlayKind::Tapestry { digit_bits } => {
                 let problem =
                     PastryProblem::new(self.space(), digit_bits, node, core, candidates, k)?;
-                pastry::select_greedy(&problem)
+                Ok(scratch.pastry.solve_into(&problem)?.clone())
             }
             OverlayKind::SkipGraph => {
                 // §I transfer: run the Chord optimiser in rank space.
@@ -297,7 +396,7 @@ impl SimOverlay {
                     .map(|&c| Self::rank_id(&ring, node, c))
                     .collect();
                 let problem = ChordProblem::new(rank_space, Id::new(0), core_ranks, cands, k)?;
-                let sel = chord::select_fast(&problem)?;
+                let sel = scratch.chord.solve_into(&problem)?;
                 let my_rank = ring.binary_search(&node).map_err(|_| {
                     SelectError::InvalidProblem(format!("selecting node {node} is not live"))
                 })?;

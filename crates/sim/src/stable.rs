@@ -15,7 +15,22 @@ use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
 use crate::metrics::{reduction_pct, QueryMetrics};
-use crate::overlay::{OverlayKind, SimOverlay};
+use crate::overlay::{OverlayKind, SelectScratch, SimOverlay};
+
+/// Nodes per parallel selection task. Chunking is by fixed size — never by
+/// thread count — and each chunk starts from a fresh [`SelectScratch`], so
+/// the selected sets are bit-identical at any thread count.
+const SELECT_CHUNK: usize = 32;
+
+/// Resolve the auxiliary set of `id` from a measurement pass's side table
+/// (`None` = the core-only pass).
+fn aux_lookup<'a>(index: &'a [(Id, usize)], sets: Option<&'a [Vec<Id>]>, id: Id) -> &'a [Id] {
+    const NO_AUX: &[Id] = &[];
+    let Some(sets) = sets else { return NO_AUX };
+    index
+        .binary_search_by_key(&id, |&(n, _)| n)
+        .map_or(NO_AUX, |pos| sets[index[pos].1].as_slice())
+}
 
 /// How item popularity rankings are distributed over nodes (§VI-A).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -140,43 +155,60 @@ pub fn run_stable(config: &StableConfig) -> StableReport {
         oblivious_sets.push(oblivious.aux);
     }
     // The aware DP solves are pure functions of (node, frequencies) — the
-    // hot inner loop of a stable run — and fan out over the pool. Order
-    // preservation in `par_map` keeps `aware_sets[idx]` aligned with
-    // `node_ids[idx]`.
-    let aware_sets: Vec<Vec<Id>> = peercache_par::par_map(&node_ids, |idx, &node| {
-        let freqs = &pool_weights[assignment.pool_index(idx)];
-        overlay
-            .select_aware(node, freqs, config.k)
-            .expect("stable problems are well-formed")
-            .aux
-    });
+    // hot inner loop of a stable run — and fan out over the pool in fixed
+    // chunks, each worker carrying one `SelectScratch` so every solve
+    // after a chunk's first reuses the warmed solver workspaces. Order
+    // preservation keeps `aware_sets[idx]` aligned with `node_ids[idx]`.
+    let aware_sets: Vec<Vec<Id>> =
+        peercache_par::par_map_chunked(&node_ids, SELECT_CHUNK, |start, chunk| {
+            let mut scratch = SelectScratch::new();
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(offset, &node)| {
+                    let freqs = &pool_weights[assignment.pool_index(start + offset)];
+                    overlay
+                        .select_aware_into(node, freqs, config.k, &mut scratch)
+                        .expect("stable problems are well-formed")
+                        .aux
+                })
+                .collect()
+        });
 
-    // Route the same query sequence under each strategy. Each pass gets
-    // its own overlay copy, so the three passes are independent and run
-    // in parallel; in stable mode routing never mutates the substrate
-    // (nothing dies, so no neighbor is ever forgotten), which makes the
-    // copies behaviourally identical to the historical sequential reuse.
+    // Route the same query sequence under each strategy. All three passes
+    // share ONE immutable overlay snapshot: auxiliary sets are resolved
+    // per pass from the side tables through `query_with_aux` instead of
+    // being installed into per-pass clones of the whole substrate. In
+    // stable mode routing never mutates the overlay (nothing dies, so no
+    // neighbor is ever forgotten), which makes the shared snapshot
+    // behaviourally identical to the historical clone-per-pass — minus
+    // three copies of every routing table.
     let per_node_workloads: Vec<NodeWorkload> = (0..config.nodes)
         .map(|idx| NodeWorkload::new(zipf.clone(), assignment.for_node(idx).clone()))
         .collect();
-    let measure = |mut overlay: SimOverlay, sets: Option<&[Vec<Id>]>| -> QueryMetrics {
-        for (idx, &node) in node_ids.iter().enumerate() {
-            let aux = sets.map(|s| s[idx].clone()).unwrap_or_default();
-            overlay.set_aux(node, aux);
-        }
+    // `node_ids` are in generation order; routing resolves aux by *id*.
+    let mut aux_index: Vec<(Id, usize)> = node_ids
+        .iter()
+        .enumerate()
+        .map(|(idx, &n)| (n, idx))
+        .collect();
+    aux_index.sort_unstable();
+    let measure = |sets: Option<&[Vec<Id>]>| -> QueryMetrics {
         let mut rng_queries = StdRng::seed_from_u64(config.seed.wrapping_add(2));
         let mut metrics = QueryMetrics::default();
         for _ in 0..config.queries {
             let origin_idx = rng_queries.gen_range(0..config.nodes);
             let item = per_node_workloads[origin_idx].sample_item(&mut rng_queries);
-            let outcome = overlay.query(node_ids[origin_idx], catalog.key(item));
+            let outcome = overlay.query_with_aux(node_ids[origin_idx], catalog.key(item), |id| {
+                aux_lookup(&aux_index, sets, id)
+            });
             metrics.record(outcome.success, outcome.hops, outcome.failed_probes);
         }
         metrics
     };
 
     let passes: [Option<&[Vec<Id>]>; 3] = [None, Some(&aware_sets), Some(&oblivious_sets)];
-    let results = peercache_par::par_map(&passes, |_, sets| measure(overlay.clone(), *sets));
+    let results = peercache_par::par_map(&passes, |_, sets| measure(*sets));
     let mut results = results.into_iter();
     let (Some(core_only), Some(aware), Some(oblivious)) =
         (results.next(), results.next(), results.next())

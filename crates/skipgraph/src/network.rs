@@ -78,12 +78,20 @@ pub struct SkipNode {
 impl SkipNode {
     /// All distinct known nodes (level links + auxiliaries).
     pub fn known_neighbors(&self) -> Vec<Id> {
+        self.known_neighbors_with(&self.aux)
+    }
+
+    /// [`known_neighbors`](Self::known_neighbors) with `extra` standing in
+    /// for the installed auxiliary set, so read-only routing can resolve
+    /// auxiliary pointers from a shared side table over one immutable
+    /// snapshot.
+    pub fn known_neighbors_with(&self, extra: &[Id]) -> Vec<Id> {
         let mut out: Vec<Id> = self
             .levels
             .iter()
             .flatten()
             .copied()
-            .chain(self.aux.iter().copied())
+            .chain(extra.iter().copied())
             .filter(|&n| n != self.id)
             .collect();
         out.sort();
@@ -409,6 +417,92 @@ impl SkipGraphNetwork {
                     .get_mut(&current.value())
                     .expect("route current node is live")
                     .forget(w);
+            }
+            match next {
+                Some(w) => {
+                    hops += 1;
+                    path.push(w);
+                    current = w;
+                }
+                None => {
+                    let outcome = if current == true_owner {
+                        SearchOutcome::Success
+                    } else {
+                        SearchOutcome::WrongOwner(current)
+                    };
+                    return Ok(SearchResult {
+                        outcome,
+                        hops,
+                        failed_probes,
+                        path,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Read-only [`search`](Self::search): auxiliary neighbors come from
+    /// `aux_of` instead of the installed per-node sets, and dead entries
+    /// probed along the way are counted as `failed_probes` but **not**
+    /// forgotten. With every node live — the stable-mode contract — the
+    /// walk is hop-for-hop identical to installing each `aux_of` set via
+    /// [`set_aux`](Self::set_aux) and calling `search`, which lets a
+    /// parallel sweep share one snapshot across threads.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn search_with_aux<'a, F>(
+        &'a self,
+        from: Id,
+        key: Id,
+        aux_of: F,
+    ) -> Result<SearchResult, NetworkError>
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        let space = self.config.space;
+        // `from` is live, so the graph is non-empty and the key has an
+        // owner; the else-branch is unreachable but typed.
+        let Some(true_owner) = self.true_owner(key) else {
+            return Err(NetworkError::NotPresent(from));
+        };
+        let mut current = from;
+        let mut hops = 0u32;
+        let mut failed_probes = 0u32;
+        let mut path = vec![from];
+        loop {
+            if hops >= self.config.hop_limit {
+                return Ok(SearchResult {
+                    outcome: SearchOutcome::HopLimit,
+                    hops,
+                    failed_probes,
+                    path,
+                });
+            }
+            if current == key {
+                return Ok(SearchResult {
+                    outcome: SearchOutcome::Success,
+                    hops,
+                    failed_probes,
+                    path,
+                });
+            }
+            let mut candidates: Vec<Id> = self.nodes[&current.value()]
+                .known_neighbors_with(aux_of(current))
+                .into_iter()
+                .filter(|&w| space.between_open_closed(current, w, key))
+                .collect();
+            candidates.sort_by_key(|&w| space.clockwise_distance(w, key));
+            let mut next = None;
+            for w in candidates {
+                if self.is_live(w) {
+                    next = Some(w);
+                    break;
+                }
+                failed_probes += 1;
             }
             match next {
                 Some(w) => {

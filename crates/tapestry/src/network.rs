@@ -81,13 +81,21 @@ impl TapestryNode {
 
     /// All distinct known nodes (table + auxiliaries, self excluded).
     pub fn known_neighbors(&self) -> Vec<Id> {
+        self.known_neighbors_with(&self.aux)
+    }
+
+    /// [`known_neighbors`](Self::known_neighbors) with `extra` standing in
+    /// for the installed auxiliary set, so read-only routing can resolve
+    /// auxiliary pointers from a shared side table over one immutable
+    /// snapshot.
+    pub fn known_neighbors_with(&self, extra: &[Id]) -> Vec<Id> {
         let mut out: Vec<Id> = self
             .rows
             .iter()
             .flatten()
             .flatten()
             .copied()
-            .chain(self.aux.iter().copied())
+            .chain(extra.iter().copied())
             .filter(|&n| n != self.id)
             .collect();
         out.sort();
@@ -387,10 +395,95 @@ impl TapestryNetwork {
         }
     }
 
+    /// Read-only [`route`](Self::route): auxiliary neighbors come from
+    /// `aux_of` instead of the installed per-node sets, and dead entries
+    /// probed along the way are counted as `failed_probes` but **not**
+    /// forgotten. With every node live — the stable-mode contract — the
+    /// walk is hop-for-hop identical to installing each `aux_of` set via
+    /// [`set_aux`](Self::set_aux) and calling `route`, which lets a
+    /// parallel sweep share one snapshot across threads. A dead next hop
+    /// is a hard dead end here (the snapshot cannot repair around it).
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn route_with_aux<'a, F>(
+        &'a self,
+        from: Id,
+        key: Id,
+        aux_of: F,
+    ) -> Result<RouteResult, NetworkError>
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        // `from` is live, so the overlay is non-empty and the key has an
+        // owner; the else-branch is unreachable but typed.
+        let Some(true_owner) = self.true_owner(key) else {
+            return Err(NetworkError::NotPresent(from));
+        };
+        let mut current = from;
+        let mut hops = 0u32;
+        let mut failed_probes = 0u32;
+        let mut path = vec![from];
+        loop {
+            if hops >= self.config.hop_limit {
+                return Ok(RouteResult {
+                    outcome: RouteOutcome::HopLimit,
+                    hops,
+                    failed_probes,
+                    path,
+                });
+            }
+            match self.next_hop_with(current, key, aux_of(current)) {
+                Some(next) if self.is_live(next) => {
+                    hops += 1;
+                    path.push(next);
+                    current = next;
+                }
+                Some(_) => {
+                    failed_probes += 1;
+                    return Ok(RouteResult {
+                        outcome: RouteOutcome::DeadEnd(current),
+                        hops,
+                        failed_probes,
+                        path,
+                    });
+                }
+                None => {
+                    let outcome = if current == true_owner {
+                        RouteOutcome::Success
+                    } else if self.nodes[&current.value()]
+                        .known_neighbors_with(aux_of(current))
+                        .is_empty()
+                        && self.len() > 1
+                    {
+                        RouteOutcome::DeadEnd(current)
+                    } else {
+                        RouteOutcome::WrongOwner(current)
+                    };
+                    return Ok(RouteResult {
+                        outcome,
+                        hops,
+                        failed_probes,
+                        path,
+                    });
+                }
+            }
+        }
+    }
+
     /// The forwarding decision at `current`: auxiliary/table shortcut on
     /// maximal prefix progress first (§III-1), then the surrogate loop.
     /// `None` means `current` believes it is the root.
     fn next_hop(&self, current: Id, key: Id) -> Option<Id> {
+        self.next_hop_with(current, key, &self.nodes[&current.value()].aux)
+    }
+
+    /// [`next_hop`](Self::next_hop) with `extra` standing in for the
+    /// auxiliary set of `current`.
+    fn next_hop_with(&self, current: Id, key: Id, extra: &[Id]) -> Option<Id> {
         if current == key {
             return None;
         }
@@ -398,7 +491,7 @@ impl TapestryNetwork {
         let l = self.lcp(current, key);
         // Prefix-progress candidates (table entries + auxiliaries).
         let best = node
-            .known_neighbors()
+            .known_neighbors_with(extra)
             .into_iter()
             .filter(|&w| self.lcp(w, key) > l)
             .max_by_key(|&w| (self.lcp(w, key), std::cmp::Reverse(w)));
