@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure, RouteTrace};
 use peercache_id::{Id, IdSpace};
 
 use crate::node::ChordNode;
@@ -587,6 +588,124 @@ impl ChordNetwork {
                 failed_probes,
                 path,
             });
+        }
+    }
+
+    /// Fault-injected read-only lookup: every contact goes through
+    /// `plan`'s probe channel (crash/loss/unresponsive with bounded
+    /// retry), auxiliary pointers are resolved through its staleness
+    /// channel, and the walk records everything in a
+    /// [`RouteTrace`](peercache_faults::RouteTrace).
+    ///
+    /// Degradation semantics mirror [`lookup`](Self::lookup): candidates
+    /// that time out are excluded *locally* (the walk is read-only — a
+    /// repairing caller evicts `trace.dead_probed` afterwards), and the
+    /// final ownership check reads the successor view those exclusions
+    /// leave behind, exactly as `lookup` reads it after forgetting. Under
+    /// a non-transparent plan, the first timed-out **auxiliary-only**
+    /// candidate at a hop falls the decision back to core candidates
+    /// (`trace.fallbacks`); under a transparent plan the walk is
+    /// bit-identical to [`lookup_with_aux`](Self::lookup_with_aux).
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn lookup_with_aux_faults<'a, F>(
+        &'a self,
+        from: Id,
+        key: Id,
+        aux_of: F,
+        plan: &FaultPlan,
+    ) -> Result<FaultedRoute, NetworkError>
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        let space = self.config.space;
+        let Some(true_owner) = self.true_owner(key) else {
+            return Err(NetworkError::NotPresent(from));
+        };
+        if plan.node_crashed(from) {
+            return Ok(FaultedRoute::origin_down(from));
+        }
+        let mut current = from;
+        let mut trace = RouteTrace::start(from);
+        let mut aux_buf: Vec<Id> = Vec::new();
+        let mut dead_local: Vec<Id> = Vec::new();
+        loop {
+            if trace.hops >= self.config.hop_limit {
+                return Ok(FaultedRoute {
+                    outcome: Err(LookupFailure::HopLimit),
+                    trace,
+                });
+            }
+            if current == key {
+                return Ok(FaultedRoute {
+                    outcome: Ok(current),
+                    trace,
+                });
+            }
+            let node = &self.nodes[&current.value()];
+            plan.resolve_aux(space, current, aux_of(current), &mut aux_buf);
+            let mut candidates: Vec<Id> = node
+                .known_neighbors_with(&aux_buf)
+                .into_iter()
+                .filter(|&w| space.between_open_closed(current, w, key))
+                .collect();
+            candidates.sort_by_key(|&w| space.clockwise_distance(w, key));
+            // Sorted core view, for spotting aux-only candidates.
+            let core = node.known_neighbors_with(&[]);
+            let mut aux_banned = false;
+            dead_local.clear();
+            let mut next = None;
+            for w in candidates {
+                let aux_only = core.binary_search(&w).is_err();
+                if aux_banned && aux_only {
+                    continue;
+                }
+                if plan.probe(current, w, trace.hops, self.is_live(w), &mut trace) {
+                    next = Some(w);
+                    break;
+                }
+                dead_local.push(w);
+                if aux_only && !aux_banned && !plan.is_transparent() {
+                    aux_banned = true;
+                    trace.fallbacks += 1;
+                }
+            }
+            if let Some(w) = next {
+                trace.hops += 1;
+                trace.path.push(w);
+                current = w;
+                continue;
+            }
+            // `lookup` forgets the dead candidates it probed before
+            // reading `successor()`; skipping exactly those entries
+            // reproduces that post-repair successor view read-only.
+            let believed = node.successors.iter().find(|s| !dead_local.contains(s));
+            let owns = match believed {
+                None => true,
+                Some(&s) => space.between_closed_open(current, key, s),
+            };
+            let outcome = if current == true_owner {
+                Ok(current)
+            } else if owns {
+                Err(LookupFailure::WrongOwner(current))
+            } else {
+                Err(LookupFailure::DeadEnd(current))
+            };
+            return Ok(FaultedRoute { outcome, trace });
+        }
+    }
+
+    /// Evict `dead` from `id`'s routing structures. The fault-injected
+    /// walks are read-only, so a repairing caller (the churn driver)
+    /// applies their `dead_probed` pairs here afterwards. No-op when
+    /// `id` is not live.
+    pub fn forget_neighbor(&mut self, id: Id, dead: Id) {
+        if let Some(node) = self.nodes.get_mut(&id.value()) {
+            node.forget(dead);
         }
     }
 }

@@ -1,0 +1,86 @@
+//! Incremental membership tracking for the churn driver.
+//!
+//! Replaces the driver's per-query rebuild of a "live indices" scratch
+//! vector: flips update the sorted live list in place, and uniform
+//! origin sampling indexes it directly — the same ascending order the
+//! rebuild produced, so RNG draws map to identical origins.
+
+/// A set of node slots, each alive or dead, with the live slots
+/// maintained as a sorted index list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Liveness {
+    alive: Vec<bool>,
+    live: Vec<usize>,
+}
+
+impl Liveness {
+    /// Track the slots of `alive`, ascending.
+    pub fn new(alive: &[bool]) -> Self {
+        Liveness {
+            alive: alive.to_vec(),
+            live: (0..alive.len()).filter(|&i| alive[i]).collect(),
+        }
+    }
+
+    /// Whether slot `idx` is alive (out-of-range slots are dead).
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.alive.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Flip slot `idx` to `alive`, keeping the live list sorted. No-op
+    /// when the slot is already in the requested state or out of range.
+    pub fn set(&mut self, idx: usize, alive: bool) {
+        if idx >= self.alive.len() || self.alive[idx] == alive {
+            return;
+        }
+        self.alive[idx] = alive;
+        match self.live.binary_search(&idx) {
+            Ok(pos) if !alive => {
+                self.live.remove(pos);
+            }
+            Err(pos) if alive => {
+                self.live.insert(pos, idx);
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of live slots.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The `pos`-th live slot in ascending order.
+    ///
+    /// # Panics
+    /// Panics when `pos >= live_count()` — callers sample `pos`
+    /// uniformly from `0..live_count()`.
+    pub fn live_at(&self, pos: usize) -> usize {
+        self.live[pos]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_flips_in_sorted_order() {
+        let mut l = Liveness::new(&[true, false, true, true]);
+        assert_eq!(l.live_count(), 3);
+        assert_eq!((0..3).map(|p| l.live_at(p)).collect::<Vec<_>>(), [0, 2, 3]);
+        l.set(1, true);
+        assert_eq!(
+            (0..4).map(|p| l.live_at(p)).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+        l.set(2, false);
+        l.set(2, false); // idempotent
+        assert!(!l.is_alive(2));
+        assert!(l.is_alive(3));
+        assert_eq!((0..3).map(|p| l.live_at(p)).collect::<Vec<_>>(), [0, 1, 3]);
+        l.set(99, true); // out of range: ignored
+        assert_eq!(l.live_count(), 3);
+        assert!(!l.is_alive(99));
+    }
+}

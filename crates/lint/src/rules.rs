@@ -241,7 +241,7 @@ const NUMERIC_TYPES: [&str; 14] = [
 
 /// The crates bound by the PR 2 determinism contract (parallel sweeps
 /// bit-identical to serial); rule L6 applies to their library code.
-const DETERMINISTIC_CRATES: [&str; 7] = [
+const DETERMINISTIC_CRATES: [&str; 8] = [
     "core",
     "sim",
     "chord",
@@ -249,6 +249,7 @@ const DETERMINISTIC_CRATES: [&str; 7] = [
     "tapestry",
     "skipgraph",
     "par",
+    "faults",
 ];
 
 /// Run every applicable per-file rule over one source text and return
@@ -274,7 +275,7 @@ pub fn check_tokens(ctx: &FileCtx, lines: &[ScannedLine], toks: &[Tok]) -> Vec<V
     let l4 = lib && (ctx.in_crate("id") || ctx.in_crate("freq") || ctx.in_crate("core"));
     let l5 = lib;
     let l6 = lib && DETERMINISTIC_CRATES.iter().any(|c| ctx.in_crate(c));
-    let l8 = lib && (ctx.in_crate("core") || ctx.in_crate("sim"));
+    let l8 = lib && (ctx.in_crate("core") || ctx.in_crate("sim") || ctx.in_crate("faults"));
 
     let tested = |line: usize| in_test.get(line).copied().unwrap_or(false);
 

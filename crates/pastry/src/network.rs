@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure, RouteTrace};
 use peercache_id::{Id, IdSpace};
 use rand::Rng;
 
@@ -188,10 +189,17 @@ impl PastryNetwork {
         self.nodes.get(&id.value())
     }
 
-    /// Synthetic latency between two live nodes.
+    /// Synthetic latency between two hosts. An id with no coordinates —
+    /// possible only for a corrupted (stale-displaced) auxiliary pointer,
+    /// since failed nodes keep theirs — is infinitely far: it loses every
+    /// locality tie-break but stays eligible on prefix progress, and the
+    /// probe to it then times out.
     pub fn proximity(&self, a: Id, b: Id) -> f64 {
-        let (ax, ay) = self.coords[&a.value()];
-        let (bx, by) = self.coords[&b.value()];
+        let (Some(&(ax, ay)), Some(&(bx, by))) =
+            (self.coords.get(&a.value()), self.coords.get(&b.value()))
+        else {
+            return f64::INFINITY;
+        };
         ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
     }
 
@@ -588,6 +596,114 @@ impl PastryNetwork {
         }
     }
 
+    /// Fault-injected read-only [`route`](Self::route): every contact
+    /// goes through `plan`'s probe channel (crash/loss/unresponsive with
+    /// bounded retry), auxiliary pointers are resolved through its
+    /// staleness channel, and the walk records everything in a
+    /// [`RouteTrace`](peercache_faults::RouteTrace).
+    ///
+    /// Unlike [`route_with_aux`](Self::route_with_aux) — which stops hard
+    /// at the first dead next hop — this mirrors the *mutating* walk's
+    /// degradation semantics: a timed-out hop is excluded (the read-only
+    /// stand-in for `forget`; a repairing caller evicts
+    /// `trace.dead_probed` afterwards) and the decision re-runs. Under a
+    /// non-transparent plan, the first timed-out **auxiliary-only**
+    /// candidate at a node bans the remaining auxiliary pointers there,
+    /// falling back to core routing state (`trace.fallbacks`); under a
+    /// transparent plan the walk is bit-identical to `route_with_aux`.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn route_with_aux_faults<'a, F>(
+        &'a self,
+        from: Id,
+        key: Id,
+        aux_of: F,
+        plan: &FaultPlan,
+    ) -> Result<FaultedRoute, NetworkError>
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        let Some(true_owner) = self.true_owner(key) else {
+            return Err(NetworkError::NotPresent(from));
+        };
+        if plan.node_crashed(from) {
+            return Ok(FaultedRoute::origin_down(from));
+        }
+        let mut current = from;
+        let mut trace = RouteTrace::start(from);
+        let mut aux_buf: Vec<Id> = Vec::new();
+        let mut aux_banned = false;
+        plan.resolve_aux(self.config.space, current, aux_of(current), &mut aux_buf);
+        loop {
+            if trace.hops >= self.config.hop_limit {
+                return Ok(FaultedRoute {
+                    outcome: Err(LookupFailure::HopLimit),
+                    trace,
+                });
+            }
+            let extra: &[Id] = if aux_banned { &[] } else { &aux_buf };
+            match self.next_hop_excluding(current, key, extra, &trace.dead_probed) {
+                None => {
+                    let excluded = |w: Id| {
+                        trace
+                            .dead_probed
+                            .iter()
+                            .any(|&(p, t)| p == current && t == w)
+                    };
+                    let outcome = if current == true_owner {
+                        Ok(current)
+                    } else if self.nodes[&current.value()]
+                        .known_neighbors_with(extra)
+                        .iter()
+                        .any(|&w| {
+                            !excluded(w)
+                                && (self.ring_abs(w, key), w.value())
+                                    < (self.ring_abs(current, key), current.value())
+                        })
+                    {
+                        Err(LookupFailure::DeadEnd(current))
+                    } else {
+                        Err(LookupFailure::WrongOwner(current))
+                    };
+                    return Ok(FaultedRoute { outcome, trace });
+                }
+                Some(next) => {
+                    if plan.probe(current, next, trace.hops, self.is_live(next), &mut trace) {
+                        trace.hops += 1;
+                        trace.path.push(next);
+                        current = next;
+                        aux_banned = false;
+                        plan.resolve_aux(self.config.space, current, aux_of(current), &mut aux_buf);
+                    } else if !plan.is_transparent() && !aux_banned {
+                        // Probe failure already excluded `next` via
+                        // `trace.dead_probed`; if it was a cached pointer
+                        // (absent from the core tables), ban the rest of
+                        // the aux set here and fall back to core state.
+                        let core = self.nodes[&current.value()].known_neighbors_with(&[]);
+                        if core.binary_search(&next).is_err() {
+                            aux_banned = true;
+                            trace.fallbacks += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evict `dead` from `id`'s routing structures. The fault-injected
+    /// walks are read-only, so a repairing caller (the churn driver)
+    /// applies their `dead_probed` pairs here afterwards. No-op when
+    /// `id` is not live.
+    pub fn forget_neighbor(&mut self, id: Id, dead: Id) {
+        if let Some(node) = self.nodes.get_mut(&id.value()) {
+            node.forget(dead);
+        }
+    }
+
     /// The forwarding decision at `current` for `key` (None = `current`
     /// believes it is the destination).
     fn next_hop(&self, current: Id, key: Id) -> Option<Id> {
@@ -597,19 +713,41 @@ impl PastryNetwork {
     /// [`next_hop`](Self::next_hop) with `extra` standing in for the
     /// auxiliary set of `current`.
     fn next_hop_with(&self, current: Id, key: Id, extra: &[Id]) -> Option<Id> {
+        self.next_hop_excluding(current, key, extra, &[])
+    }
+
+    /// The forwarding decision with `dead` exclusions applied: every
+    /// `(prober, target)` pair with `prober == current` is treated as
+    /// already forgotten. This is how the read-only fault-injected walk
+    /// reproduces the mutating walk's forget-and-retry semantics — the
+    /// mutating walk erases a timed-out entry from `current`'s tables
+    /// and re-decides; this filters it instead. With no exclusions the
+    /// decision is exactly [`next_hop_with`](Self::next_hop_with).
+    fn next_hop_excluding(
+        &self,
+        current: Id,
+        key: Id,
+        extra: &[Id],
+        dead: &[(Id, Id)],
+    ) -> Option<Id> {
         if current == key {
             return None;
         }
+        let excluded = |w: Id| dead.iter().any(|&(p, t)| p == current && t == w);
         let node = &self.nodes[&current.value()];
-        let known = node.known_neighbors_with(extra);
+        let mut known = node.known_neighbors_with(extra);
+        known.retain(|&w| !excluded(w));
         if known.is_empty() {
             return None;
         }
         let cur_key = (self.ring_abs(current, key), current.value());
 
         // 1. Leaf-set short-circuit: if the key falls within the arc the
-        //    leaf set covers, jump straight to the numerically closest.
-        if let (Some(&ccw_most), Some(&cw_most)) = (node.leaves.first(), node.leaves.last()) {
+        //    (surviving) leaf set covers, jump straight to the
+        //    numerically closest.
+        let ccw_most = node.leaves.iter().copied().find(|&w| !excluded(w));
+        let cw_most = node.leaves.iter().copied().rev().find(|&w| !excluded(w));
+        if let (Some(ccw_most), Some(cw_most)) = (ccw_most, cw_most) {
             let space = self.config.space;
             let arc = space.clockwise_distance(ccw_most, cw_most);
             if space.clockwise_distance(ccw_most, key) <= arc {
@@ -617,6 +755,7 @@ impl PastryNetwork {
                     .leaves
                     .iter()
                     .copied()
+                    .filter(|&w| !excluded(w))
                     .map(|w| (self.ring_abs(w, key), w.value()))
                     .min();
                 return match best {

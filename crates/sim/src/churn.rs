@@ -10,6 +10,7 @@
 //! randomness) is replayed for the frequency-aware and the
 //! frequency-oblivious strategies, so the comparison is paired.
 
+use peercache_faults::{FaultConfig, FaultPlan, Liveness, LookupFailure};
 use peercache_freq::{ExactCounter, FrequencyEstimator};
 use peercache_id::{Id, IdSpace};
 use peercache_workload::{random_ids, ItemCatalog, NodeWorkload, RankingAssignment, Zipf};
@@ -18,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
 use crate::engine::{exp_sample, EventQueue};
-use crate::metrics::{reduction_pct, QueryMetrics};
+use crate::metrics::{reduction_pct, FaultMetrics, QueryMetrics};
 use crate::overlay::{OverlayKind, SelectScratch, SimOverlay};
 use crate::stable::RankingMode;
 
@@ -53,6 +54,9 @@ pub struct ChurnConfig {
     pub warmup: f64,
     /// Master seed.
     pub seed: u64,
+    /// Injected fault rates; [`FaultConfig::none`] reproduces the
+    /// fault-free driver bit for bit.
+    pub faults: FaultConfig,
 }
 
 impl ChurnConfig {
@@ -74,6 +78,7 @@ impl ChurnConfig {
             duration: 7200.0,
             warmup: 1800.0,
             seed,
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -108,9 +113,29 @@ pub struct ChurnReport {
 
 /// Run one strategy through the full event schedule.
 ///
+/// A thin wrapper over [`run_churn_once_faulted`]: the fault layer *is*
+/// the churn driver's probe path now, so the fault-free metrics are the
+/// `base` slice of the faulted ones (with [`ChurnConfig::faults`]
+/// transparent, every probe resolves to the plain liveness check).
+///
 /// # Panics
 /// Panics on nonsensical configurations (zero nodes, non-positive rates).
 pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics {
+    run_churn_once_faulted(config, strategy).base
+}
+
+/// Run one strategy through the full event schedule with fault
+/// injection, reporting degradation counters alongside the base metrics.
+///
+/// Every probe — including the plain "is this neighbor alive" check the
+/// pre-fault driver did ad hoc — goes through the walk's
+/// [`FaultPlan`] channel; dead neighbors discovered en route are evicted
+/// from the prober's tables afterwards, exactly like the mutating walks'
+/// in-route `forget`.
+///
+/// # Panics
+/// Panics on nonsensical configurations (zero nodes, non-positive rates).
+pub fn run_churn_once_faulted(config: &ChurnConfig, strategy: Strategy) -> FaultMetrics {
     assert!(config.nodes > 0 && config.items > 0);
     assert!(config.query_rate > 0.0 && config.mean_lifetime > 0.0);
     let space = IdSpace::new(config.bits).expect("valid id width");
@@ -143,7 +168,8 @@ pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics 
         .map(|(&id, _)| id)
         .collect();
     let mut overlay = SimOverlay::build(config.kind, space, &initial, &mut rng_topology);
-    let mut alive = alive_init;
+    let mut liveness = Liveness::new(&alive_init);
+    let plan = FaultPlan::new(config.seed, &config.faults);
 
     let index_of: std::collections::BTreeMap<Id, usize> = node_ids
         .iter()
@@ -171,11 +197,10 @@ pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics 
         );
     }
 
-    let mut metrics = QueryMetrics::default();
-    // Reused across events: the live-origin scratch (a per-query
-    // allocation otherwise) and the solver workspaces for the aware
-    // recomputes.
-    let mut live: Vec<usize> = Vec::with_capacity(config.nodes);
+    let mut metrics = FaultMetrics::default();
+    // Reused across events: the solver workspaces for the aware
+    // recomputes (live-origin sampling is now O(log n) through the
+    // incrementally maintained `Liveness` set).
     let mut select_scratch = SelectScratch::new();
     while let Some((now, event)) = queue.pop() {
         if now > config.duration {
@@ -188,29 +213,37 @@ pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics 
                     Event::Query,
                 );
                 // Uniform live origin; skip the beat if the ring is empty.
-                live.clear();
-                live.extend((0..config.nodes).filter(|&i| alive[i]));
-                if live.is_empty() {
+                if liveness.live_count() == 0 {
                     continue;
                 }
-                let origin_idx = live[rng_queries.gen_range(0..live.len())];
+                let origin_idx = liveness.live_at(rng_queries.gen_range(0..liveness.live_count()));
                 let item = workloads[origin_idx].sample_item(&mut rng_queries);
                 let key = catalog.key(item);
-                let (outcome, path) = overlay.query_with_path(node_ids[origin_idx], key);
-                if outcome.success {
+                let route = overlay.query_faulted(node_ids[origin_idx], key, &plan);
+                // Neighbors that timed out are evicted from their
+                // prober's tables, as the mutating walks do in-route.
+                for &(prober, dead) in &route.trace.dead_probed {
+                    overlay.forget_entry(prober, dead);
+                }
+                if route.is_success() {
                     // Every node that saw the query — origin and
                     // forwarders alike — learns which node held the item
                     // (§III: "the set of nodes for which s has seen
                     // queries").
-                    let owner = *path.last().expect("path starts at origin");
-                    for hop in &path {
-                        if let Some(&i) = index_of.get(hop) {
-                            counters[i].observe(owner);
+                    if let Some(&owner) = route.trace.path.last() {
+                        for hop in &route.trace.path {
+                            if let Some(&i) = index_of.get(hop) {
+                                counters[i].observe(owner);
+                            }
                         }
                     }
                 }
                 if now >= config.warmup {
-                    metrics.record(outcome.success, outcome.hops, outcome.failed_probes);
+                    if matches!(route.outcome, Err(LookupFailure::OriginDown(_))) {
+                        metrics.record_origin_down();
+                    } else {
+                        metrics.record(&route);
+                    }
                 }
             }
             Event::Flip(idx) => {
@@ -218,26 +251,26 @@ pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics 
                     exp_sample(config.mean_lifetime, &mut rng_churn),
                     Event::Flip(idx),
                 );
-                if alive[idx] {
+                if liveness.is_alive(idx) {
                     // Never kill the last node.
                     if overlay.live_ids().len() > 1 {
                         overlay.fail(node_ids[idx]);
-                        alive[idx] = false;
+                        liveness.set(idx, false);
                     }
                 } else {
                     overlay.join(node_ids[idx], &mut rng_churn);
-                    alive[idx] = true;
+                    liveness.set(idx, true);
                 }
             }
             Event::Stabilize(idx) => {
                 queue.schedule_in(config.stabilize_interval, Event::Stabilize(idx));
-                if alive[idx] {
+                if liveness.is_alive(idx) {
                     overlay.stabilize(node_ids[idx]);
                 }
             }
             Event::Recompute(idx) => {
                 queue.schedule_in(config.recompute_interval, Event::Recompute(idx));
-                if !alive[idx] {
+                if !liveness.is_alive(idx) {
                     continue;
                 }
                 let node = node_ids[idx];
@@ -280,6 +313,34 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnReport {
     };
     let reduction = reduction_pct(aware.avg_hops(), oblivious.avg_hops());
     ChurnReport {
+        aware,
+        oblivious,
+        reduction_pct: reduction,
+    }
+}
+
+/// The outcome of one fault-injected churn-mode comparison.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ChurnFaultReport {
+    /// Fault metrics under the frequency-aware strategy.
+    pub aware: FaultMetrics,
+    /// Fault metrics under the frequency-oblivious baseline.
+    pub oblivious: FaultMetrics,
+    /// % reduction in average hops, aware vs oblivious.
+    pub reduction_pct: f64,
+}
+
+/// [`run_churn`] with fault injection: identical paired schedules, two
+/// strategies, full degradation counters per side.
+pub fn run_churn_faulted(config: &ChurnConfig) -> ChurnFaultReport {
+    let strategies = [Strategy::Aware, Strategy::Oblivious];
+    let results = peercache_par::par_map(&strategies, |_, &s| run_churn_once_faulted(config, s));
+    let mut results = results.into_iter();
+    let (Some(aware), Some(oblivious)) = (results.next(), results.next()) else {
+        unreachable!("par_map yields one result per strategy");
+    };
+    let reduction = reduction_pct(aware.base.avg_hops(), oblivious.base.avg_hops());
+    ChurnFaultReport {
         aware,
         oblivious,
         reduction_pct: reduction,

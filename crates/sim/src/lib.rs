@@ -12,6 +12,8 @@
 //! * [`churn`] — the churn-mode driver (§VI-C: exponential alive/dead
 //!   periods, periodic stabilization and auxiliary recomputation, paired
 //!   schedules across strategies).
+//! * [`faults`] — the fault-matrix sweep over the deterministic
+//!   fault-injection layer (loss × staleness × crash).
 //! * [`experiments`] — one runner per figure of the paper's evaluation.
 
 #![forbid(unsafe_code)]
@@ -20,12 +22,19 @@
 pub mod churn;
 pub mod engine;
 pub mod experiments;
+pub mod faults;
 pub mod metrics;
 pub mod overlay;
 pub mod stable;
 
-pub use churn::{run_churn, run_churn_once, ChurnConfig, ChurnReport, Strategy};
+pub use churn::{
+    run_churn, run_churn_faulted, run_churn_once, run_churn_once_faulted, ChurnConfig,
+    ChurnFaultReport, ChurnReport, Strategy,
+};
 pub use experiments::{fig3, fig4, fig5, fig6, render_table, FigureRow, Scale};
-pub use metrics::{reduction_pct, QueryMetrics};
+pub use faults::{fault_matrix, FaultMatrixCell, FaultMatrixConfig};
+pub use metrics::{reduction_pct, FaultMetrics, QueryMetrics};
 pub use overlay::{OverlayKind, QueryOutcome, SimOverlay};
-pub use stable::{run_stable, RankingMode, StableConfig, StableReport};
+pub use stable::{
+    run_stable, run_stable_faulted, RankingMode, StableConfig, StableFaultReport, StableReport,
+};

@@ -85,6 +85,56 @@ impl QueryMetrics {
     }
 }
 
+/// [`QueryMetrics`] plus the degradation counters a fault-injected walk
+/// reports through its [`RouteTrace`](peercache_faults::RouteTrace).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct FaultMetrics {
+    /// The fault-oblivious aggregate (issued/succeeded/hops/probe
+    /// timeouts), so every zero-fault run lines up with [`QueryMetrics`]
+    /// field for field.
+    pub base: QueryMetrics,
+    /// Probe attempts sent, including retries.
+    pub probes: u64,
+    /// Retransmissions after a lost or unanswered probe.
+    pub retries: u64,
+    /// Probes abandoned after the retry budget (= dead neighbors hit).
+    pub timeouts: u64,
+    /// Aux→core fallbacks taken after an aux-only pointer failed.
+    pub fallbacks: u64,
+    /// Deterministic virtual time spent in backoff and delivery jitter.
+    pub delay_ticks: u64,
+    /// Queries dropped because the origin itself was down.
+    pub origin_down: u64,
+}
+
+impl FaultMetrics {
+    /// Record one fault-injected route.
+    pub fn record(&mut self, route: &peercache_faults::FaultedRoute) {
+        let trace = &route.trace;
+        self.base
+            .record(route.is_success(), trace.hops, trace.timeouts);
+        self.probes += u64::from(trace.probes);
+        self.retries += u64::from(trace.retries);
+        self.timeouts += u64::from(trace.timeouts);
+        self.fallbacks += u64::from(trace.fallbacks);
+        self.delay_ticks += trace.delay_ticks;
+    }
+
+    /// Record a query that never launched: the origin was crashed or
+    /// already gone from the overlay. Not counted as issued.
+    pub fn record_origin_down(&mut self) {
+        self.origin_down += 1;
+    }
+
+    /// Mean retries per issued query.
+    pub fn avg_retries(&self) -> f64 {
+        if self.base.issued == 0 {
+            return 0.0;
+        }
+        self.retries as f64 / self.base.issued as f64
+    }
+}
+
 /// The paper's headline metric: percentage reduction in average hops of
 /// the frequency-aware scheme relative to the frequency-oblivious one.
 pub fn reduction_pct(aware_avg_hops: f64, oblivious_avg_hops: f64) -> f64 {

@@ -5,6 +5,7 @@
 use peercache_chord::{ChordConfig, ChordNetwork};
 use peercache_core::{baseline, chord, pastry, Candidate, ChordProblem, PastryProblem};
 use peercache_core::{SelectError, Selection};
+use peercache_faults::{FaultPlan, FaultedRoute};
 use peercache_freq::FrequencySnapshot;
 use peercache_id::{Id, IdSpace};
 use peercache_pastry::{PastryConfig, PastryNetwork, RoutingMode};
@@ -260,6 +261,80 @@ impl SimOverlay {
                 hops: 0,
                 failed_probes: 0,
             },
+        }
+    }
+
+    /// Route one query **read-only** through the fault layer: every
+    /// contact goes through `plan`'s probe channel and each node's
+    /// auxiliary pointers are resolved via `aux_of` and `plan`'s
+    /// staleness channel. With a transparent plan this is bit-identical
+    /// to [`query_with_aux`](Self::query_with_aux) (the differential
+    /// tests enforce it); with faults the walk degrades per the
+    /// substrate's retry/fallback semantics and reports a full
+    /// [`RouteTrace`](peercache_faults::RouteTrace).
+    ///
+    /// Total: a substrate-dead or plan-crashed origin yields
+    /// [`LookupFailure::OriginDown`](peercache_faults::LookupFailure::OriginDown).
+    pub fn query_with_aux_faults<'a, F>(
+        &'a self,
+        from: Id,
+        key: Id,
+        aux_of: F,
+        plan: &FaultPlan,
+    ) -> FaultedRoute
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        let routed = match self {
+            SimOverlay::Chord(net) => net.lookup_with_aux_faults(from, key, aux_of, plan).ok(),
+            SimOverlay::Pastry(net) => net.route_with_aux_faults(from, key, aux_of, plan).ok(),
+            SimOverlay::Tapestry(net) => net.route_with_aux_faults(from, key, aux_of, plan).ok(),
+            SimOverlay::SkipGraph(net) => net.search_with_aux_faults(from, key, aux_of, plan).ok(),
+        };
+        routed.unwrap_or_else(|| FaultedRoute::origin_down(from))
+    }
+
+    /// [`query_with_aux_faults`](Self::query_with_aux_faults) over the
+    /// **installed** per-node auxiliary sets — the churn driver's route
+    /// path, where `set_aux` state is live and there is no side table.
+    pub fn query_faulted(&self, from: Id, key: Id, plan: &FaultPlan) -> FaultedRoute {
+        match self {
+            SimOverlay::Chord(net) => self.query_with_aux_faults(
+                from,
+                key,
+                |id| net.node(id).map_or(&[] as &[Id], |n| n.aux.as_slice()),
+                plan,
+            ),
+            SimOverlay::Pastry(net) => self.query_with_aux_faults(
+                from,
+                key,
+                |id| net.node(id).map_or(&[] as &[Id], |n| n.aux.as_slice()),
+                plan,
+            ),
+            SimOverlay::Tapestry(net) => self.query_with_aux_faults(
+                from,
+                key,
+                |id| net.node(id).map_or(&[] as &[Id], |n| n.aux.as_slice()),
+                plan,
+            ),
+            SimOverlay::SkipGraph(net) => self.query_with_aux_faults(
+                from,
+                key,
+                |id| net.node(id).map_or(&[] as &[Id], |n| n.aux.as_slice()),
+                plan,
+            ),
+        }
+    }
+
+    /// Evict `dead` from `node`'s routing structures — how a driver
+    /// applies a fault walk's `dead_probed` pairs (the read-only stand-in
+    /// for the mutating walks' in-route `forget`).
+    pub fn forget_entry(&mut self, node: Id, dead: Id) {
+        match self {
+            SimOverlay::Chord(net) => net.forget_neighbor(node, dead),
+            SimOverlay::Pastry(net) => net.forget_neighbor(node, dead),
+            SimOverlay::Tapestry(net) => net.forget_neighbor(node, dead),
+            SimOverlay::SkipGraph(net) => net.forget_neighbor(node, dead),
         }
     }
 

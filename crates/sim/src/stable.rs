@@ -7,6 +7,7 @@
 //! frequency-oblivious baseline is free of estimation noise. Lookups are
 //! then sampled and routed through the real overlay to measure hops.
 
+use peercache_faults::{FaultConfig, FaultPlan, LookupFailure};
 use peercache_freq::FrequencySnapshot;
 use peercache_id::{Id, IdSpace};
 use peercache_workload::{random_ids, ItemCatalog, NodeWorkload, RankingAssignment, Zipf};
@@ -14,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-use crate::metrics::{reduction_pct, QueryMetrics};
+use crate::metrics::{reduction_pct, FaultMetrics, QueryMetrics};
 use crate::overlay::{OverlayKind, SelectScratch, SimOverlay};
 
 /// Nodes per parallel selection task. Chunking is by fixed size — never by
@@ -103,12 +104,82 @@ pub struct StableReport {
     pub reduction_pct: f64,
 }
 
+/// Everything a measurement pass needs, built once per run: the frozen
+/// overlay snapshot plus both strategies' selected auxiliary sets.
+///
+/// Extracted so the fault-free and fault-injected drivers share one
+/// construction path — RNG stream consumption order is part of the
+/// reproducibility contract and must not fork between them.
+struct StableSetup {
+    node_ids: Vec<Id>,
+    catalog: ItemCatalog,
+    overlay: SimOverlay,
+    aware_sets: Vec<Vec<Id>>,
+    oblivious_sets: Vec<Vec<Id>>,
+    per_node_workloads: Vec<NodeWorkload>,
+    aux_index: Vec<(Id, usize)>,
+}
+
 /// Run one stable-mode comparison.
 ///
 /// # Panics
 /// Panics on nonsensical configurations (zero nodes/items, α invalid) —
 /// these are experiment definitions, not runtime inputs.
 pub fn run_stable(config: &StableConfig) -> StableReport {
+    let setup = build_stable(config);
+    let StableSetup {
+        node_ids,
+        catalog,
+        overlay,
+        aware_sets,
+        oblivious_sets,
+        per_node_workloads,
+        aux_index,
+    } = &setup;
+
+    // Route the same query sequence under each strategy. All three passes
+    // share ONE immutable overlay snapshot: auxiliary sets are resolved
+    // per pass from the side tables through `query_with_aux` instead of
+    // being installed into per-pass clones of the whole substrate. In
+    // stable mode routing never mutates the overlay (nothing dies, so no
+    // neighbor is ever forgotten), which makes the shared snapshot
+    // behaviourally identical to the historical clone-per-pass — minus
+    // three copies of every routing table.
+    let measure = |sets: Option<&[Vec<Id>]>| -> QueryMetrics {
+        let mut rng_queries = StdRng::seed_from_u64(config.seed.wrapping_add(2));
+        let mut metrics = QueryMetrics::default();
+        for _ in 0..config.queries {
+            let origin_idx = rng_queries.gen_range(0..config.nodes);
+            let item = per_node_workloads[origin_idx].sample_item(&mut rng_queries);
+            let outcome = overlay.query_with_aux(node_ids[origin_idx], catalog.key(item), |id| {
+                aux_lookup(aux_index, sets, id)
+            });
+            metrics.record(outcome.success, outcome.hops, outcome.failed_probes);
+        }
+        metrics
+    };
+
+    let passes: [Option<&[Vec<Id>]>; 3] = [None, Some(aware_sets), Some(oblivious_sets)];
+    let results = peercache_par::par_map(&passes, |_, sets| measure(*sets));
+    let mut results = results.into_iter();
+    let (Some(core_only), Some(aware), Some(oblivious)) =
+        (results.next(), results.next(), results.next())
+    else {
+        unreachable!("par_map yields one result per measurement pass");
+    };
+    let reduction = reduction_pct(aware.avg_hops(), oblivious.avg_hops());
+
+    StableReport {
+        aware,
+        oblivious,
+        core_only,
+        reduction_pct: reduction,
+    }
+}
+
+/// Build the shared stable-mode state: topology, workloads, and both
+/// strategies' auxiliary selections.
+fn build_stable(config: &StableConfig) -> StableSetup {
     assert!(config.nodes > 0 && config.items > 0);
     let space = IdSpace::new(config.bits).expect("valid id width");
     let mut rng_topology = StdRng::seed_from_u64(config.seed);
@@ -175,39 +246,87 @@ pub fn run_stable(config: &StableConfig) -> StableReport {
                 .collect()
         });
 
-    // Route the same query sequence under each strategy. All three passes
-    // share ONE immutable overlay snapshot: auxiliary sets are resolved
-    // per pass from the side tables through `query_with_aux` instead of
-    // being installed into per-pass clones of the whole substrate. In
-    // stable mode routing never mutates the overlay (nothing dies, so no
-    // neighbor is ever forgotten), which makes the shared snapshot
-    // behaviourally identical to the historical clone-per-pass — minus
-    // three copies of every routing table.
+    // The measurement passes resolve auxiliary sets by *id* from a side
+    // table; `node_ids` are in generation order.
     let per_node_workloads: Vec<NodeWorkload> = (0..config.nodes)
         .map(|idx| NodeWorkload::new(zipf.clone(), assignment.for_node(idx).clone()))
         .collect();
-    // `node_ids` are in generation order; routing resolves aux by *id*.
     let mut aux_index: Vec<(Id, usize)> = node_ids
         .iter()
         .enumerate()
         .map(|(idx, &n)| (n, idx))
         .collect();
     aux_index.sort_unstable();
-    let measure = |sets: Option<&[Vec<Id>]>| -> QueryMetrics {
+    StableSetup {
+        node_ids,
+        catalog,
+        overlay,
+        aware_sets,
+        oblivious_sets,
+        per_node_workloads,
+        aux_index,
+    }
+}
+
+/// The outcome of one fault-injected stable-mode comparison.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct StableFaultReport {
+    /// Fault metrics with the frequency-aware optimal auxiliary sets.
+    pub aware: FaultMetrics,
+    /// Fault metrics with the frequency-oblivious baseline sets.
+    pub oblivious: FaultMetrics,
+    /// Fault metrics with no auxiliary neighbors at all (core only).
+    pub core_only: FaultMetrics,
+    /// The paper's metric: % reduction of aware vs oblivious.
+    pub reduction_pct: f64,
+}
+
+/// [`run_stable`] with fault injection: the identical topology,
+/// selections, and query stream, routed through the fault-wrapped walks.
+///
+/// The fault walks consume no randomness (every decision is a hash of
+/// `(run_seed, ids, hop, attempt)`), so the three passes draw the exact
+/// query sequence of the fault-free driver and stay bit-identical at any
+/// thread count. Origins crashed by the plan are reported as
+/// `origin_down` and excluded from the issued count.
+///
+/// # Panics
+/// Panics on nonsensical configurations (zero nodes/items, α invalid).
+pub fn run_stable_faulted(config: &StableConfig, faults: &FaultConfig) -> StableFaultReport {
+    let setup = build_stable(config);
+    let StableSetup {
+        node_ids,
+        catalog,
+        overlay,
+        aware_sets,
+        oblivious_sets,
+        per_node_workloads,
+        aux_index,
+    } = &setup;
+    let plan = FaultPlan::new(config.seed, faults);
+
+    let measure = |sets: Option<&[Vec<Id>]>| -> FaultMetrics {
         let mut rng_queries = StdRng::seed_from_u64(config.seed.wrapping_add(2));
-        let mut metrics = QueryMetrics::default();
+        let mut metrics = FaultMetrics::default();
         for _ in 0..config.queries {
             let origin_idx = rng_queries.gen_range(0..config.nodes);
             let item = per_node_workloads[origin_idx].sample_item(&mut rng_queries);
-            let outcome = overlay.query_with_aux(node_ids[origin_idx], catalog.key(item), |id| {
-                aux_lookup(&aux_index, sets, id)
-            });
-            metrics.record(outcome.success, outcome.hops, outcome.failed_probes);
+            let route = overlay.query_with_aux_faults(
+                node_ids[origin_idx],
+                catalog.key(item),
+                |id| aux_lookup(aux_index, sets, id),
+                &plan,
+            );
+            if matches!(route.outcome, Err(LookupFailure::OriginDown(_))) {
+                metrics.record_origin_down();
+            } else {
+                metrics.record(&route);
+            }
         }
         metrics
     };
 
-    let passes: [Option<&[Vec<Id>]>; 3] = [None, Some(&aware_sets), Some(&oblivious_sets)];
+    let passes: [Option<&[Vec<Id>]>; 3] = [None, Some(aware_sets), Some(oblivious_sets)];
     let results = peercache_par::par_map(&passes, |_, sets| measure(*sets));
     let mut results = results.into_iter();
     let (Some(core_only), Some(aware), Some(oblivious)) =
@@ -215,9 +334,9 @@ pub fn run_stable(config: &StableConfig) -> StableReport {
     else {
         unreachable!("par_map yields one result per measurement pass");
     };
-    let reduction = reduction_pct(aware.avg_hops(), oblivious.avg_hops());
+    let reduction = reduction_pct(aware.base.avg_hops(), oblivious.base.avg_hops());
 
-    StableReport {
+    StableFaultReport {
         aware,
         oblivious,
         core_only,

@@ -1,0 +1,99 @@
+//! Regression: routing the churn driver through the fault layer with a
+//! transparent plan must leave every metric bit-identical to the
+//! pre-fault driver. The goldens below were captured from the ad-hoc
+//! live-check driver immediately before the fault layer replaced it.
+
+use peercache_pastry::RoutingMode;
+use peercache_sim::churn::{run_churn_once, run_churn_once_faulted, ChurnConfig, Strategy};
+use peercache_sim::OverlayKind;
+
+fn config(kind: OverlayKind) -> ChurnConfig {
+    let mut config = ChurnConfig::paper_defaults(64, 48);
+    config.kind = kind;
+    config.items = 64;
+    config.duration = 900.0;
+    config.warmup = 200.0;
+    config.mean_lifetime = 300.0;
+    config.query_rate = 8.0;
+    config
+}
+
+/// One golden: (issued, succeeded, failed, total_hops, failed_probes).
+type Golden = (u64, u64, u64, u64, u64);
+
+fn assert_matches_golden(kind: OverlayKind, strategy: Strategy, golden: Golden) {
+    let metrics = run_churn_once(&config(kind), strategy);
+    let observed = (
+        metrics.issued,
+        metrics.succeeded,
+        metrics.failed,
+        metrics.total_hops,
+        metrics.failed_probes,
+    );
+    assert_eq!(
+        observed, golden,
+        "churn metrics drifted from the pre-fault-layer goldens \
+         ({kind:?}, {strategy:?})"
+    );
+}
+
+#[test]
+fn chord_zero_fault_metrics_match_prefault_goldens() {
+    assert_matches_golden(
+        OverlayKind::Chord,
+        Strategy::Aware,
+        (5639, 5457, 182, 8067, 282),
+    );
+    assert_matches_golden(
+        OverlayKind::Chord,
+        Strategy::Oblivious,
+        (5639, 5494, 145, 8500, 251),
+    );
+}
+
+#[test]
+fn pastry_zero_fault_metrics_match_prefault_goldens() {
+    let kind = OverlayKind::Pastry {
+        digit_bits: 1,
+        mode: RoutingMode::LocalityAware,
+    };
+    assert_matches_golden(kind, Strategy::Aware, (5639, 5639, 0, 8504, 278));
+    assert_matches_golden(kind, Strategy::Oblivious, (5639, 5639, 0, 8821, 269));
+}
+
+#[test]
+fn tapestry_zero_fault_metrics_match_prefault_goldens() {
+    let kind = OverlayKind::Tapestry { digit_bits: 1 };
+    assert_matches_golden(kind, Strategy::Aware, (5639, 5391, 248, 8742, 299));
+    assert_matches_golden(kind, Strategy::Oblivious, (5639, 5442, 197, 9635, 304));
+}
+
+#[test]
+fn skipgraph_zero_fault_metrics_match_prefault_goldens() {
+    assert_matches_golden(
+        OverlayKind::SkipGraph,
+        Strategy::Aware,
+        (5639, 5626, 13, 9812, 317),
+    );
+    assert_matches_golden(
+        OverlayKind::SkipGraph,
+        Strategy::Oblivious,
+        (5639, 5629, 10, 11362, 300),
+    );
+}
+
+#[test]
+fn faulted_wrapper_base_equals_prefault_api() {
+    let config = config(OverlayKind::Chord);
+    let faulted = run_churn_once_faulted(&config, Strategy::Aware);
+    let plain = run_churn_once(&config, Strategy::Aware);
+    assert_eq!(faulted.base, plain);
+    assert_eq!(faulted.origin_down, 0, "no plan crashes at zero rates");
+    assert_eq!(faulted.retries, 0, "no retries without loss");
+    assert_eq!(faulted.fallbacks, 0, "no fallbacks with a transparent plan");
+    assert_eq!(faulted.delay_ticks, 0, "no jitter at zero rates");
+    assert_eq!(
+        faulted.timeouts, plain.failed_probes,
+        "transparent probes time out exactly on substrate-dead neighbors"
+    );
+}

@@ -1,0 +1,293 @@
+//! Differential battery (ISSUE 5 satellite 2): with an all-zeros
+//! [`FaultPlan`] the fault-wrapped walks must be **bit-identical** to
+//! the existing fault-free walks — same hops, same path, same probe
+//! order, same outcome — across 64 seeds on all four substrates, both
+//! on all-live overlays and on overlays with failed (substrate-dead)
+//! nodes still referenced from routing tables.
+
+use std::collections::BTreeMap;
+
+use peercache_chord::{ChordConfig, ChordNetwork, LookupOutcome};
+use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure};
+use peercache_id::{Id, IdSpace};
+use peercache_pastry::{PastryConfig, PastryNetwork, RoutingMode};
+use peercache_skipgraph::{SearchOutcome, SkipGraphConfig, SkipGraphNetwork};
+use peercache_tapestry::{TapestryConfig, TapestryNetwork};
+use peercache_workload::random_ids;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: usize = 48;
+const FAILURES: usize = 6;
+const QUERIES: usize = 8;
+const SEEDS: u64 = 64;
+
+fn space() -> IdSpace {
+    IdSpace::new(32).expect("valid width")
+}
+
+/// Random per-node auxiliary sets drawn over the full membership (so
+/// after failures some pointers dangle, exercising the timeout path).
+fn aux_tables(ids: &[Id], rng: &mut StdRng) -> BTreeMap<Id, Vec<Id>> {
+    ids.iter()
+        .map(|&node| {
+            let aux: Vec<Id> = (0..4).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
+            (node, aux)
+        })
+        .collect()
+}
+
+/// The invariants every (legacy, faulted) pair must satisfy under a
+/// transparent plan, given the legacy walk's components.
+fn assert_trace_matches(
+    label: &str,
+    route: &FaultedRoute,
+    hops: u32,
+    failed_probes: u32,
+    path: &[Id],
+) {
+    let trace = &route.trace;
+    assert_eq!(trace.hops, hops, "{label}: hop count diverged");
+    assert_eq!(trace.path, path, "{label}: visited path diverged");
+    assert_eq!(
+        trace.timeouts, failed_probes,
+        "{label}: timeouts must equal legacy failed probes"
+    );
+    assert_eq!(
+        trace.probes as usize,
+        trace.probed.len(),
+        "{label}: transparent plans send exactly one attempt per probe"
+    );
+    assert_eq!(trace.retries, 0, "{label}: no retries without loss");
+    assert_eq!(trace.fallbacks, 0, "{label}: no fallbacks when transparent");
+    assert_eq!(trace.delay_ticks, 0, "{label}: no jitter at zero rates");
+    assert_eq!(
+        trace.dead_probed.len(),
+        failed_probes as usize,
+        "{label}: every timeout yields one eviction pair"
+    );
+    if failed_probes == 0 {
+        assert_eq!(
+            trace.probed,
+            &path[1..],
+            "{label}: with no failures the probe order is the forward path"
+        );
+    }
+}
+
+fn check_chord(seed: u64, fail_some: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = random_ids(space(), NODES, &mut rng);
+    let mut net = ChordNetwork::build(ChordConfig::new(space()), &ids);
+    let aux = aux_tables(&ids, &mut rng);
+    if fail_some {
+        for i in 0..FAILURES {
+            net.fail(ids[i * 7 % NODES]).ok();
+        }
+    }
+    let live = net.live_ids();
+    let plan = FaultPlan::transparent(seed);
+    for _ in 0..QUERIES {
+        let from = live[rng.gen_range(0..live.len())];
+        let key = Id::new(u128::from(rng.gen::<u32>()));
+        let aux_of = |id: Id| aux.get(&id).map_or(&[] as &[Id], Vec::as_slice);
+        let legacy = net.lookup_with_aux(from, key, aux_of).expect("live origin");
+        let route = net
+            .lookup_with_aux_faults(from, key, aux_of, &plan)
+            .expect("live origin");
+        assert_trace_matches(
+            "chord",
+            &route,
+            legacy.hops,
+            legacy.failed_probes,
+            &legacy.path,
+        );
+        match (&legacy.outcome, &route.outcome) {
+            (LookupOutcome::Success, Ok(end)) => assert_eq!(Some(end), legacy.path.last()),
+            (LookupOutcome::WrongOwner(a), Err(LookupFailure::WrongOwner(b))) => assert_eq!(a, b),
+            (LookupOutcome::DeadEnd(a), Err(LookupFailure::DeadEnd(b))) => assert_eq!(a, b),
+            (LookupOutcome::HopLimit, Err(LookupFailure::HopLimit)) => {}
+            (l, f) => panic!("chord outcome diverged: legacy {l:?} vs faulted {f:?}"),
+        }
+    }
+}
+
+/// Pastry's (and Tapestry's) read-only `route_with_aux` treats a dead
+/// next hop as a hard dead end — a snapshot cannot repair around it —
+/// while the fault walk reproduces the **mutating** walk's
+/// forget-and-retry. So the all-live case diffs against the read-only
+/// walk (bit-identity on the stable-mode contract) and the dead-node
+/// case diffs against `route()` on a per-query clone with the same
+/// auxiliary sets installed (bit-identity with the churn contract).
+fn check_pastry(seed: u64, fail_some: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = random_ids(space(), NODES, &mut rng);
+    let config = PastryConfig::new(space(), 1).with_mode(RoutingMode::LocalityAware);
+    let mut net = PastryNetwork::build(config, &ids, &mut rng);
+    let aux = aux_tables(&ids, &mut rng);
+    for (&node, aux_set) in &aux {
+        net.set_aux(node, aux_set.clone()).expect("node is live");
+    }
+    if fail_some {
+        for i in 0..FAILURES {
+            net.fail(ids[i * 7 % NODES]).ok();
+        }
+    }
+    let live = net.live_ids();
+    let plan = FaultPlan::transparent(seed);
+    for _ in 0..QUERIES {
+        let from = live[rng.gen_range(0..live.len())];
+        let key = Id::new(u128::from(rng.gen::<u32>()));
+        let aux_of = |id: Id| net.node(id).map_or(&[] as &[Id], |n| n.aux.as_slice());
+        let legacy = if fail_some {
+            let mut mutating = net.clone();
+            mutating.route(from, key).expect("live origin")
+        } else {
+            net.route_with_aux(from, key, aux_of).expect("live origin")
+        };
+        let route = net
+            .route_with_aux_faults(from, key, aux_of, &plan)
+            .expect("live origin");
+        assert_trace_matches(
+            "pastry",
+            &route,
+            legacy.hops,
+            legacy.failed_probes,
+            &legacy.path,
+        );
+        match (&legacy.outcome, &route.outcome) {
+            (peercache_pastry::RouteOutcome::Success, Ok(end)) => {
+                assert_eq!(Some(end), legacy.path.last());
+            }
+            (peercache_pastry::RouteOutcome::WrongOwner(a), Err(LookupFailure::WrongOwner(b))) => {
+                assert_eq!(a, b);
+            }
+            (peercache_pastry::RouteOutcome::DeadEnd(a), Err(LookupFailure::DeadEnd(b))) => {
+                assert_eq!(a, b);
+            }
+            (peercache_pastry::RouteOutcome::HopLimit, Err(LookupFailure::HopLimit)) => {}
+            (l, f) => panic!("pastry outcome diverged: legacy {l:?} vs faulted {f:?}"),
+        }
+    }
+}
+
+/// See [`check_pastry`] for the two comparison regimes.
+fn check_tapestry(seed: u64, fail_some: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = random_ids(space(), NODES, &mut rng);
+    let mut net = TapestryNetwork::build(TapestryConfig::new(space(), 1), &ids);
+    let aux = aux_tables(&ids, &mut rng);
+    for (&node, aux_set) in &aux {
+        net.set_aux(node, aux_set.clone()).expect("node is live");
+    }
+    if fail_some {
+        for i in 0..FAILURES {
+            net.fail(ids[i * 7 % NODES]).ok();
+        }
+    }
+    let live = net.live_ids();
+    let plan = FaultPlan::transparent(seed);
+    for _ in 0..QUERIES {
+        let from = live[rng.gen_range(0..live.len())];
+        let key = Id::new(u128::from(rng.gen::<u32>()));
+        let aux_of = |id: Id| net.node(id).map_or(&[] as &[Id], |n| n.aux.as_slice());
+        let legacy = if fail_some {
+            let mut mutating = net.clone();
+            mutating.route(from, key).expect("live origin")
+        } else {
+            net.route_with_aux(from, key, aux_of).expect("live origin")
+        };
+        let route = net
+            .route_with_aux_faults(from, key, aux_of, &plan)
+            .expect("live origin");
+        assert_trace_matches(
+            "tapestry",
+            &route,
+            legacy.hops,
+            legacy.failed_probes,
+            &legacy.path,
+        );
+        match (&legacy.outcome, &route.outcome) {
+            (peercache_tapestry::RouteOutcome::Success, Ok(end)) => {
+                assert_eq!(Some(end), legacy.path.last());
+            }
+            (
+                peercache_tapestry::RouteOutcome::WrongOwner(a),
+                Err(LookupFailure::WrongOwner(b)),
+            ) => assert_eq!(a, b),
+            (peercache_tapestry::RouteOutcome::DeadEnd(a), Err(LookupFailure::DeadEnd(b))) => {
+                assert_eq!(a, b);
+            }
+            (peercache_tapestry::RouteOutcome::HopLimit, Err(LookupFailure::HopLimit)) => {}
+            (l, f) => panic!("tapestry outcome diverged: legacy {l:?} vs faulted {f:?}"),
+        }
+    }
+}
+
+fn check_skipgraph(seed: u64, fail_some: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = random_ids(space(), NODES, &mut rng);
+    let mut net = SkipGraphNetwork::build(SkipGraphConfig::new(space()), &ids);
+    let aux = aux_tables(&ids, &mut rng);
+    if fail_some {
+        for i in 0..FAILURES {
+            net.fail(ids[i * 7 % NODES]).ok();
+        }
+    }
+    let live = net.live_ids();
+    let plan = FaultPlan::transparent(seed);
+    for _ in 0..QUERIES {
+        let from = live[rng.gen_range(0..live.len())];
+        let key = Id::new(u128::from(rng.gen::<u32>()));
+        let aux_of = |id: Id| aux.get(&id).map_or(&[] as &[Id], Vec::as_slice);
+        let legacy = net.search_with_aux(from, key, aux_of).expect("live origin");
+        let route = net
+            .search_with_aux_faults(from, key, aux_of, &plan)
+            .expect("live origin");
+        assert_trace_matches(
+            "skipgraph",
+            &route,
+            legacy.hops,
+            legacy.failed_probes,
+            &legacy.path,
+        );
+        match (&legacy.outcome, &route.outcome) {
+            (SearchOutcome::Success, Ok(end)) => assert_eq!(Some(end), legacy.path.last()),
+            (SearchOutcome::WrongOwner(a), Err(LookupFailure::WrongOwner(b))) => assert_eq!(a, b),
+            (SearchOutcome::HopLimit, Err(LookupFailure::HopLimit)) => {}
+            (l, f) => panic!("skipgraph outcome diverged: legacy {l:?} vs faulted {f:?}"),
+        }
+    }
+}
+
+#[test]
+fn chord_transparent_walks_match_legacy_over_64_seeds() {
+    for seed in 0..SEEDS {
+        check_chord(seed, false);
+        check_chord(seed, true);
+    }
+}
+
+#[test]
+fn pastry_transparent_walks_match_legacy_over_64_seeds() {
+    for seed in 0..SEEDS {
+        check_pastry(seed, false);
+        check_pastry(seed, true);
+    }
+}
+
+#[test]
+fn tapestry_transparent_walks_match_legacy_over_64_seeds() {
+    for seed in 0..SEEDS {
+        check_tapestry(seed, false);
+        check_tapestry(seed, true);
+    }
+}
+
+#[test]
+fn skipgraph_transparent_walks_match_legacy_over_64_seeds() {
+    for seed in 0..SEEDS {
+        check_skipgraph(seed, false);
+        check_skipgraph(seed, true);
+    }
+}

@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure, RouteTrace};
 use peercache_id::{Id, IdSpace};
 
 use crate::{SearchOutcome, SearchResult};
@@ -524,6 +525,113 @@ impl SkipGraphNetwork {
                     });
                 }
             }
+        }
+    }
+
+    /// Fault-injected read-only search: every contact goes through
+    /// `plan`'s probe channel (crash/loss/unresponsive with bounded
+    /// retry), auxiliary pointers are resolved through its staleness
+    /// channel, and the walk records everything in a
+    /// [`RouteTrace`](peercache_faults::RouteTrace).
+    ///
+    /// Degradation semantics mirror [`search`](Self::search): candidates
+    /// that time out are skipped in clockwise-distance order (the walk
+    /// is read-only — a repairing caller evicts `trace.dead_probed`
+    /// afterwards). Under a non-transparent plan, the first timed-out
+    /// **auxiliary-only** candidate at a hop falls the decision back to
+    /// core candidates (`trace.fallbacks`); under a transparent plan the
+    /// walk is bit-identical to
+    /// [`search_with_aux`](Self::search_with_aux).
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn search_with_aux_faults<'a, F>(
+        &'a self,
+        from: Id,
+        key: Id,
+        aux_of: F,
+        plan: &FaultPlan,
+    ) -> Result<FaultedRoute, NetworkError>
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        let space = self.config.space;
+        let Some(true_owner) = self.true_owner(key) else {
+            return Err(NetworkError::NotPresent(from));
+        };
+        if plan.node_crashed(from) {
+            return Ok(FaultedRoute::origin_down(from));
+        }
+        let mut current = from;
+        let mut trace = RouteTrace::start(from);
+        let mut aux_buf: Vec<Id> = Vec::new();
+        loop {
+            if trace.hops >= self.config.hop_limit {
+                return Ok(FaultedRoute {
+                    outcome: Err(LookupFailure::HopLimit),
+                    trace,
+                });
+            }
+            if current == key {
+                return Ok(FaultedRoute {
+                    outcome: Ok(current),
+                    trace,
+                });
+            }
+            let node = &self.nodes[&current.value()];
+            plan.resolve_aux(space, current, aux_of(current), &mut aux_buf);
+            let mut candidates: Vec<Id> = node
+                .known_neighbors_with(&aux_buf)
+                .into_iter()
+                .filter(|&w| space.between_open_closed(current, w, key))
+                .collect();
+            candidates.sort_by_key(|&w| space.clockwise_distance(w, key));
+            // Sorted core view, for spotting aux-only candidates.
+            let core = node.known_neighbors_with(&[]);
+            let mut aux_banned = false;
+            let mut next = None;
+            for w in candidates {
+                let aux_only = core.binary_search(&w).is_err();
+                if aux_banned && aux_only {
+                    continue;
+                }
+                if plan.probe(current, w, trace.hops, self.is_live(w), &mut trace) {
+                    next = Some(w);
+                    break;
+                }
+                if aux_only && !aux_banned && !plan.is_transparent() {
+                    aux_banned = true;
+                    trace.fallbacks += 1;
+                }
+            }
+            match next {
+                Some(w) => {
+                    trace.hops += 1;
+                    trace.path.push(w);
+                    current = w;
+                }
+                None => {
+                    let outcome = if current == true_owner {
+                        Ok(current)
+                    } else {
+                        Err(LookupFailure::WrongOwner(current))
+                    };
+                    return Ok(FaultedRoute { outcome, trace });
+                }
+            }
+        }
+    }
+
+    /// Evict `dead` from `id`'s routing structures. The fault-injected
+    /// walks are read-only, so a repairing caller (the churn driver)
+    /// applies their `dead_probed` pairs here afterwards. No-op when
+    /// `id` is not live.
+    pub fn forget_neighbor(&mut self, id: Id, dead: Id) {
+        if let Some(node) = self.nodes.get_mut(&id.value()) {
+            node.forget(dead);
         }
     }
 }

@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
+use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure, RouteTrace};
 use peercache_id::{Id, IdSpace};
 
 use crate::{RouteOutcome, RouteResult};
@@ -484,16 +485,34 @@ impl TapestryNetwork {
     /// [`next_hop`](Self::next_hop) with `extra` standing in for the
     /// auxiliary set of `current`.
     fn next_hop_with(&self, current: Id, key: Id, extra: &[Id]) -> Option<Id> {
+        self.next_hop_excluding(current, key, extra, &[])
+    }
+
+    /// The forwarding decision with `dead` exclusions applied: every
+    /// `(prober, target)` pair with `prober == current` is treated as
+    /// already forgotten. This is how the read-only fault-injected walk
+    /// reproduces the mutating walk's forget-and-retry semantics — the
+    /// mutating walk erases a timed-out entry from `current`'s tables
+    /// and re-decides; this filters it instead. With no exclusions the
+    /// decision is exactly [`next_hop_with`](Self::next_hop_with).
+    fn next_hop_excluding(
+        &self,
+        current: Id,
+        key: Id,
+        extra: &[Id],
+        dead: &[(Id, Id)],
+    ) -> Option<Id> {
         if current == key {
             return None;
         }
+        let excluded = |w: Id| dead.iter().any(|&(p, t)| p == current && t == w);
         let node = &self.nodes[&current.value()];
         let l = self.lcp(current, key);
         // Prefix-progress candidates (table entries + auxiliaries).
         let best = node
             .known_neighbors_with(extra)
             .into_iter()
-            .filter(|&w| self.lcp(w, key) > l)
+            .filter(|&w| !excluded(w) && self.lcp(w, key) > l)
             .max_by_key(|&w| (self.lcp(w, key), std::cmp::Reverse(w)));
         if let Some(w) = best {
             return Some(w);
@@ -510,10 +529,117 @@ impl TapestryNetwork {
                     break; // current carries this digit; next row
                 }
                 if let Some(w) = node.rows[row as usize][v] {
-                    return Some(w);
+                    if !excluded(w) {
+                        return Some(w);
+                    }
                 }
             }
         }
         None
+    }
+
+    /// Fault-injected read-only [`route`](Self::route): every contact
+    /// goes through `plan`'s probe channel (crash/loss/unresponsive with
+    /// bounded retry), auxiliary pointers are resolved through its
+    /// staleness channel, and the walk records everything in a
+    /// [`RouteTrace`](peercache_faults::RouteTrace).
+    ///
+    /// Unlike [`route_with_aux`](Self::route_with_aux) — which stops hard
+    /// at the first dead next hop — this mirrors the *mutating* walk's
+    /// degradation semantics: a timed-out hop is excluded (the read-only
+    /// stand-in for `forget`; a repairing caller evicts
+    /// `trace.dead_probed` afterwards) and the decision re-runs. Under a
+    /// non-transparent plan, the first timed-out **auxiliary-only**
+    /// candidate at a node bans the remaining auxiliary pointers there,
+    /// falling back to core routing state (`trace.fallbacks`); under a
+    /// transparent plan the walk is bit-identical to `route_with_aux`.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`] when `from` is not live.
+    pub fn route_with_aux_faults<'a, F>(
+        &'a self,
+        from: Id,
+        key: Id,
+        aux_of: F,
+        plan: &FaultPlan,
+    ) -> Result<FaultedRoute, NetworkError>
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        if !self.nodes.contains_key(&from.value()) {
+            return Err(NetworkError::NotPresent(from));
+        }
+        let Some(true_owner) = self.true_owner(key) else {
+            return Err(NetworkError::NotPresent(from));
+        };
+        if plan.node_crashed(from) {
+            return Ok(FaultedRoute::origin_down(from));
+        }
+        let mut current = from;
+        let mut trace = RouteTrace::start(from);
+        let mut aux_buf: Vec<Id> = Vec::new();
+        let mut aux_banned = false;
+        plan.resolve_aux(self.config.space, current, aux_of(current), &mut aux_buf);
+        loop {
+            if trace.hops >= self.config.hop_limit {
+                return Ok(FaultedRoute {
+                    outcome: Err(LookupFailure::HopLimit),
+                    trace,
+                });
+            }
+            let extra: &[Id] = if aux_banned { &[] } else { &aux_buf };
+            match self.next_hop_excluding(current, key, extra, &trace.dead_probed) {
+                None => {
+                    let excluded = |w: Id| {
+                        trace
+                            .dead_probed
+                            .iter()
+                            .any(|&(p, t)| p == current && t == w)
+                    };
+                    let outcome = if current == true_owner {
+                        Ok(current)
+                    } else if self.nodes[&current.value()]
+                        .known_neighbors_with(extra)
+                        .iter()
+                        .all(|&w| excluded(w))
+                        && self.len() > 1
+                    {
+                        Err(LookupFailure::DeadEnd(current))
+                    } else {
+                        Err(LookupFailure::WrongOwner(current))
+                    };
+                    return Ok(FaultedRoute { outcome, trace });
+                }
+                Some(next) => {
+                    if plan.probe(current, next, trace.hops, self.is_live(next), &mut trace) {
+                        trace.hops += 1;
+                        trace.path.push(next);
+                        current = next;
+                        aux_banned = false;
+                        plan.resolve_aux(self.config.space, current, aux_of(current), &mut aux_buf);
+                    } else if !plan.is_transparent() && !aux_banned {
+                        // Probe failure already excluded `next` via
+                        // `trace.dead_probed`; if it was a cached pointer
+                        // (absent from the core tables), ban the rest of
+                        // the aux set here and fall back to core state.
+                        let core = self.nodes[&current.value()].known_neighbors_with(&[]);
+                        if core.binary_search(&next).is_err() {
+                            aux_banned = true;
+                            trace.fallbacks += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evict `dead` from `id`'s routing structures. The fault-injected
+    /// walks are read-only, so a repairing caller (the churn driver)
+    /// applies their `dead_probed` pairs here afterwards. No-op when
+    /// `id` is not live.
+    pub fn forget_neighbor(&mut self, id: Id, dead: Id) {
+        if let Some(node) = self.nodes.get_mut(&id.value()) {
+            node.forget(dead);
+        }
     }
 }
