@@ -49,7 +49,8 @@ use peercache_core::pastry::{select_dp, select_greedy, PastryWorkspace};
 use peercache_freq::{FrequencyEstimator, SpaceSaving};
 use peercache_id::Id;
 use peercache_par::with_threads;
-use peercache_sim::{fig3, Scale};
+use peercache_pastry::RoutingMode;
+use peercache_sim::{fig3, OverlayKind, Scale, SelectionBench, StableConfig};
 use peercache_workload::{random_ids, Zipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -366,6 +367,65 @@ fn micro_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>)
     );
 }
 
+/// Sweep `par_map_chunked` chunk sizes over the aware-selection fan-out
+/// that dominates fig3's stable builds (the `SELECT_CHUNK` knob in
+/// `crates/sim/src/stable.rs`). The selected sets are identical at every
+/// chunk size — only the dispatch economics move: small chunks buy pool
+/// load-balance at the price of more task dispatches and more cold
+/// `SelectScratch` warm-ups, large chunks the reverse. Informational
+/// (ungated): the right value is host-dependent, and the sweep exists so
+/// a retune is a measurement away instead of a guess.
+fn chunk_sweep_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>) {
+    let pool_threads = peercache_par::threads();
+    let par_threads = if pool_threads > 1 { pool_threads } else { 4 };
+    // fig3's largest quick-scale point: Pastry at paper defaults.
+    let config = StableConfig::paper_defaults(
+        OverlayKind::Pastry {
+            digit_bits: 1,
+            mode: RoutingMode::LocalityAware,
+        },
+        256,
+        1,
+    );
+    let bench = SelectionBench::new(&config);
+    let committed = SelectionBench::committed_chunk();
+    let (mut best_chunk, mut best_ns) = (0usize, f64::INFINITY);
+    for &chunk in &[8usize, 16, 32, 64, 128] {
+        let ns = time_median(profile.samples, 1, || {
+            std::hint::black_box(with_threads(par_threads, || bench.run(chunk)));
+        });
+        if ns < best_ns {
+            (best_chunk, best_ns) = (chunk, ns);
+        }
+        let marker = if chunk == committed {
+            "  (committed)"
+        } else {
+            ""
+        };
+        println!(
+            "  select_fanout_c{chunk:<9} {:<28} {ns:>14.1} ns/op {:>12.2} units{marker}",
+            format!("n=256 k=8 threads={par_threads}"),
+            ns / calib
+        );
+        kernels.push(KernelReport {
+            kernel: format!("select_fanout_c{chunk}"),
+            config: "aware fan-out, pastry n=256".to_string(),
+            ns_per_op: ns,
+            units: ns / calib,
+            ops_per_iter: 1,
+            samples: profile.samples,
+            threads: par_threads,
+            speedup_vs_serial: None,
+            alloc_per_op: None,
+            gated: false,
+        });
+    }
+    println!(
+        "  best chunk this host: {best_chunk} (committed SELECT_CHUNK = {committed}; \
+         retune crates/sim/src/stable.rs if they persistently disagree)"
+    );
+}
+
 fn e2e_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>) {
     // The parallel leg must actually be parallel: on a single-core host
     // the process pool defaults to width 1, and timing that leg at width
@@ -474,6 +534,8 @@ fn main() {
     let mut kernels = Vec::new();
     println!("solver micro-kernels (median of {}):", profile.samples);
     micro_kernels(profile, calib, &mut kernels);
+    println!("selection chunk sweep (median of {}):", profile.samples);
+    chunk_sweep_kernels(profile, calib, &mut kernels);
     println!("end-to-end sweeps (median of {}):", profile.e2e_samples);
     e2e_kernels(profile, calib, &mut kernels);
 

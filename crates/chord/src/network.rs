@@ -646,7 +646,15 @@ impl ChordNetwork {
                     trace,
                 });
             }
-            let node = &self.nodes[&current.value()];
+            // The walk only steps to probed-live candidates, so `current`
+            // is always present; if the map ever disagrees, degrade to a
+            // dead end rather than panic (rule L10).
+            let Some(node) = self.nodes.get(&current.value()) else {
+                return Ok(FaultedRoute {
+                    outcome: Err(LookupFailure::DeadEnd(current)),
+                    trace,
+                });
+            };
             plan.resolve_aux(space, current, aux_of(current), &mut aux_buf);
             let mut candidates: Vec<Id> = node
                 .known_neighbors_with(&aux_buf)

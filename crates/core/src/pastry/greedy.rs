@@ -166,7 +166,7 @@ impl PastryOptimizer {
     fn resolve_vertex(&mut self, v: u32) {
         let k = u32::try_from(self.k).unwrap_or(u32::MAX);
         // Leaf vertices have no children by construction (full-depth trie).
-        if let Some(leaf) = self.trie.vertex(v).leaf.clone() {
+        if let Some(leaf) = self.trie.vertex(v).leaf {
             debug_assert!(self.trie.children_of(v).next().is_none());
             let vert = self.trie.vertex_mut(v);
             vert.weight = leaf.weight;
@@ -615,13 +615,14 @@ impl PastryWorkspace {
             }
             None => PastryOptimizer::new(problem)?,
         };
-        let opt = self.opt.insert(opt);
-        opt.selection_into(
+        let solved = opt.selection_into(
             problem.k,
             &mut self.stack,
             &mut self.counts,
             &mut self.selection,
-        )?;
+        );
+        self.opt = Some(opt);
+        solved?;
         #[cfg(feature = "check-invariants")]
         crate::invariants::assert_greedy_matches_dp(problem, &self.selection);
         Ok(&self.selection)

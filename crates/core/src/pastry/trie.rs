@@ -30,7 +30,7 @@ use crate::problem::SelectError;
 pub(crate) const NONE: u32 = u32::MAX;
 
 /// Leaf payload: one observed peer or core neighbor.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct Leaf {
     pub id: Id,
     /// Access frequency `f_v`; zero for pure core-neighbor leaves.

@@ -1,22 +1,27 @@
-//! Workspace walking, the two-pass driver and report assembly.
+//! Workspace walking, the three-pass driver and report assembly.
 //!
 //! Pass 1 reads every `.rs` file once, scans it ([`crate::scan`]),
 //! tokenizes it, parses its item tree ([`crate::items`]) and feeds the
 //! workspace symbol table ([`crate::symbols`]); the per-file rules
 //! (L1–L6, L8) run on the same artifacts. Pass 2 derives the
-//! workspace-level L7 violations from the completed symbol table. Both
-//! passes' findings then meet the `lint.allow` budgets: groups over
-//! budget become failing diagnostics, groups under budget become
-//! tightening notes, and every individual finding is retained in
-//! [`Report::findings`] for the SARIF emitter.
+//! workspace-level L7 violations from the completed symbol table. Pass 3
+//! builds the interprocedural call graph ([`crate::callgraph`]) over the
+//! retained library-file artifacts and, when a `lint.roots` file sits
+//! beside `lint.allow`, runs the reachability rules L9–L11
+//! ([`crate::reach`]). All passes' findings then meet the `lint.allow`
+//! budgets: groups over budget become failing diagnostics, groups under
+//! budget become tightening notes, and every individual finding is
+//! retained in [`Report::findings`] for the SARIF emitter.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::allow::Allowlist;
-use crate::items::{parse_items, tokenize};
-use crate::rules::{check_tokens, FileCtx, Rule, Violation};
+use crate::callgraph::CallGraph;
+use crate::items::{parse_items, tokenize, Item, Tok};
+use crate::reach::{check_reachability, parse_roots};
+use crate::rules::{check_tokens, FileCtx, FileKind, FlowStep, Rule, Violation};
 use crate::scan::scan;
 use crate::symbols::SymbolTable;
 
@@ -35,6 +40,10 @@ pub struct Finding {
     /// True when the finding's (rule, file) group exceeded its
     /// `lint.allow` budget — i.e. it fails the build.
     pub over_budget: bool,
+    /// For reachability findings (L9–L11): the root-to-construct call
+    /// chain, emitted as a SARIF `codeFlows` thread flow. Empty for the
+    /// per-file and symbol-table rules.
+    pub flow: Vec<FlowStep>,
 }
 
 /// The outcome of linting a tree.
@@ -113,6 +122,8 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
     let mut grouped: BTreeMap<(Rule, String), Vec<Violation>> = BTreeMap::new();
     let mut symbols = SymbolTable::new();
     let mut report = Report::default();
+    // Library-file artifacts retained for the pass-3 call graph.
+    let mut lib_files: Vec<(String, Vec<Item>, Vec<Tok>)> = Vec::new();
     for file in &files {
         let rel = rel_path(root, file);
         let source = fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
@@ -128,6 +139,9 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
                 .or_default()
                 .push(violation);
         }
+        if ctx.kind == FileKind::Lib && rel.starts_with("crates/") {
+            lib_files.push((rel, items, toks));
+        }
         report.files += 1;
     }
 
@@ -138,6 +152,7 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
             .entry((Rule::L7, def.path.clone()))
             .or_default()
             .push(Violation {
+                flow: Vec::new(),
                 line: def.line,
                 rule: Rule::L7,
                 message: format!(
@@ -150,6 +165,22 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
             });
     }
 
+    // Pass 3: the interprocedural reachability rules L9–L11, anchored at
+    // the root sets declared in `lint.roots`. No roots file means no
+    // reachability pass (a workspace opts in by declaring its kernels);
+    // a root that no longer resolves is a hard error.
+    if let Ok(roots_text) = fs::read_to_string(root.join("lint.roots")) {
+        let roots = parse_roots(&roots_text)?;
+        let graph = CallGraph::build(&lib_files);
+        for (path, violation) in check_reachability(&graph, &roots)? {
+            report.violations += 1;
+            grouped
+                .entry((violation.rule, path))
+                .or_default()
+                .push(violation);
+        }
+    }
+
     for ((rule, path), violations) in &grouped {
         let budget = allow.budget(*rule, path);
         let over = violations.len() > budget;
@@ -160,6 +191,7 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
                 rule: *rule,
                 message: v.message.clone(),
                 over_budget: over,
+                flow: v.flow.clone(),
             });
         }
         if over {

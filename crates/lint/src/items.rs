@@ -191,7 +191,7 @@ const ITEM_KEYWORDS: [&str; 9] = [
 
 /// Skip a balanced group opened by the punct at `*i` (`(`, `[`, `{` or a
 /// generic `<`), leaving `*i` one past the closing token.
-fn skip_balanced(toks: &[Tok], i: &mut usize, open: char, close: char) {
+pub(crate) fn skip_balanced(toks: &[Tok], i: &mut usize, open: char, close: char) {
     let mut depth = 0usize;
     while *i < toks.len() {
         match punct_at(toks, *i) {

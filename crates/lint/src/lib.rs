@@ -1,12 +1,15 @@
 //! # peercache-lint
 //!
-//! Workspace-local static analysis for the peercache repository: eight
-//! rules (L1–L8) that keep the paper-reproduction code honest, run as a
-//! two-pass semantic analyzer — pass 1 builds, per file, a blanked
+//! Workspace-local static analysis for the peercache repository: eleven
+//! rules (L1–L11) that keep the paper-reproduction code honest, run as a
+//! three-pass semantic analyzer — pass 1 builds, per file, a blanked
 //! token stream ([`scan`]), a brace-matched item tree ([`items`]) and a
-//! workspace symbol table ([`symbols`]); pass 2 evaluates the rules,
-//! including the workspace-level dead-API rule L7. See [`rules`] for the
-//! rule table, [`allow`] for the `lint.allow` budget format and
+//! workspace symbol table ([`symbols`]); pass 2 evaluates the per-file
+//! rules plus the workspace-level dead-API rule L7; pass 3 builds an
+//! interprocedural call graph ([`callgraph`]) and checks transitive
+//! reachability ([`reach`]) from the root sets declared in `lint.roots`
+//! (rules L9–L11, with SARIF `codeFlows` call chains). See [`rules`] for
+//! the rule table, [`allow`] for the `lint.allow` budget format and
 //! [`sarif`] for the hand-rolled SARIF 2.1.0 emitter.
 //!
 //! Run it from the workspace root:
@@ -24,14 +27,18 @@
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod callgraph;
 pub mod engine;
 pub mod items;
+pub mod reach;
 pub mod rules;
 pub mod sarif;
 pub mod scan;
 pub mod symbols;
 
 pub use allow::Allowlist;
+pub use callgraph::{CallGraph, CallSite, FnNode};
 pub use engine::{lint_root, Finding, Report};
-pub use rules::{check, FileCtx, FileKind, Rule, Violation};
+pub use reach::{check_reachability, parse_roots, RootSpec};
+pub use rules::{check, FileCtx, FileKind, FlowStep, Rule, Violation};
 pub use sarif::to_sarif;

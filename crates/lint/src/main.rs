@@ -3,6 +3,8 @@
 //! Lints every `.rs` file under ROOT (default: the current directory,
 //! which `cargo run -p peercache-lint` sets to the workspace root)
 //! against `lint.allow`, printing `file:line: RULE: message` diagnostics.
+//! When a `lint.roots` file sits at ROOT, the interprocedural
+//! reachability rules L9–L11 run over the workspace call graph too.
 //!
 //! Flags:
 //!
@@ -63,7 +65,7 @@ fn main() -> ExitCode {
                         ExitCode::SUCCESS
                     }
                     None => {
-                        eprintln!("peercache-lint: --explain requires a rule name (L1..L8)");
+                        eprintln!("peercache-lint: --explain requires a rule name (L1..L11)");
                         ExitCode::from(2)
                     }
                 };

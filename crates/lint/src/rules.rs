@@ -44,10 +44,17 @@ pub enum Rule {
     L7,
     /// No direct f64 cost comparison in `core`/`sim` library code.
     L8,
+    /// No allocating construct reachable from the `solve_into` kernels.
+    L9,
+    /// No panic construct reachable from the fault walks.
+    L10,
+    /// No entropy/time/ambient-state source reachable from deterministic
+    /// entry points.
+    L11,
 }
 
 /// Every rule, in order — the SARIF emitter indexes into this.
-pub const ALL_RULES: [Rule; 8] = [
+pub const ALL_RULES: [Rule; 11] = [
     Rule::L1,
     Rule::L2,
     Rule::L3,
@@ -56,6 +63,9 @@ pub const ALL_RULES: [Rule; 8] = [
     Rule::L6,
     Rule::L7,
     Rule::L8,
+    Rule::L9,
+    Rule::L10,
+    Rule::L11,
 ];
 
 impl Rule {
@@ -70,6 +80,9 @@ impl Rule {
             Rule::L6 => "L6",
             Rule::L7 => "L7",
             Rule::L8 => "L8",
+            Rule::L9 => "L9",
+            Rule::L10 => "L10",
+            Rule::L11 => "L11",
         }
     }
 
@@ -84,6 +97,9 @@ impl Rule {
             "L6" => Some(Rule::L6),
             "L7" => Some(Rule::L7),
             "L8" => Some(Rule::L8),
+            "L9" => Some(Rule::L9),
+            "L10" => Some(Rule::L10),
+            "L11" => Some(Rule::L11),
             _ => None,
         }
     }
@@ -99,6 +115,9 @@ impl Rule {
             Rule::L6 => "no HashMap/HashSet iteration in deterministic crates",
             Rule::L7 => "no unreferenced pub item in internal crates",
             Rule::L8 => "no direct f64 cost comparison in core/sim",
+            Rule::L9 => "no allocating construct reachable from solve_into kernels",
+            Rule::L10 => "no panic construct reachable from the fault walks",
+            Rule::L11 => "no ambient-state source reachable from deterministic entry points",
         }
     }
 
@@ -170,6 +189,55 @@ impl Rule {
                  `crates/core/src/invariants.rs` or through `f64::total_cmp`. Sign \
                  checks against a zero literal are exempt."
             }
+            Rule::L9 => {
+                "L9 — no allocating construct (`Vec::new`, `vec!`, `collect`, `to_vec`, \
+                 `to_owned`, `to_string`, `Box::new`, `String::from`, `format!`, \
+                 `.clone()`) in any function reachable from the workspace `solve_into` \
+                 kernels.\n\nThe zero-alloc contract (DESIGN.md \"Memory layout & \
+                 workspace reuse\") says a warmed `ChordWorkspace`/`PastryWorkspace` \
+                 solve allocates nothing in steady state; `perf_baseline`'s counting \
+                 allocator enforces it dynamically on the kernels it happens to run. \
+                 L9 is the static complement: the interprocedural pass (DESIGN.md \
+                 \"Interprocedural pass: call graph & reachability\") walks the call \
+                 graph from the `L9` roots in `lint.roots` and flags any allocating \
+                 construct on any reachable path — including paths no benchmark \
+                 exercises. Hoist the allocation into the workspace, or budget the \
+                 site in `lint.allow` with a proof that it is cold (error/diagnostic \
+                 paths only)."
+            }
+            Rule::L10 => {
+                "L10 — no panic construct (`unwrap`, `expect`, `panic!`, \
+                 `unreachable!`, `todo!`, `unimplemented!`, direct `[i]` indexing) in \
+                 any function reachable from the fault walks \
+                 (`*_with_aux_faults`).\n\nPR 5's pastry `proximity()` panic on a \
+                 stale pointer is the bug class: a fault walk exists to *measure* \
+                 degraded routing (DESIGN.md §10 \"Fault model & degradation \
+                 semantics\"), so every state a fault plan can corrupt — dead \
+                 neighbors, stale auxiliary pointers, unknown ids — must degrade to a \
+                 typed `LookupFailure`, never abort the sweep. The interprocedural \
+                 pass (DESIGN.md \"Interprocedural pass: call graph & reachability\") \
+                 walks the call graph from the `L10` roots in `lint.roots`; a \
+                 `.expect(\"proof\")` whose message states why the failure is \
+                 unreachable may be admitted through a reviewed `lint.allow` budget, \
+                 mirroring the L1 convention."
+            }
+            Rule::L11 => {
+                "L11 — no entropy, wall-clock or ambient-state source \
+                 (`Instant::now`, `SystemTime::now`, `RandomState`, \
+                 `thread::spawn` outside `peercache-par`, `std::env` reads) in any \
+                 function reachable from the deterministic entry points.\n\nThe \
+                 determinism contract (DESIGN.md \"Threading model & the determinism \
+                 contract\") promises bit-identical figure tables at any thread \
+                 count; L5 and L6 ban wall-clock reads and hash-order iteration at \
+                 the expression site, and L11 extends the same contract to whole \
+                 call chains: the interprocedural pass (DESIGN.md \"Interprocedural \
+                 pass: call graph & reachability\") walks the call graph from the \
+                 `L11` roots in `lint.roots` and flags ambient sources anywhere \
+                 beneath them. `peercache-par` is the sanctioned ambient boundary — \
+                 thread-count resolution (`PEERCACHE_THREADS`, `thread::spawn`) \
+                 lives there precisely because the contract makes results \
+                 independent of it."
+            }
         }
     }
 }
@@ -223,6 +291,19 @@ impl FileCtx {
     }
 }
 
+/// One step of a reachability call chain, root-first: the root's
+/// declaration, each intermediate call site, and finally the violating
+/// construct itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowStep {
+    /// Workspace-relative path of the step's file.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// What happens at this step (`root fn …`, `calls …`, the construct).
+    pub message: String,
+}
+
 /// One rule violation at a source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -232,6 +313,10 @@ pub struct Violation {
     pub rule: Rule,
     /// Human-readable description.
     pub message: String,
+    /// For reachability rules (L9–L11): the call chain from a declared
+    /// root to the construct, rendered into SARIF `codeFlows`. Empty for
+    /// the per-file and symbol-table rules.
+    pub flow: Vec<FlowStep>,
 }
 
 const NUMERIC_TYPES: [&str; 14] = [
@@ -287,6 +372,7 @@ pub fn check_tokens(ctx: &FileCtx, lines: &[ScannedLine], toks: &[Tok]) -> Vec<V
         // L3 applies everywhere, test regions included.
         if name == "unsafe" {
             out.push(Violation {
+                flow: Vec::new(),
                 line: tok.line + 1,
                 rule: Rule::L3,
                 message: "`unsafe` is forbidden throughout the workspace (rule L3)".to_owned(),
@@ -302,6 +388,7 @@ pub fn check_tokens(ctx: &FileCtx, lines: &[ScannedLine], toks: &[Tok]) -> Vec<V
             let bang_macro = punct_at(toks, i + 1) == Some('!');
             if (name == "unwrap" || name == "expect") && method_call {
                 out.push(Violation {
+                    flow: Vec::new(),
                     line: tok.line + 1,
                     rule: Rule::L1,
                     message: format!(
@@ -311,6 +398,7 @@ pub fn check_tokens(ctx: &FileCtx, lines: &[ScannedLine], toks: &[Tok]) -> Vec<V
                 });
             } else if (name == "panic" || name == "todo" || name == "unimplemented") && bang_macro {
                 out.push(Violation {
+                    flow: Vec::new(),
                     line: tok.line + 1,
                     rule: Rule::L1,
                     message: format!("`{name}!` in library code (rule L1)"),
@@ -322,6 +410,7 @@ pub fn check_tokens(ctx: &FileCtx, lines: &[ScannedLine], toks: &[Tok]) -> Vec<V
             if let Some(target) = ident_at(toks, i + 1) {
                 if NUMERIC_TYPES.contains(&target) {
                     out.push(Violation {
+                        flow: Vec::new(),
                         line: tok.line + 1,
                         rule: Rule::L2,
                         message: format!(
@@ -335,6 +424,7 @@ pub fn check_tokens(ctx: &FileCtx, lines: &[ScannedLine], toks: &[Tok]) -> Vec<V
 
         if l5 && (name == "Instant" || name == "SystemTime") {
             out.push(Violation {
+                flow: Vec::new(),
                 line: tok.line + 1,
                 rule: Rule::L5,
                 message: format!(
@@ -394,6 +484,7 @@ fn check_pub_item(lines: &[ScannedLine], toks: &[Tok], pub_idx: usize) -> Option
         }
     }
     Some(Violation {
+        flow: Vec::new(),
         line: line + 1,
         rule: Rule::L4,
         message: format!("missing doc comment on `pub {item} {name}` (rule L4)"),
@@ -532,6 +623,7 @@ fn check_hash_iteration(toks: &[Tok], in_test: &[bool], out: &mut Vec<Violation>
                 if HASH_ITER_METHODS.contains(&method) && punct_at(toks, i + 3) == Some('(') {
                     if !order_safe_after(toks, i + 2) {
                         out.push(Violation {
+                            flow: Vec::new(),
                             line: toks[i + 2].line + 1,
                             rule: Rule::L6,
                             message: format!(
@@ -552,6 +644,7 @@ fn check_hash_iteration(toks: &[Tok], in_test: &[bool], out: &mut Vec<Violation>
         }
         if ident_at(toks, k) == Some("in") && !order_safe_after(toks, i) {
             out.push(Violation {
+                flow: Vec::new(),
                 line: tok.line + 1,
                 rule: Rule::L6,
                 message: format!(
@@ -708,6 +801,7 @@ fn check_cost_comparisons(toks: &[Tok], in_test: &[bool], out: &mut Vec<Violatio
                 && !sanctioned_nearby(toks, i)
             {
                 out.push(Violation {
+                    flow: Vec::new(),
                     line: tok.line + 1,
                     rule: Rule::L8,
                     message: "`.partial_cmp()` on f64 in core/sim library code — use \
@@ -773,6 +867,7 @@ fn check_cost_comparisons(toks: &[Tok], in_test: &[bool], out: &mut Vec<Violatio
             (op.is_ordering() && zero_operand(toks, before, after)) || sanctioned_nearby(toks, i);
         if fires && !exempt {
             out.push(Violation {
+                flow: Vec::new(),
                 line: tok.line + 1,
                 rule: Rule::L8,
                 message: format!(

@@ -3,11 +3,13 @@
 //! The workspace's vendored-std-only policy means no serde derive
 //! machinery here: the report is assembled by string building with
 //! explicit JSON escaping. The emitted document carries one run with the
-//! full L1–L8 rule metadata under `runs[0].tool.driver.rules` and one
+//! full L1–L11 rule metadata under `runs[0].tool.driver.rules` and one
 //! `result` per finding, `level: "error"` for violations over their
 //! `lint.allow` budget and `level: "note"` for allowlisted ones — so
 //! GitHub code scanning annotates regressions loudly while still
-//! surfacing the tracked debt.
+//! surfacing the tracked debt. Reachability findings (L9–L11) carry
+//! their root-to-construct call chain as a `codeFlows` thread flow,
+//! which code scanning renders as a step-through path.
 
 use crate::engine::Finding;
 use crate::rules::ALL_RULES;
@@ -94,6 +96,40 @@ pub fn to_sarif(findings: &[Finding]) -> String {
             "          \"message\": {{ \"text\": \"{}\" }},\n",
             escape(&finding.message)
         ));
+        if !finding.flow.is_empty() {
+            out.push_str(
+                "          \"codeFlows\": [\n            {\n              \
+                 \"threadFlows\": [\n                {\n                  \
+                 \"locations\": [\n",
+            );
+            for (step_idx, step) in finding.flow.iter().enumerate() {
+                out.push_str("                    {\n");
+                out.push_str("                      \"location\": {\n");
+                out.push_str("                        \"physicalLocation\": {\n");
+                out.push_str(&format!(
+                    "                          \"artifactLocation\": {{ \"uri\": \"{}\" }},\n",
+                    escape(&step.path)
+                ));
+                out.push_str(&format!(
+                    "                          \"region\": {{ \"startLine\": {} }}\n",
+                    step.line.max(1)
+                ));
+                out.push_str("                        },\n");
+                out.push_str(&format!(
+                    "                        \"message\": {{ \"text\": \"{}\" }}\n",
+                    escape(&step.message)
+                ));
+                out.push_str("                      }\n                    }");
+                if step_idx + 1 < finding.flow.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(
+                "                  ]\n                }\n              ]\n            \
+                 }\n          ],\n",
+            );
+        }
         out.push_str("          \"locations\": [\n            {\n");
         out.push_str("              \"physicalLocation\": {\n");
         out.push_str(&format!(

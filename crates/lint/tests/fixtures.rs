@@ -280,7 +280,7 @@ fn allowlist_budgets_parse_and_apply() {
 #[test]
 fn allowlist_rejects_malformed_lines() {
     for bad in [
-        "L9 some/path.rs 1",
+        "L12 some/path.rs 1",
         "L1 some/path.rs",
         "L1 some/path.rs x",
         "L1 some/path.rs 1 extra",

@@ -372,6 +372,7 @@ fn sarif_document_carries_rule_metadata_and_locations() {
             rule: Rule::L6,
             message: "iteration \"order\" is\nrandomized".to_owned(),
             over_budget: true,
+            flow: vec![],
         },
         Finding {
             path: "crates/core/src/cost.rs".to_owned(),
@@ -379,6 +380,7 @@ fn sarif_document_carries_rule_metadata_and_locations() {
             rule: Rule::L8,
             message: "direct cost comparison".to_owned(),
             over_budget: false,
+            flow: vec![],
         },
     ];
     let doc = to_sarif(&findings);
@@ -406,12 +408,15 @@ fn sarif_document_carries_rule_metadata_and_locations() {
         .get("rules")
         .and_then(Json::as_array)
         .expect("driver.rules");
-    assert_eq!(rules.len(), 8, "all eight rules are described");
+    assert_eq!(rules.len(), 11, "all eleven rules are described");
     let ids: Vec<&str> = rules
         .iter()
         .filter_map(|r| r.get("id").and_then(Json::as_str))
         .collect();
-    assert_eq!(ids, ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"]);
+    assert_eq!(
+        ids,
+        ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11"]
+    );
     for rule in rules {
         let short = rule
             .get("shortDescription")

@@ -656,15 +656,13 @@ impl PastryNetwork {
                     };
                     let outcome = if current == true_owner {
                         Ok(current)
-                    } else if self.nodes[&current.value()]
-                        .known_neighbors_with(extra)
-                        .iter()
-                        .any(|&w| {
+                    } else if self.nodes.get(&current.value()).is_some_and(|node| {
+                        node.known_neighbors_with(extra).iter().any(|&w| {
                             !excluded(w)
                                 && (self.ring_abs(w, key), w.value())
                                     < (self.ring_abs(current, key), current.value())
                         })
-                    {
+                    }) {
                         Err(LookupFailure::DeadEnd(current))
                     } else {
                         Err(LookupFailure::WrongOwner(current))
@@ -683,7 +681,11 @@ impl PastryNetwork {
                         // `trace.dead_probed`; if it was a cached pointer
                         // (absent from the core tables), ban the rest of
                         // the aux set here and fall back to core state.
-                        let core = self.nodes[&current.value()].known_neighbors_with(&[]);
+                        let core = self
+                            .nodes
+                            .get(&current.value())
+                            .map(|node| node.known_neighbors_with(&[]))
+                            .unwrap_or_default();
                         if core.binary_search(&next).is_err() {
                             aux_banned = true;
                             trace.fallbacks += 1;
@@ -734,7 +736,9 @@ impl PastryNetwork {
             return None;
         }
         let excluded = |w: Id| dead.iter().any(|&(p, t)| p == current && t == w);
-        let node = &self.nodes[&current.value()];
+        // `current` is always a live node here; degrade to "no next hop"
+        // rather than panic if the map ever disagrees (rule L10).
+        let node = self.nodes.get(&current.value())?;
         let mut known = node.known_neighbors_with(extra);
         known.retain(|&w| !excluded(w));
         if known.is_empty() {

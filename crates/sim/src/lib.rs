@@ -36,5 +36,6 @@ pub use faults::{fault_matrix, FaultMatrixCell, FaultMatrixConfig};
 pub use metrics::{reduction_pct, FaultMetrics, QueryMetrics};
 pub use overlay::{OverlayKind, QueryOutcome, SimOverlay};
 pub use stable::{
-    run_stable, run_stable_faulted, RankingMode, StableConfig, StableFaultReport, StableReport,
+    run_stable, run_stable_faulted, RankingMode, SelectionBench, StableConfig, StableFaultReport,
+    StableReport,
 };

@@ -20,8 +20,16 @@ use crate::overlay::{OverlayKind, SelectScratch, SimOverlay};
 
 /// Nodes per parallel selection task. Chunking is by fixed size — never by
 /// thread count — and each chunk starts from a fresh [`SelectScratch`], so
-/// the selected sets are bit-identical at any thread count.
-const SELECT_CHUNK: usize = 32;
+/// the selected sets are bit-identical at any thread count (and at any
+/// chunk size: each node's selection is a pure function of its inputs, so
+/// this knob moves only dispatch overhead, never results).
+///
+/// Tuned via `perf_baseline`'s `select_fanout_c*` sweep: 64 beat the old
+/// 32 by ~2 % (fewer dispatches and scratch warm-ups) while still leaving
+/// ≥ 4 chunks at fig3's smallest paper point (n = 256), so a 4-thread
+/// pool keeps full load-balance. 128 measured another ~4 % faster on a
+/// single-core host but halves the available parallelism at n = 256.
+const SELECT_CHUNK: usize = 64;
 
 /// Resolve the auxiliary set of `id` from a measurement pass's side table
 /// (`None` = the core-only pass).
@@ -177,14 +185,28 @@ pub fn run_stable(config: &StableConfig) -> StableReport {
     }
 }
 
-/// Build the shared stable-mode state: topology, workloads, and both
-/// strategies' auxiliary selections.
-fn build_stable(config: &StableConfig) -> StableSetup {
+/// The stable-mode state shared by the real drivers and the selection
+/// bench: topology, workloads and the per-ranking owner-weight
+/// aggregates — everything the aware fan-out consumes, nothing the
+/// measurement passes add on top.
+struct SelectionInputs {
+    node_ids: Vec<Id>,
+    catalog: ItemCatalog,
+    zipf: Zipf,
+    assignment: RankingAssignment,
+    overlay: SimOverlay,
+    pool_weights: Vec<FrequencySnapshot>,
+}
+
+/// Build the selection inputs. Split out of [`build_stable`] so
+/// [`SelectionBench`] shares the exact construction path (each RNG
+/// stream is independently seeded, so stopping before the oblivious
+/// draws consumes nothing the full build would not).
+fn build_selection_inputs(config: &StableConfig) -> SelectionInputs {
     assert!(config.nodes > 0 && config.items > 0);
     let space = IdSpace::new(config.bits).expect("valid id width");
     let mut rng_topology = StdRng::seed_from_u64(config.seed);
     let mut rng_workload = StdRng::seed_from_u64(config.seed.wrapping_add(1));
-    let mut rng_select = StdRng::seed_from_u64(config.seed.wrapping_add(3));
 
     let node_ids = random_ids(space, config.nodes, &mut rng_topology);
     let catalog = ItemCatalog::random(space, config.items, &mut rng_topology);
@@ -209,6 +231,80 @@ fn build_stable(config: &StableConfig) -> StableSetup {
             FrequencySnapshot::from_pairs(wl.node_weights(config.items, |i| owners[i]))
         })
         .collect();
+    SelectionInputs {
+        node_ids,
+        catalog,
+        zipf,
+        assignment,
+        overlay,
+        pool_weights,
+    }
+}
+
+/// The frequency-aware selection fan-out at an explicit chunk size: one
+/// pool task per chunk of nodes, one [`SelectScratch`] per task, so
+/// every solve after a chunk's first reuses the warmed solver
+/// workspaces. Each node's selection is a pure function of
+/// `(node, freqs, k)` — the workspace contract — so the returned sets
+/// are identical for every chunk size and thread count; only the
+/// dispatch economics move.
+fn select_aware_sets(inputs: &SelectionInputs, k: usize, chunk: usize) -> Vec<Vec<Id>> {
+    peercache_par::par_map_chunked(&inputs.node_ids, chunk, |start, nodes| {
+        let mut scratch = SelectScratch::new();
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(offset, &node)| {
+                let freqs = &inputs.pool_weights[inputs.assignment.pool_index(start + offset)];
+                inputs
+                    .overlay
+                    .select_aware_into(node, freqs, k, &mut scratch)
+                    .expect("stable problems are well-formed")
+                    .aux
+            })
+            .collect()
+    })
+}
+
+/// Pre-built inputs for timing the aware-selection fan-out at explicit
+/// chunk sizes — the bench hook behind `perf_baseline`'s chunk sweep
+/// that tunes [`SELECT_CHUNK`].
+pub struct SelectionBench {
+    inputs: SelectionInputs,
+    k: usize,
+}
+
+impl SelectionBench {
+    /// Build the fan-out inputs once, via the same construction path as
+    /// the real stable drivers.
+    pub fn new(config: &StableConfig) -> Self {
+        SelectionBench {
+            inputs: build_selection_inputs(config),
+            k: config.k,
+        }
+    }
+
+    /// Run the fan-out at `chunk` nodes per pool task; returns the total
+    /// number of selected auxiliary pointers (a black-boxable checksum —
+    /// identical for every chunk size).
+    pub fn run(&self, chunk: usize) -> usize {
+        select_aware_sets(&self.inputs, self.k, chunk)
+            .iter()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// The chunk size the real drivers use, so the sweep can mark it.
+    pub fn committed_chunk() -> usize {
+        SELECT_CHUNK
+    }
+}
+
+/// Build the shared stable-mode state: topology, workloads, and both
+/// strategies' auxiliary selections.
+fn build_stable(config: &StableConfig) -> StableSetup {
+    let inputs = build_selection_inputs(config);
+    let mut rng_select = StdRng::seed_from_u64(config.seed.wrapping_add(3));
 
     // Per-node selections under both strategies. The oblivious baseline
     // stays serial: it draws from a single `rng_select` stream whose
@@ -219,33 +315,26 @@ fn build_stable(config: &StableConfig) -> StableSetup {
     // distance slice over the whole ring (§VI-A), not just over the
     // nodes that happen to own items.
     let mut oblivious_sets = Vec::with_capacity(config.nodes);
-    for &node in node_ids.iter() {
-        let oblivious = overlay
+    for &node in inputs.node_ids.iter() {
+        let oblivious = inputs
+            .overlay
             .select_oblivious_uniform(node, config.k, &mut rng_select)
             .expect("stable problems are well-formed");
         oblivious_sets.push(oblivious.aux);
     }
-    // The aware DP solves are pure functions of (node, frequencies) — the
-    // hot inner loop of a stable run — and fan out over the pool in fixed
-    // chunks, each worker carrying one `SelectScratch` so every solve
-    // after a chunk's first reuses the warmed solver workspaces. Order
+    // The aware DP solves — the hot inner loop of a stable run — fan out
+    // over the pool in fixed chunks (never by thread count). Order
     // preservation keeps `aware_sets[idx]` aligned with `node_ids[idx]`.
-    let aware_sets: Vec<Vec<Id>> =
-        peercache_par::par_map_chunked(&node_ids, SELECT_CHUNK, |start, chunk| {
-            let mut scratch = SelectScratch::new();
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(offset, &node)| {
-                    let freqs = &pool_weights[assignment.pool_index(start + offset)];
-                    overlay
-                        .select_aware_into(node, freqs, config.k, &mut scratch)
-                        .expect("stable problems are well-formed")
-                        .aux
-                })
-                .collect()
-        });
+    let aware_sets = select_aware_sets(&inputs, config.k, SELECT_CHUNK);
 
+    let SelectionInputs {
+        node_ids,
+        catalog,
+        zipf,
+        assignment,
+        overlay,
+        pool_weights: _,
+    } = inputs;
     // The measurement passes resolve auxiliary sets by *id* from a side
     // table; `node_ids` are in generation order.
     let per_node_workloads: Vec<NodeWorkload> = (0..config.nodes)

@@ -506,7 +506,9 @@ impl TapestryNetwork {
             return None;
         }
         let excluded = |w: Id| dead.iter().any(|&(p, t)| p == current && t == w);
-        let node = &self.nodes[&current.value()];
+        // `current` is always a live node here; degrade to "no next hop"
+        // rather than panic if the map ever disagrees (rule L10).
+        let node = self.nodes.get(&current.value())?;
         let l = self.lcp(current, key);
         // Prefix-progress candidates (table entries + auxiliaries).
         let best = node
@@ -528,7 +530,13 @@ impl TapestryNetwork {
                 if v == own {
                     break; // current carries this digit; next row
                 }
-                if let Some(w) = node.rows[row as usize][v] {
+                let slot = node
+                    .rows
+                    .get(row as usize)
+                    .and_then(|r| r.get(v))
+                    .copied()
+                    .flatten();
+                if let Some(w) = slot {
                     if !excluded(w) {
                         return Some(w);
                     }
@@ -598,11 +606,11 @@ impl TapestryNetwork {
                     };
                     let outcome = if current == true_owner {
                         Ok(current)
-                    } else if self.nodes[&current.value()]
-                        .known_neighbors_with(extra)
-                        .iter()
-                        .all(|&w| excluded(w))
-                        && self.len() > 1
+                    } else if self.nodes.get(&current.value()).is_some_and(|node| {
+                        node.known_neighbors_with(extra)
+                            .iter()
+                            .all(|&w| excluded(w))
+                    }) && self.len() > 1
                     {
                         Err(LookupFailure::DeadEnd(current))
                     } else {
@@ -622,7 +630,11 @@ impl TapestryNetwork {
                         // `trace.dead_probed`; if it was a cached pointer
                         // (absent from the core tables), ban the rest of
                         // the aux set here and fall back to core state.
-                        let core = self.nodes[&current.value()].known_neighbors_with(&[]);
+                        let core = self
+                            .nodes
+                            .get(&current.value())
+                            .map(|node| node.known_neighbors_with(&[]))
+                            .unwrap_or_default();
                         if core.binary_search(&next).is_err() {
                             aux_banned = true;
                             trace.fallbacks += 1;
