@@ -1,0 +1,358 @@
+//! `fig3_scale` — Figure 3's stable-mode comparison beyond the
+//! materialised substrates.
+//!
+//! Two stages:
+//!
+//! 1. **Parity** at n = 2¹⁰: [`run_stable_sharded`] against the
+//!    monolithic [`run_stable`] across shard counts {1, 4} × thread
+//!    counts {1, 4}. Any byte-level divergence fails the run — the
+//!    CI-checkable form of the sharded engine's bit-identity contract.
+//! 2. **Scale** at 10⁵ (default; 10⁶ via `--million`): the
+//!    virtual-arena engine of [`run_scale_stable`], whose rows are
+//!    bit-identical at any `--threads` and `--shards`.
+//!
+//! Built with `--features count-allocs`, the scale stage also reports
+//! the live-heap high-water mark divided by the population — the
+//! bytes-per-node gauge — and **fails** when it exceeds
+//! `--max-bytes-per-node`, the committed memory ceiling the CI `scale`
+//! job gates against.
+//!
+//! ```text
+//! fig3_scale [--quick] [--n N] [--million] [--seed N] [--threads T]
+//!            [--shards S] [--json PATH] [--max-bytes-per-node B]
+//!            [--skip-parity]
+//! ```
+
+use peercache_bench::{teeln, Tee};
+use peercache_par::with_threads;
+use peercache_pastry::RoutingMode;
+use peercache_sim::{
+    run_scale_stable, run_stable, run_stable_sharded, OverlayKind, QueryMetrics, RankingMode,
+    ScaleConfig, StableConfig,
+};
+use serde::Serialize;
+
+/// The population of the parity stage: large enough to exercise many
+/// shards, small enough for the O(n²) materialised build.
+const PARITY_N: usize = 1 << 10;
+
+#[derive(Serialize)]
+struct ParityCell {
+    shards: usize,
+    threads: usize,
+    matches: bool,
+}
+
+#[derive(Serialize)]
+struct ScaleRow {
+    n: usize,
+    k: usize,
+    alpha: f64,
+    shards: usize,
+    avg_hops_aware: f64,
+    avg_hops_oblivious: f64,
+    avg_hops_core_only: f64,
+    reduction_pct: f64,
+    success_aware: f64,
+    success_oblivious: f64,
+    success_core_only: f64,
+}
+
+#[derive(Serialize)]
+struct MemoryGauge {
+    nodes: usize,
+    peak_bytes: u64,
+    bytes_per_node: f64,
+    /// The gate ceiling, when one was requested.
+    max_bytes_per_node: Option<u64>,
+}
+
+/// The machine-readable report `--json` writes: the bit-identical
+/// `rows` separated from the environmental `gauge` (absent without
+/// `count-allocs` — heap peaks are a property of the build, not of the
+/// experiment's deterministic outputs).
+#[derive(Serialize)]
+struct ScaleDoc {
+    quick: bool,
+    threads: usize,
+    seed: u64,
+    parity_n: usize,
+    parity: Vec<ParityCell>,
+    rows: Vec<ScaleRow>,
+    gauge: Option<MemoryGauge>,
+}
+
+struct Args {
+    quick: bool,
+    n: usize,
+    seed: u64,
+    shards: Option<usize>,
+    json: Option<String>,
+    max_bytes_per_node: Option<u64>,
+    skip_parity: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        n: 100_000,
+        seed: 1,
+        shards: None,
+        json: None,
+        max_bytes_per_node: None,
+        skip_parity: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    let positive = |v: Option<String>, what: &str| -> u64 {
+        v.and_then(|s| s.parse().ok())
+            .filter(|&x| x > 0)
+            .unwrap_or_else(|| panic!("{what} takes a positive integer"))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--n" => args.n = positive(argv.next(), "--n") as usize,
+            "--million" => args.n = 1_000_000,
+            "--seed" => {
+                args.seed = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--threads" => {
+                peercache_par::set_threads(positive(argv.next(), "--threads") as usize);
+            }
+            "--shards" => args.shards = Some(positive(argv.next(), "--shards") as usize),
+            "--json" => args.json = Some(argv.next().expect("--json takes a path")),
+            "--max-bytes-per-node" => {
+                args.max_bytes_per_node = Some(positive(argv.next(), "--max-bytes-per-node"));
+            }
+            "--skip-parity" => args.skip_parity = true,
+            other => panic!(
+                "unknown argument {other}; usage: [--quick] [--n N] [--million] \
+                 [--seed N] [--threads T] [--shards S] [--json PATH] \
+                 [--max-bytes-per-node B] [--skip-parity]"
+            ),
+        }
+    }
+    args
+}
+
+#[cfg(feature = "count-allocs")]
+fn gauge_reset() {
+    peercache_bench::alloc_count::reset_peak();
+}
+
+#[cfg(not(feature = "count-allocs"))]
+fn gauge_reset() {}
+
+#[cfg(feature = "count-allocs")]
+fn gauge_peak() -> Option<u64> {
+    Some(peercache_bench::alloc_count::peak_bytes())
+}
+
+#[cfg(not(feature = "count-allocs"))]
+fn gauge_peak() -> Option<u64> {
+    None
+}
+
+/// Run the sharded-vs-monolithic parity sweep; returns the cells and
+/// whether every one matched.
+fn parity_stage(tee: &mut Tee, quick: bool, seed: u64) -> (Vec<ParityCell>, bool) {
+    let mut config = StableConfig::paper_defaults(
+        OverlayKind::Pastry {
+            digit_bits: 1,
+            mode: RoutingMode::LocalityAware,
+        },
+        PARITY_N,
+        seed,
+    );
+    config.ranking = RankingMode::Identical;
+    if quick {
+        config.queries = 5_000;
+    }
+    teeln!(
+        tee,
+        "parity: run_stable_sharded vs run_stable (pastry n={PARITY_N} k={} queries={})",
+        config.k,
+        config.queries
+    );
+    let monolithic = run_stable(&config);
+    let mut cells = Vec::new();
+    let mut all_match = true;
+    for shards in [1usize, 4] {
+        for threads in [1usize, 4] {
+            let report = with_threads(threads, || run_stable_sharded(&config, shards));
+            let matches = report == monolithic;
+            all_match &= matches;
+            teeln!(
+                tee,
+                "  shards={shards} threads={threads}  reduction={:+.2} %  {}",
+                report.reduction_pct,
+                if matches { "identical" } else { "DIVERGED" }
+            );
+            cells.push(ParityCell {
+                shards,
+                threads,
+                matches,
+            });
+        }
+    }
+    teeln!(
+        tee,
+        "  monolithic reduction={:+.2} %  (aware {:.3} vs oblivious {:.3} hops)",
+        monolithic.reduction_pct,
+        monolithic.aware.avg_hops(),
+        monolithic.oblivious.avg_hops()
+    );
+    (cells, all_match)
+}
+
+fn scale_row(
+    config: &ScaleConfig,
+    aware: &QueryMetrics,
+    obl: &QueryMetrics,
+    core: &QueryMetrics,
+    reduction_pct: f64,
+) -> ScaleRow {
+    ScaleRow {
+        n: config.nodes,
+        k: config.k,
+        alpha: config.alpha,
+        shards: config.shards,
+        avg_hops_aware: aware.avg_hops(),
+        avg_hops_oblivious: obl.avg_hops(),
+        avg_hops_core_only: core.avg_hops(),
+        reduction_pct,
+        success_aware: aware.success_rate(),
+        success_oblivious: obl.success_rate(),
+        success_core_only: core.success_rate(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut tee = Tee::create("fig3_scale");
+    teeln!(
+        tee,
+        "fig3_scale: n={} seed={} threads={} quick={}",
+        args.n,
+        args.seed,
+        peercache_par::threads(),
+        args.quick
+    );
+
+    let (parity, parity_ok) = if args.skip_parity {
+        (Vec::new(), true)
+    } else {
+        parity_stage(&mut tee, args.quick, args.seed)
+    };
+
+    let mut config = ScaleConfig::paper_defaults(args.n, args.seed);
+    if let Some(shards) = args.shards {
+        config.shards = shards;
+    }
+    teeln!(
+        tee,
+        "scale: virtual-arena pastry n={} k={} shards={} queries={}",
+        config.nodes,
+        config.k,
+        config.shards,
+        config.queries
+    );
+    gauge_reset();
+    let report = run_scale_stable(&config);
+    let row = scale_row(
+        &config,
+        &report.aware,
+        &report.oblivious,
+        &report.core_only,
+        report.reduction_pct,
+    );
+    teeln!(
+        tee,
+        "  aware     {:>8.3} hops  success {:.4}",
+        row.avg_hops_aware,
+        row.success_aware
+    );
+    teeln!(
+        tee,
+        "  oblivious {:>8.3} hops  success {:.4}",
+        row.avg_hops_oblivious,
+        row.success_oblivious
+    );
+    teeln!(
+        tee,
+        "  core-only {:>8.3} hops  success {:.4}",
+        row.avg_hops_core_only,
+        row.success_core_only
+    );
+    teeln!(
+        tee,
+        "  reduction aware vs oblivious: {:+.2} %",
+        row.reduction_pct
+    );
+
+    let gauge = gauge_peak().map(|peak| {
+        let bytes_per_node = peak as f64 / config.nodes as f64;
+        teeln!(
+            tee,
+            "  memory gauge: peak {peak} live heap bytes, {bytes_per_node:.1} bytes/node"
+        );
+        MemoryGauge {
+            nodes: config.nodes,
+            peak_bytes: peak,
+            bytes_per_node,
+            max_bytes_per_node: args.max_bytes_per_node,
+        }
+    });
+
+    let doc = ScaleDoc {
+        quick: args.quick,
+        threads: peercache_par::threads(),
+        seed: args.seed,
+        parity_n: if args.skip_parity { 0 } else { PARITY_N },
+        parity,
+        rows: vec![row],
+        gauge,
+    };
+    if let Some(path) = &args.json {
+        let body = serde_json::to_string_pretty(&doc).expect("report serialises");
+        std::fs::write(path, body).expect("write JSON report");
+        teeln!(tee, "(report written to {path})");
+    }
+    teeln!(tee, "(output mirrored to {})", tee.path().display());
+
+    let mut failed = false;
+    if !parity_ok {
+        eprintln!("parity FAILED: the sharded driver diverged from the monolithic one");
+        failed = true;
+    }
+    if let Some(ceiling) = args.max_bytes_per_node {
+        match &doc.gauge {
+            Some(g) if g.bytes_per_node > ceiling as f64 => {
+                eprintln!(
+                    "memory gauge FAILED: {:.1} bytes/node exceeds the {ceiling} ceiling",
+                    g.bytes_per_node
+                );
+                failed = true;
+            }
+            Some(g) => {
+                println!(
+                    "memory gauge ok: {:.1} bytes/node within the {ceiling} ceiling",
+                    g.bytes_per_node
+                );
+            }
+            None => {
+                eprintln!(
+                    "--max-bytes-per-node needs the count-allocs feature; \
+                     rebuild with --features count-allocs"
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -25,6 +25,11 @@
 //! workspace kernel allocates at all: the zero-alloc contract is a hard
 //! gate, not a statistic. Without the feature the field is `null`.
 //!
+//! The same build also fills the report's `memory` section: peak
+//! live-heap bytes-per-node gauges for the monolithic stable driver and
+//! the sharded scale engine (informational — the CI memory ceiling is
+//! gated by `fig3_scale --max-bytes-per-node`, not here).
+//!
 //! ```text
 //! perf_baseline [--quick] [--label NAME] [--threads N]
 //!               [--baseline PATH] [--tolerance PCT]
@@ -77,6 +82,19 @@ struct KernelReport {
     gated: bool,
 }
 
+/// One live-heap high-water measurement from the counting allocator:
+/// the peak footprint of a named simulation region divided by its
+/// population. Informational (never gated on units — heap layout is a
+/// property of the build, not the host), present only under
+/// `count-allocs`.
+#[derive(Serialize)]
+struct MemoryGauge {
+    region: String,
+    nodes: usize,
+    peak_bytes: u64,
+    bytes_per_node: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     label: String,
@@ -84,6 +102,8 @@ struct BenchReport {
     threads: usize,
     calibration_ns_per_mix: f64,
     kernels: Vec<KernelReport>,
+    /// Bytes-per-node gauges (empty without `count-allocs`).
+    memory: Vec<MemoryGauge>,
 }
 
 struct Profile {
@@ -246,26 +266,31 @@ fn parse_args() -> Args {
 }
 
 fn micro_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>) {
-    let mut push = |name: &str, config: &str, ops: u64, ns_total: f64, alloc: Option<f64>| {
-        let ns_per_op = ns_total / ops as f64;
-        let alloc_note = alloc.map_or(String::new(), |a| format!("  ({a:.1} allocs/op)"));
-        println!(
-            "  {name:<24} {config:<28} {ns_per_op:>14.1} ns/op {:>12.2} units{alloc_note}",
-            ns_per_op / calib
-        );
-        kernels.push(KernelReport {
-            kernel: name.to_string(),
-            config: config.to_string(),
-            ns_per_op,
-            units: ns_per_op / calib,
-            ops_per_iter: ops,
-            samples: profile.samples,
-            threads: 1,
-            speedup_vs_serial: None,
-            alloc_per_op: alloc,
-            gated: true,
-        });
-    };
+    // Each row records the worker width that *actually ran* the kernel —
+    // plumbed per call site, never assumed. A previous revision hardcoded
+    // `threads: 1` here, which silently mislabelled any kernel that
+    // touched the pool.
+    let mut push =
+        |name: &str, config: &str, ops: u64, threads: usize, ns_total: f64, alloc: Option<f64>| {
+            let ns_per_op = ns_total / ops as f64;
+            let alloc_note = alloc.map_or(String::new(), |a| format!("  ({a:.1} allocs/op)"));
+            println!(
+                "  {name:<24} {config:<28} {ns_per_op:>14.1} ns/op {:>12.2} units{alloc_note}",
+                ns_per_op / calib
+            );
+            kernels.push(KernelReport {
+                kernel: name.to_string(),
+                config: config.to_string(),
+                ns_per_op,
+                units: ns_per_op / calib,
+                ops_per_iter: ops,
+                samples: profile.samples,
+                threads,
+                speedup_vs_serial: None,
+                alloc_per_op: alloc,
+                gated: true,
+            });
+        };
 
     // Solver kernel sizes are identical in --quick and full runs so the
     // kernel names line up with the committed --quick baseline.
@@ -284,12 +309,13 @@ fn micro_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>)
         std::hint::black_box(chord_ws.solve_into(&big).expect("solvable"));
     });
     require_zero_alloc("chord_fast_dp", alloc);
-    push("chord_fast_dp", "n=1024 k=10 alpha=1.2", 1, ns, alloc);
+    push("chord_fast_dp", "n=1024 k=10 alpha=1.2", 1, 1, ns, alloc);
 
     let prepared = PreparedChord::new(&big).expect("well-formed");
     push(
         "chord_oracle_dp_phase",
         "n=1024 k=10 (rebase hoisted)",
+        1,
         1,
         time_median(profile.samples, profile.warmup, || {
             std::hint::black_box(prepared.solve(10).expect("solvable"));
@@ -308,6 +334,7 @@ fn micro_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>)
     push(
         "chord_naive_dp",
         "n=256 k=8 alpha=1.2",
+        1,
         1,
         time_median(profile.samples, profile.warmup, || {
             std::hint::black_box(select_naive(&small).expect("solvable"));
@@ -332,12 +359,13 @@ fn micro_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>)
         std::hint::black_box(pastry_ws.solve_into(&pastry_big).expect("solvable"));
     });
     require_zero_alloc("pastry_greedy_dp", alloc);
-    push("pastry_greedy_dp", "n=1024 k=10 alpha=1.2", 1, ns, alloc);
+    push("pastry_greedy_dp", "n=1024 k=10 alpha=1.2", 1, 1, ns, alloc);
 
     let pastry_small = random_pastry_problem(256, 8, 1.2, 11);
     push(
         "pastry_exact_dp",
         "n=256 k=8 alpha=1.2",
+        1,
         1,
         time_median(profile.samples, profile.warmup, || {
             std::hint::black_box(select_dp(&pastry_small).expect("solvable"));
@@ -356,6 +384,7 @@ fn micro_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>)
         "space_saving_update",
         "capacity=64 stream=100k zipf1.2",
         STREAM as u64,
+        1,
         time_median(profile.samples, profile.warmup, || {
             let mut top = SpaceSaving::new(64);
             for &p in &stream {
@@ -477,6 +506,56 @@ fn e2e_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>) {
     }
 }
 
+/// The bytes-per-node memory gauges: peak live-heap of the monolithic
+/// stable driver against the sharded scale engine at a population the
+/// materialised path could never hold per-node state for. Query counts
+/// are trimmed — the peak is set by topology and slabs, not routing.
+#[cfg(feature = "count-allocs")]
+fn memory_gauges() -> Vec<MemoryGauge> {
+    use peercache_bench::alloc_count::{peak_bytes, reset_peak};
+    use peercache_sim::{run_scale_stable, run_stable, ScaleConfig};
+
+    let mut gauges = Vec::new();
+    let mut gauge = |region: &str, nodes: usize, run: &mut dyn FnMut()| {
+        reset_peak();
+        run();
+        let peak = peak_bytes();
+        let bytes_per_node = peak as f64 / nodes as f64;
+        println!("  {region:<24} n={nodes:<8} peak {peak:>12} B {bytes_per_node:>12.1} B/node");
+        gauges.push(MemoryGauge {
+            region: region.to_string(),
+            nodes,
+            peak_bytes: peak,
+            bytes_per_node,
+        });
+    };
+
+    let mut stable = StableConfig::paper_defaults(
+        OverlayKind::Pastry {
+            digit_bits: 1,
+            mode: RoutingMode::LocalityAware,
+        },
+        1024,
+        1,
+    );
+    stable.queries = 5_000;
+    gauge("stable_monolithic", stable.nodes, &mut || {
+        std::hint::black_box(run_stable(&stable));
+    });
+
+    let mut scale = ScaleConfig::paper_defaults(16_384, 1);
+    scale.queries = 5_000;
+    gauge("scale_sharded", scale.nodes, &mut || {
+        std::hint::black_box(run_scale_stable(&scale));
+    });
+    gauges
+}
+
+#[cfg(not(feature = "count-allocs"))]
+fn memory_gauges() -> Vec<MemoryGauge> {
+    Vec::new()
+}
+
 /// Compare a fresh report against a committed baseline; returns the
 /// number of gated kernels that regressed beyond `tolerance` percent.
 fn check_against_baseline(report: &BenchReport, path: &str, tolerance: f64) -> usize {
@@ -538,6 +617,10 @@ fn main() {
     chunk_sweep_kernels(profile, calib, &mut kernels);
     println!("end-to-end sweeps (median of {}):", profile.e2e_samples);
     e2e_kernels(profile, calib, &mut kernels);
+    if cfg!(feature = "count-allocs") {
+        println!("memory gauges (count-allocs live-heap peaks):");
+    }
+    let memory = memory_gauges();
 
     let report = BenchReport {
         label: label.clone(),
@@ -545,6 +628,7 @@ fn main() {
         threads: peercache_par::threads(),
         calibration_ns_per_mix: calib,
         kernels,
+        memory,
     };
     std::fs::create_dir_all("out").expect("create out/ directory");
     let path = format!("out/BENCH_{label}.json");

@@ -325,6 +325,86 @@ mod tests {
         assert_eq!(row.get("flag").and_then(Json::as_bool), Some(false));
     }
 
+    /// The `memory` section `perf_baseline` emits under `count-allocs`
+    /// must survive a serialise → parse round-trip, so future gates can
+    /// read committed gauges the way the units gate reads kernels.
+    #[test]
+    fn round_trips_memory_gauge_sections() {
+        #[derive(serde::Serialize)]
+        struct MemoryGauge {
+            region: String,
+            nodes: u64,
+            peak_bytes: u64,
+            bytes_per_node: f64,
+        }
+        #[derive(serde::Serialize)]
+        struct Doc {
+            label: String,
+            memory: Vec<MemoryGauge>,
+        }
+        let body = serde_json::to_string_pretty(&Doc {
+            label: "baseline".to_string(),
+            memory: vec![MemoryGauge {
+                region: "scale_sharded".to_string(),
+                nodes: 16_384,
+                peak_bytes: 9_650_176,
+                bytes_per_node: 589.0,
+            }],
+        })
+        .unwrap();
+        let doc = Json::parse(&body).unwrap();
+        let memory = doc.get("memory").and_then(Json::as_array).unwrap();
+        assert_eq!(memory.len(), 1);
+        assert_eq!(
+            memory[0].get("region").and_then(Json::as_str),
+            Some("scale_sharded")
+        );
+        assert_eq!(
+            memory[0].get("peak_bytes").and_then(Json::as_f64),
+            Some(9_650_176.0)
+        );
+        assert_eq!(
+            memory[0].get("bytes_per_node").and_then(Json::as_f64),
+            Some(589.0)
+        );
+    }
+
+    /// The `fig3_scale` report: a nullable `gauge` object whose ceiling
+    /// field is itself nullable — both states must parse back.
+    #[test]
+    fn round_trips_scale_gauge_with_optional_ceiling() {
+        #[derive(serde::Serialize)]
+        struct Gauge {
+            nodes: u64,
+            peak_bytes: u64,
+            bytes_per_node: f64,
+            max_bytes_per_node: Option<u64>,
+        }
+        #[derive(serde::Serialize)]
+        struct Doc {
+            gauge: Option<Gauge>,
+        }
+        let body = serde_json::to_string_pretty(&Doc {
+            gauge: Some(Gauge {
+                nodes: 100_000,
+                peak_bytes: 60_838_117,
+                bytes_per_node: 608.4,
+                max_bytes_per_node: None,
+            }),
+        })
+        .unwrap();
+        let doc = Json::parse(&body).unwrap();
+        let gauge = doc.get("gauge").unwrap();
+        assert_eq!(
+            gauge.get("bytes_per_node").and_then(Json::as_f64),
+            Some(608.4)
+        );
+        assert_eq!(gauge.get("max_bytes_per_node"), Some(&Json::Null));
+
+        let absent = Json::parse(r#"{"gauge": null}"#).unwrap();
+        assert_eq!(absent.get("gauge"), Some(&Json::Null));
+    }
+
     #[test]
     fn rejects_malformed_documents() {
         assert!(Json::parse("{").is_err());

@@ -68,17 +68,26 @@ impl ChordNode {
     /// The core (non-auxiliary) neighbors: fingers plus successor list.
     /// This is the `N_s` handed to the selection algorithms.
     pub fn core_neighbors(&self) -> Vec<Id> {
-        let mut out: Vec<Id> = self
-            .fingers
-            .iter()
-            .flatten()
-            .copied()
-            .chain(self.successors.iter().copied())
-            .filter(|&n| n != self.id)
-            .collect();
-        out.sort();
-        out.dedup();
+        let mut out = Vec::new();
+        self.core_neighbors_into(&mut out);
         out
+    }
+
+    /// [`core_neighbors`](Self::core_neighbors) into a caller-owned
+    /// buffer — the arena-facing walk API: a sweep over many nodes reuses
+    /// one buffer instead of allocating a fresh vector per node.
+    pub fn core_neighbors_into(&self, out: &mut Vec<Id>) {
+        out.clear();
+        out.extend(
+            self.fingers
+                .iter()
+                .flatten()
+                .copied()
+                .chain(self.successors.iter().copied())
+                .filter(|&n| n != self.id),
+        );
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Drop a (discovered-dead) neighbor from every routing structure.

@@ -109,6 +109,99 @@ where
     out
 }
 
+/// The deterministic shard partition used by the sharded simulation
+/// engine: `shards` contiguous, maximally balanced `[start, end)` ranges
+/// over `0..len`, in shard order. Shard `s` owns
+/// `[⌊s·len/S⌋, ⌊(s+1)·len/S⌋)`, so the partition is a pure function of
+/// `(len, shards)` — never of the thread count — and every consumer
+/// (selection fan-outs, arena layouts, bench gauges) slices identically.
+///
+/// `shards` is clamped to at least 1; shards beyond `len` come out empty.
+pub fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.max(1);
+    (0..shards)
+        .map(|s| (s * len / shards, (s + 1) * len / shards))
+        .collect()
+}
+
+/// Map `f` over mutable items on the pool, preserving input order in the
+/// returned vector — the fan-out behind per-shard arenas, where each task
+/// owns one shard's mutable state (counters, optimizers, slabs) for its
+/// whole run.
+///
+/// The determinism contract is the same as [`par_map`]'s: each item is
+/// visited exactly once, by exactly one worker, and the result vector is
+/// in input order. Tasks must not communicate; each `&mut T` is handed to
+/// a single task for exclusive use.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let threads = threads();
+    let len = items.len();
+    if threads <= 1 || len <= 1 || IN_POOL.with(Cell::get) {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Same scheme as `par_map_with`, with a hand-off cell per item: a
+    // worker claims index `i` by atomic increment and *takes* the `&mut T`
+    // out of its cell, so exclusive access is enforced by construction.
+    let next = AtomicUsize::new(0);
+    let cells: Vec<Mutex<Option<&mut T>>> = items.iter_mut().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let mut panic_payload = None;
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(len))
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_POOL.with(|p| p.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        let item = match cells[i].lock() {
+                            Ok(mut cell) => cell.take(),
+                            Err(poisoned) => poisoned.into_inner().take(),
+                        };
+                        // The atomic hands each index to one worker, so
+                        // the cell is always still full here.
+                        let Some(item) = item else { break };
+                        let result = f(i, item);
+                        match slots[i].lock() {
+                            Ok(mut slot) => *slot = Some(result),
+                            Err(poisoned) => *poisoned.into_inner() = Some(result),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panic_payload.get_or_insert(payload);
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            let inner = match slot.into_inner() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match inner {
+                Some(r) => r,
+                None => unreachable!("par_map_mut slot left unfilled after scope join"),
+            }
+        })
+        .collect()
+}
+
 /// [`par_map`] with an explicit thread count (`threads <= 1` runs the
 /// serial inline path; so does any call issued from inside a pool worker).
 pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>

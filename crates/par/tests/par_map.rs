@@ -137,3 +137,55 @@ fn with_threads_restores_on_panic() {
     }));
     assert_eq!(peercache_par::threads(), before);
 }
+
+#[test]
+fn shard_bounds_partition_exactly() {
+    for len in [0usize, 1, 7, 64, 1000, 100_003] {
+        for shards in [1usize, 2, 4, 16, 63] {
+            let bounds = peercache_par::shard_bounds(len, shards);
+            assert_eq!(bounds.len(), shards);
+            assert_eq!(bounds[0].0, 0);
+            assert_eq!(bounds[shards - 1].1, len);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            // Maximally balanced: sizes differ by at most one.
+            let sizes: Vec<usize> = bounds.iter().map(|&(a, b)| b - a).collect();
+            let (min, max) = (sizes.iter().min(), sizes.iter().max());
+            assert!(max.unwrap() - min.unwrap() <= 1);
+        }
+    }
+    // Clamped: zero shards behaves as one.
+    assert_eq!(peercache_par::shard_bounds(5, 0), vec![(0, 5)]);
+}
+
+#[test]
+fn par_map_mut_visits_each_item_once_in_order() {
+    for threads in [1usize, 4] {
+        with_threads(threads, || {
+            let mut items: Vec<u64> = (0..257).collect();
+            let out = peercache_par::par_map_mut(&mut items, |i, item| {
+                *item += 1;
+                (i, *item)
+            });
+            for (i, &(idx, val)) in out.iter().enumerate() {
+                assert_eq!(idx, i, "input order preserved");
+                assert_eq!(val, i as u64 + 1, "each item mutated exactly once");
+            }
+            assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+        });
+    }
+}
+
+#[test]
+fn par_map_mut_propagates_panics() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        with_threads(4, || {
+            let mut items: Vec<u64> = (0..32).collect();
+            peercache_par::par_map_mut(&mut items, |i, _| {
+                assert!(i != 7, "boom at 7");
+            });
+        });
+    }));
+    assert!(result.is_err(), "worker panic reaches the caller");
+}

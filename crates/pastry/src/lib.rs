@@ -22,9 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod network;
 mod node;
 
+pub use arena::{ArenaRoute, ArenaScratch, PastryArena};
 pub use network::{NetworkError, PastryConfig, PastryNetwork};
 pub use node::PastryNode;
 

@@ -58,18 +58,27 @@ impl PastryNode {
     /// The core (non-auxiliary) neighbors: routing table plus leaf set —
     /// the `N_s` handed to the selection algorithms.
     pub fn core_neighbors(&self) -> Vec<Id> {
-        let mut out: Vec<Id> = self
-            .rows
-            .iter()
-            .flatten()
-            .flatten()
-            .copied()
-            .chain(self.leaves.iter().copied())
-            .filter(|&n| n != self.id)
-            .collect();
-        out.sort();
-        out.dedup();
+        let mut out = Vec::new();
+        self.core_neighbors_into(&mut out);
         out
+    }
+
+    /// [`core_neighbors`](Self::core_neighbors) into a caller-owned
+    /// buffer — the arena-facing walk API: a sweep over many nodes reuses
+    /// one buffer instead of allocating a fresh vector per node.
+    pub fn core_neighbors_into(&self, out: &mut Vec<Id>) {
+        out.clear();
+        out.extend(
+            self.rows
+                .iter()
+                .flatten()
+                .flatten()
+                .copied()
+                .chain(self.leaves.iter().copied())
+                .filter(|&n| n != self.id),
+        );
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Drop a discovered-dead neighbor from every structure.

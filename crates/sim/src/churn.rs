@@ -177,7 +177,9 @@ pub fn run_churn_once_faulted(config: &ChurnConfig, strategy: Strategy) -> Fault
         .map(|(i, &id)| (id, i))
         .collect();
     let mut counters: Vec<ExactCounter> = vec![ExactCounter::new(); config.nodes];
-    let mut queue: EventQueue<Event> = EventQueue::new();
+    // Three periodic events per node plus the query stream are pending at
+    // any time; sizing the heap up front keeps the warm-up growth-free.
+    let mut queue: EventQueue<Event> = EventQueue::with_capacity(3 * config.nodes + 1);
     queue.schedule(
         exp_sample(1.0 / config.query_rate, &mut rng_queries),
         Event::Query,

@@ -74,6 +74,18 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// An empty queue at time zero with heap storage for `capacity`
+    /// events, so a driver that knows its population (one churn event per
+    /// node, plus the periodic ticks) pays for the event list once
+    /// instead of growing it through the warm-up.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
     /// The current simulation time (time of the last popped event).
     pub fn now(&self) -> f64 {
         self.now

@@ -9,6 +9,12 @@
 //!   dispatching the frequency-aware / frequency-oblivious selections.
 //! * [`stable`] — the stable-mode driver (§VI: exact node popularities,
 //!   no churn).
+//! * [`sharded`] — the same driver re-homed into per-shard arenas with
+//!   flat auxiliary slabs, streaming accumulators, and Space-Saving
+//!   delta-driven incremental refreshes (bit-identical at any shard and
+//!   thread count).
+//! * [`scale`] — the virtual-arena engine for populations (10⁵–10⁶)
+//!   the materialised substrates cannot hold.
 //! * [`churn`] — the churn-mode driver (§VI-C: exponential alive/dead
 //!   periods, periodic stabilization and auxiliary recomputation, paired
 //!   schedules across strategies).
@@ -25,6 +31,8 @@ pub mod experiments;
 pub mod faults;
 pub mod metrics;
 pub mod overlay;
+pub mod scale;
+pub mod sharded;
 pub mod stable;
 
 pub use churn::{
@@ -33,8 +41,10 @@ pub use churn::{
 };
 pub use experiments::{fig3, fig4, fig5, fig6, render_table, FigureRow, Scale};
 pub use faults::{fault_matrix, FaultMatrixCell, FaultMatrixConfig};
-pub use metrics::{reduction_pct, FaultMetrics, QueryMetrics};
+pub use metrics::{reduction_pct, FaultMetrics, HopAccumulator, QueryMetrics};
 pub use overlay::{OverlayKind, QueryOutcome, SimOverlay};
+pub use scale::{run_scale_stable, ScaleConfig, ScaleReport};
+pub use sharded::{run_stable_sharded, shard_count_for, ShardedOverlay};
 pub use stable::{
     run_stable, run_stable_faulted, RankingMode, SelectionBench, StableConfig, StableFaultReport,
     StableReport,

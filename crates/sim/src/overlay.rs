@@ -165,23 +165,39 @@ impl SimOverlay {
 
     /// The core neighbor set `N_s` of `node`.
     pub fn core_neighbors(&self, node: Id) -> Vec<Id> {
+        let mut out = Vec::new();
+        self.core_neighbors_into(node, &mut out);
+        out
+    }
+
+    /// [`core_neighbors`](Self::core_neighbors) into a caller-owned
+    /// buffer — the arena-facing walk API. Sharded sweeps call this once
+    /// per node with one scratch buffer per shard, so building selection
+    /// inputs for a whole arena allocates nothing per node. An unknown
+    /// `node` leaves `out` cleared.
+    pub fn core_neighbors_into(&self, node: Id, out: &mut Vec<Id>) {
+        out.clear();
         match self {
-            SimOverlay::Chord(net) => net
-                .node(node)
-                .map(peercache_chord::ChordNode::core_neighbors)
-                .unwrap_or_default(),
-            SimOverlay::Pastry(net) => net
-                .node(node)
-                .map(peercache_pastry::PastryNode::core_neighbors)
-                .unwrap_or_default(),
-            SimOverlay::Tapestry(net) => net
-                .node(node)
-                .map(peercache_tapestry::TapestryNode::core_neighbors)
-                .unwrap_or_default(),
-            SimOverlay::SkipGraph(net) => net
-                .node(node)
-                .map(peercache_skipgraph::SkipNode::core_neighbors)
-                .unwrap_or_default(),
+            SimOverlay::Chord(net) => {
+                if let Some(n) = net.node(node) {
+                    n.core_neighbors_into(out);
+                }
+            }
+            SimOverlay::Pastry(net) => {
+                if let Some(n) = net.node(node) {
+                    n.core_neighbors_into(out);
+                }
+            }
+            SimOverlay::Tapestry(net) => {
+                if let Some(n) = net.node(node) {
+                    n.core_neighbors_into(out);
+                }
+            }
+            SimOverlay::SkipGraph(net) => {
+                if let Some(n) = net.node(node) {
+                    n.core_neighbors_into(out);
+                }
+            }
         }
     }
 

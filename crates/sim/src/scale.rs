@@ -1,0 +1,559 @@
+//! The scale engine: fig3's stable-mode comparison at populations
+//! (10⁵–10⁶ nodes) the materialised substrates cannot hold.
+//!
+//! The materialised [`PastryNetwork`](peercache_pastry::PastryNetwork)
+//! build is O(n²) and the monolithic oblivious baseline draws Θ(n) per
+//! node, so the paper path stops at a few thousand nodes. This engine
+//! swaps both for virtual counterparts over a [`PastryArena`] — routing
+//! state derived on demand from the sorted id array — while keeping the
+//! experiment's shape: identical Zipf rankings, exact owner
+//! popularities, the optimal aware selection per node, a slice-balanced
+//! oblivious baseline, and three measurement passes over one shared
+//! query stream.
+//!
+//! **Documented divergence from the paper path** (see DESIGN.md): arena
+//! routing tables are deterministic hash picks (distributionally
+//! equivalent to the materialised "first encountered" fill, not
+//! bit-identical), and the oblivious baseline draws from per-node
+//! seeded streams instead of one serial stream (statistically
+//! equivalent; a serial stream would forbid the per-shard fan-out).
+//! Within the engine everything is a pure function of the config:
+//! results are bit-identical at any shard and thread count, which the
+//! scale tests and the CI gate pin down.
+//!
+//! Memory discipline: selections live in per-shard fixed-stride slabs,
+//! measurement streams into fixed [`HopAccumulator`]s, and per-node
+//! state never outlives its shard task — the bytes-per-node gauge in
+//! `fig3_scale` holds the whole engine to a committed ceiling.
+
+use peercache_core::pastry::PastryWorkspace;
+use peercache_core::{Candidate, PastryProblem};
+use peercache_freq::FrequencySnapshot;
+use peercache_id::{Id, IdSpace};
+use peercache_pastry::{ArenaScratch, PastryArena, PastryConfig, RoutingMode};
+use peercache_workload::{random_ids, ItemCatalog, NodeWorkload, Ranking, Zipf};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::metrics::{reduction_pct, HopAccumulator, QueryMetrics};
+use crate::sharded::{AuxSlab, ShardLayout, QUERY_CHUNK};
+
+/// Configuration of one scale run (Pastry substrate only — fig3's).
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Identifier width (the paper uses 32).
+    pub bits: u8,
+    /// Digit width in bits (fig3 uses 1).
+    pub digit_bits: u8,
+    /// Next-hop tie-breaking policy.
+    pub mode: RoutingMode,
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Hot-catalog size.
+    pub items: usize,
+    /// Zipf exponent `α`.
+    pub alpha: f64,
+    /// Auxiliary pointers per node `k`.
+    pub k: usize,
+    /// Measurement queries to route.
+    pub queries: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Shard count (defaults to [`shard_count_for`]).
+    ///
+    /// [`shard_count_for`]: crate::sharded::shard_count_for
+    pub shards: usize,
+}
+
+impl ScaleConfig {
+    /// fig3-style defaults at population `nodes`: 32-bit ids, 1-bit
+    /// digits, locality-aware routing, 64-item catalog, `k = log₂ n`,
+    /// α = 1.2, 50 000 queries.
+    pub fn paper_defaults(nodes: usize, seed: u64) -> Self {
+        ScaleConfig {
+            bits: 32,
+            digit_bits: 1,
+            mode: RoutingMode::LocalityAware,
+            nodes,
+            items: 64,
+            alpha: 1.2,
+            k: crate::experiments::log2(nodes),
+            queries: 50_000,
+            seed,
+            shards: crate::sharded::shard_count_for(nodes),
+        }
+    }
+}
+
+/// The outcome of one scale run — the same three-pass comparison as
+/// [`StableReport`](crate::stable::StableReport).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ScaleReport {
+    /// Metrics with the frequency-aware optimal auxiliary sets.
+    pub aware: QueryMetrics,
+    /// Metrics with the frequency-oblivious baseline sets.
+    pub oblivious: QueryMetrics,
+    /// Metrics with no auxiliary neighbors at all.
+    pub core_only: QueryMetrics,
+    /// The paper's metric: % reduction of aware vs oblivious.
+    pub reduction_pct: f64,
+}
+
+/// SplitMix64 — the per-node seed derivation for the oblivious draws
+/// (same mixer as the arena's hash picks).
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One shard's selection slabs (aware + oblivious), owned exclusively
+/// by its build task and shared read-only during measurement.
+struct ShardSlabs {
+    start: usize,
+    aware: AuxSlab,
+    oblivious: AuxSlab,
+}
+
+/// The `[lo, hi)` index range of arena members whose top `p` bits equal
+/// `source`'s, over the sorted id array.
+fn prefix_range(ids: &[Id], source: Id, p: u32, b: u32) -> (usize, usize) {
+    if p == 0 {
+        return (0, ids.len());
+    }
+    if p >= b {
+        let lo = ids.partition_point(|&x| x < source);
+        let hi = ids.partition_point(|&x| x <= source);
+        return (lo, hi);
+    }
+    let shift = b - p;
+    let low = (source.value() >> shift) << shift;
+    let high_incl = low | ((1u128 << shift) - 1);
+    (
+        ids.partition_point(|&x| x.value() < low),
+        ids.partition_point(|&x| x.value() <= high_incl),
+    )
+}
+
+/// One prefix slice of the sorted ring: members sharing *exactly* `l`
+/// digits with the source — the outer prefix range minus the nested
+/// inner one, i.e. up to two contiguous index ranges.
+#[derive(Clone, Copy)]
+struct Slice {
+    outer: (usize, usize),
+    inner: (usize, usize),
+}
+
+impl Slice {
+    /// Structural member count (source included — it always falls in
+    /// the inner range, so it never appears here).
+    fn len(&self) -> usize {
+        (self.outer.1 - self.outer.0) - (self.inner.1 - self.inner.0)
+    }
+
+    /// The arena index of the slice's `i`-th member.
+    fn index(&self, i: usize) -> usize {
+        let left = self.inner.0 - self.outer.0;
+        if i < left {
+            self.outer.0 + i
+        } else {
+            self.inner.1 + (i - left)
+        }
+    }
+}
+
+/// The slice-balanced oblivious baseline at scale: the same per-slice
+/// quota rule as [`baseline::pastry_oblivious`] (⌊k/#slices⌋ + 1 for
+/// the first `k mod #slices` non-empty slices, shortfalls topped up
+/// round-robin), drawing *distinct* members of each contiguous prefix
+/// range by indexed sampling instead of materialising the Θ(n) pool —
+/// O(k + b + |core|) per node. Per-node seeded, so the draw is a pure
+/// function of `(seed, rank)` and independent of shard/thread count.
+///
+/// [`baseline::pastry_oblivious`]: peercache_core::baseline::pastry_oblivious
+fn oblivious_at_scale(
+    arena: &PastryArena,
+    rank: usize,
+    core: &[Id],
+    k: usize,
+    seed: u64,
+    slices_buf: &mut Vec<(Slice, usize)>,
+    out: &mut Vec<Id>,
+) {
+    out.clear();
+    if k == 0 {
+        return;
+    }
+    let ids = arena.ids();
+    let source = ids[rank];
+    let config = arena.config();
+    let space = config.space;
+    let b = u32::from(space.bits());
+    let d = u32::from(config.digit_bits);
+    // fold(rank) into the run seed: `rank` is an array index, far below
+    // 2^53, so the u64 conversion is exact.
+    let mut rng = StdRng::seed_from_u64(mix64(
+        seed.wrapping_add(3) ^ u64::try_from(rank).unwrap_or(u64::MAX),
+    ));
+
+    // Eligible count per slice = structural members minus core members
+    // landing in it (the source itself sits in every inner range).
+    slices_buf.clear();
+    for l in 0..u32::from(config.digit_count) {
+        let outer_bits = (l * d).min(b);
+        let inner_bits = ((l + 1) * d).min(b);
+        if outer_bits >= b {
+            break;
+        }
+        let slice = Slice {
+            outer: prefix_range(ids, source, outer_bits, b),
+            inner: prefix_range(ids, source, inner_bits, b),
+        };
+        let core_inside = core
+            .iter()
+            .filter(|&&c| {
+                space
+                    .common_prefix_digits(c, source, config.digit_bits)
+                    .is_ok_and(|shared| u32::from(shared) == l)
+            })
+            .count();
+        let eligible = slice.len().saturating_sub(core_inside);
+        if eligible > 0 {
+            slices_buf.push((slice, eligible));
+        }
+    }
+    let total: usize = slices_buf.iter().map(|&(_, e)| e).sum();
+    let k = k.min(total);
+    if k == 0 {
+        return;
+    }
+
+    // Quotas, then round-robin top-up for shortfall slices.
+    let nslices = slices_buf.len();
+    let per = k / nslices;
+    let extra = k % nslices;
+    for (i, &(slice, eligible)) in slices_buf.iter().enumerate() {
+        let quota = (per + usize::from(i < extra)).min(eligible);
+        draw_from_slice(ids, &slice, source, core, quota, &mut rng, out);
+    }
+    let mut guard = 0;
+    while out.len() < k && guard < k {
+        guard += 1;
+        for &(slice, eligible) in slices_buf.iter() {
+            if out.len() >= k {
+                break;
+            }
+            let already = (0..slice.len())
+                .filter(|&i| out.contains(&ids[slice.index(i)]))
+                .count();
+            if already < eligible {
+                draw_from_slice(ids, &slice, source, core, 1, &mut rng, out);
+            }
+        }
+    }
+    out.sort_unstable();
+}
+
+/// Draw `quota` distinct eligible members of `slice` into `out`.
+/// Rejection-sample huge slices (the acceptance rate is ≥ 1 − (|core| +
+/// k)/|slice|, essentially 1 at scale); enumerate small ones.
+fn draw_from_slice<R: Rng + ?Sized>(
+    ids: &[Id],
+    slice: &Slice,
+    source: Id,
+    core: &[Id],
+    quota: usize,
+    rng: &mut R,
+    out: &mut Vec<Id>,
+) {
+    if quota == 0 {
+        return;
+    }
+    let s = slice.len();
+    let eligible_id = |id: Id, out: &[Id]| -> bool {
+        id != source && core.binary_search(&id).is_err() && !out.contains(&id)
+    };
+    if s <= 128 {
+        let mut pool: Vec<Id> = (0..s)
+            .map(|i| ids[slice.index(i)])
+            .filter(|&id| eligible_id(id, out))
+            .collect();
+        pool.shuffle(rng);
+        out.extend(pool.into_iter().take(quota));
+        return;
+    }
+    let mut taken = 0;
+    // The attempt bound keeps the loop total; with |slice| > 128 and a
+    // handful of exclusions it is effectively never hit.
+    for _ in 0..64 * quota.max(1) + 256 {
+        if taken == quota {
+            break;
+        }
+        let id = ids[slice.index(rng.gen_range(0..s))];
+        if eligible_id(id, out) {
+            out.push(id);
+            taken += 1;
+        }
+    }
+}
+
+/// Run one scale comparison. See the module docs for what is shared
+/// with — and what diverges from — the paper-scale stable driver.
+///
+/// # Panics
+/// Panics on nonsensical configurations (zero nodes/items, α invalid) —
+/// experiment definitions, not runtime inputs.
+pub fn run_scale_stable(config: &ScaleConfig) -> ScaleReport {
+    assert!(config.nodes > 0 && config.items > 0);
+    let space = IdSpace::new(config.bits).expect("valid id width");
+    let mut rng_topology = StdRng::seed_from_u64(config.seed);
+
+    let node_ids = random_ids(space, config.nodes, &mut rng_topology);
+    let catalog = ItemCatalog::random(space, config.items, &mut rng_topology);
+    let arena = PastryArena::new(
+        PastryConfig::new(space, config.digit_bits).with_mode(config.mode),
+        node_ids,
+    );
+    let n = arena.len();
+
+    // Identical rankings (fig3): ONE shared workload instead of n
+    // copies, and one exact owner-popularity snapshot for every node.
+    let zipf = Zipf::new(config.items, config.alpha).expect("valid Zipf");
+    let workload = NodeWorkload::new(zipf, Ranking::identity(config.items));
+    let owners: Vec<Id> = (0..config.items)
+        .map(|i| arena.true_owner(catalog.key(i)).expect("non-empty arena"))
+        .collect();
+    let weights = FrequencySnapshot::from_pairs(workload.node_weights(config.items, |i| owners[i]));
+
+    // Both strategies' selections, fanned out one task per shard, each
+    // writing its own slabs — no cross-shard state, no per-node vectors
+    // retained past the solve.
+    let layout = ShardLayout::new(n, config.shards);
+    let stride = config.k.max(1);
+    let mut shards: Vec<ShardSlabs> = (0..layout.shards())
+        .map(|s| {
+            let (start, end) = layout.bounds(s);
+            ShardSlabs {
+                start,
+                aware: AuxSlab::new(stride, end - start),
+                oblivious: AuxSlab::new(stride, end - start),
+            }
+        })
+        .collect();
+    peercache_par::par_map_mut(&mut shards, |s, shard| {
+        let (start, end) = layout.bounds(s);
+        let mut workspace = PastryWorkspace::new();
+        let mut core = Vec::new();
+        let mut slices_buf = Vec::new();
+        let mut draw = Vec::new();
+        for rank in start..end {
+            let node = arena.ids()[rank];
+            arena.core_neighbors_into(rank, &mut core);
+            let candidates: Vec<Candidate> = weights
+                .without(core.iter().copied().chain(std::iter::once(node)))
+                .iter()
+                .map(|(id, w)| Candidate::new(id, w))
+                .collect();
+            let problem = PastryProblem::new(
+                space,
+                config.digit_bits,
+                node,
+                core.clone(),
+                candidates,
+                config.k,
+            )
+            .expect("scale problems are well-formed");
+            let aware = &workspace
+                .solve_into(&problem)
+                .expect("scale problems are well-formed")
+                .aux;
+            shard.aware.set(rank - start, aware);
+            oblivious_at_scale(
+                &arena,
+                rank,
+                &core,
+                config.k,
+                config.seed,
+                &mut slices_buf,
+                &mut draw,
+            );
+            shard.oblivious.set(rank - start, &draw);
+        }
+    });
+
+    // One pre-generated query stream, measured under all three
+    // strategies in fixed-size chunks of streaming accumulators.
+    let mut rng_queries = StdRng::seed_from_u64(config.seed.wrapping_add(2));
+    let queries: Vec<(usize, usize)> = (0..config.queries)
+        .map(|_| {
+            (
+                rng_queries.gen_range(0..n),
+                workload.sample_item(&mut rng_queries),
+            )
+        })
+        .collect();
+
+    // Cross-shard pointer resolution: arena rank (the flat global
+    // index) → owning shard → slab slice. A plain fn so the returned
+    // slice borrows from the slab storage, not the routing closure.
+    fn resolve<'a>(
+        arena: &PastryArena,
+        layout: &ShardLayout,
+        shards: &'a [ShardSlabs],
+        slab: fn(&ShardSlabs) -> &AuxSlab,
+        id: Id,
+    ) -> &'a [Id] {
+        const NO_AUX: &[Id] = &[];
+        let Some(rank) = arena.rank_of(id) else {
+            return NO_AUX;
+        };
+        let shard = &shards[layout.shard_of(rank)];
+        slab(shard).get(rank - shard.start)
+    }
+
+    let measure = |select: Option<fn(&ShardSlabs) -> &AuxSlab>| -> QueryMetrics {
+        let accs = peercache_par::par_map_chunked(&queries, QUERY_CHUNK, |_, chunk| {
+            let mut acc = HopAccumulator::new();
+            let mut scratch = ArenaScratch::new();
+            for &(origin, item) in chunk {
+                let from = arena.ids()[origin];
+                let key = catalog.key(item);
+                let route = arena.route_with_aux(
+                    from,
+                    key,
+                    |id| match select {
+                        Some(slab) => resolve(&arena, &layout, &shards, slab, id),
+                        None => &[],
+                    },
+                    &mut scratch,
+                );
+                match route {
+                    Some(route) => acc.record(route.is_success(), route.hops, 0),
+                    None => acc.record(false, 0, 0),
+                }
+            }
+            vec![acc]
+        });
+        let mut total = HopAccumulator::new();
+        for acc in &accs {
+            total.merge(acc);
+        }
+        total.into_metrics()
+    };
+
+    let core_only = measure(None);
+    let aware = measure(Some(|s: &ShardSlabs| &s.aware));
+    let oblivious = measure(Some(|s: &ShardSlabs| &s.oblivious));
+    let reduction = reduction_pct(aware.avg_hops(), oblivious.avg_hops());
+    ScaleReport {
+        aware,
+        oblivious,
+        core_only,
+        reduction_pct: reduction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(nodes: usize, shards: usize) -> ScaleConfig {
+        let mut config = ScaleConfig::paper_defaults(nodes, 11);
+        config.queries = 2_000;
+        config.shards = shards;
+        config
+    }
+
+    #[test]
+    fn scale_run_reproduces_fig3_shape() {
+        let report = run_scale_stable(&quick_config(512, 4));
+        assert_eq!(report.aware.issued, 2_000);
+        assert!(
+            report.aware.success_rate() > 0.99,
+            "aware success {}",
+            report.aware.success_rate()
+        );
+        assert!(
+            report.oblivious.success_rate() > 0.99,
+            "oblivious success {}",
+            report.oblivious.success_rate()
+        );
+        assert!(
+            report.reduction_pct > 0.0,
+            "aware must beat oblivious: {}",
+            report.reduction_pct
+        );
+        assert!(
+            report.core_only.avg_hops() > report.aware.avg_hops(),
+            "aux pointers must shorten routes"
+        );
+    }
+
+    #[test]
+    fn scale_run_is_invariant_to_shard_and_thread_count() {
+        let base = run_scale_stable(&quick_config(384, 1));
+        let sharded = run_scale_stable(&quick_config(384, 7));
+        assert_eq!(base, sharded, "shard count must not affect results");
+        let threaded = peercache_par::with_threads(4, || run_scale_stable(&quick_config(384, 7)));
+        assert_eq!(base, threaded, "thread count must not affect results");
+        let serial = peercache_par::with_threads(1, || run_scale_stable(&quick_config(384, 7)));
+        assert_eq!(base, serial);
+    }
+
+    #[test]
+    fn oblivious_sets_are_distinct_sorted_non_core_members() {
+        let space = IdSpace::new(16).expect("valid width");
+        let config = PastryConfig::new(space, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ids = random_ids(space, 200, &mut rng);
+        let arena = PastryArena::new(config, ids);
+        let mut core = Vec::new();
+        let mut slices_buf = Vec::new();
+        let mut out = Vec::new();
+        for rank in 0..arena.len() {
+            arena.core_neighbors_into(rank, &mut core);
+            oblivious_at_scale(&arena, rank, &core, 8, 3, &mut slices_buf, &mut out);
+            assert_eq!(out.len(), 8, "full budget at rank {rank}");
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+            for &id in &out {
+                assert!(arena.rank_of(id).is_some());
+                assert_ne!(id, arena.ids()[rank]);
+                assert!(core.binary_search(&id).is_err(), "never a core member");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_ranges_cover_the_ring_exactly_once() {
+        let space = IdSpace::new(12).expect("valid width");
+        let config = PastryConfig::new(space, 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let ids = random_ids(space, 150, &mut rng);
+        let arena = PastryArena::new(config, ids);
+        let source = arena.ids()[42];
+        let b = u32::from(space.bits());
+        let mut covered = 0usize;
+        for l in 0..b {
+            let outer = prefix_range(arena.ids(), source, l, b);
+            let inner = prefix_range(arena.ids(), source, l + 1, b);
+            let slice = Slice { outer, inner };
+            for i in 0..slice.len() {
+                let id = arena.ids()[slice.index(i)];
+                assert_eq!(
+                    u32::from(
+                        space
+                            .common_prefix_digits(id, source, 1)
+                            .expect("valid digit width")
+                    ),
+                    l,
+                    "slice {l} member {id} shares exactly l bits"
+                );
+            }
+            covered += slice.len();
+        }
+        assert_eq!(covered, arena.len() - 1, "everything but the source");
+    }
+}

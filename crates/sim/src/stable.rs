@@ -29,11 +29,15 @@ use crate::overlay::{OverlayKind, SelectScratch, SimOverlay};
 /// ≥ 4 chunks at fig3's smallest paper point (n = 256), so a 4-thread
 /// pool keeps full load-balance. 128 measured another ~4 % faster on a
 /// single-core host but halves the available parallelism at n = 256.
-const SELECT_CHUNK: usize = 64;
+pub(crate) const SELECT_CHUNK: usize = 64;
 
 /// Resolve the auxiliary set of `id` from a measurement pass's side table
 /// (`None` = the core-only pass).
-fn aux_lookup<'a>(index: &'a [(Id, usize)], sets: Option<&'a [Vec<Id>]>, id: Id) -> &'a [Id] {
+pub(crate) fn aux_lookup<'a>(
+    index: &'a [(Id, usize)],
+    sets: Option<&'a [Vec<Id>]>,
+    id: Id,
+) -> &'a [Id] {
     const NO_AUX: &[Id] = &[];
     let Some(sets) = sets else { return NO_AUX };
     index
@@ -118,14 +122,14 @@ pub struct StableReport {
 /// Extracted so the fault-free and fault-injected drivers share one
 /// construction path — RNG stream consumption order is part of the
 /// reproducibility contract and must not fork between them.
-struct StableSetup {
-    node_ids: Vec<Id>,
-    catalog: ItemCatalog,
-    overlay: SimOverlay,
-    aware_sets: Vec<Vec<Id>>,
-    oblivious_sets: Vec<Vec<Id>>,
-    per_node_workloads: Vec<NodeWorkload>,
-    aux_index: Vec<(Id, usize)>,
+pub(crate) struct StableSetup {
+    pub(crate) node_ids: Vec<Id>,
+    pub(crate) catalog: ItemCatalog,
+    pub(crate) overlay: SimOverlay,
+    pub(crate) aware_sets: Vec<Vec<Id>>,
+    pub(crate) oblivious_sets: Vec<Vec<Id>>,
+    pub(crate) per_node_workloads: Vec<NodeWorkload>,
+    pub(crate) aux_index: Vec<(Id, usize)>,
 }
 
 /// Run one stable-mode comparison.
@@ -189,20 +193,20 @@ pub fn run_stable(config: &StableConfig) -> StableReport {
 /// bench: topology, workloads and the per-ranking owner-weight
 /// aggregates — everything the aware fan-out consumes, nothing the
 /// measurement passes add on top.
-struct SelectionInputs {
-    node_ids: Vec<Id>,
-    catalog: ItemCatalog,
-    zipf: Zipf,
-    assignment: RankingAssignment,
-    overlay: SimOverlay,
-    pool_weights: Vec<FrequencySnapshot>,
+pub(crate) struct SelectionInputs {
+    pub(crate) node_ids: Vec<Id>,
+    pub(crate) catalog: ItemCatalog,
+    pub(crate) zipf: Zipf,
+    pub(crate) assignment: RankingAssignment,
+    pub(crate) overlay: SimOverlay,
+    pub(crate) pool_weights: Vec<FrequencySnapshot>,
 }
 
 /// Build the selection inputs. Split out of [`build_stable`] so
 /// [`SelectionBench`] shares the exact construction path (each RNG
 /// stream is independently seeded, so stopping before the oblivious
 /// draws consumes nothing the full build would not).
-fn build_selection_inputs(config: &StableConfig) -> SelectionInputs {
+pub(crate) fn build_selection_inputs(config: &StableConfig) -> SelectionInputs {
     assert!(config.nodes > 0 && config.items > 0);
     let space = IdSpace::new(config.bits).expect("valid id width");
     let mut rng_topology = StdRng::seed_from_u64(config.seed);
@@ -248,7 +252,7 @@ fn build_selection_inputs(config: &StableConfig) -> SelectionInputs {
 /// `(node, freqs, k)` — the workspace contract — so the returned sets
 /// are identical for every chunk size and thread count; only the
 /// dispatch economics move.
-fn select_aware_sets(inputs: &SelectionInputs, k: usize, chunk: usize) -> Vec<Vec<Id>> {
+pub(crate) fn select_aware_sets(inputs: &SelectionInputs, k: usize, chunk: usize) -> Vec<Vec<Id>> {
     peercache_par::par_map_chunked(&inputs.node_ids, chunk, |start, nodes| {
         let mut scratch = SelectScratch::new();
         nodes
@@ -300,9 +304,28 @@ impl SelectionBench {
     }
 }
 
+/// The per-ranking owner-weight aggregates retained past the build —
+/// what the sharded driver's Space-Saving delta engine re-combines with
+/// live counters to refresh selections incrementally.
+pub(crate) struct SelectionAggregates {
+    /// One exact owner-weight snapshot per ranking in the pool.
+    pub(crate) pool_weights: Vec<FrequencySnapshot>,
+    /// node index → ranking (and thereby → `pool_weights` entry).
+    pub(crate) assignment: RankingAssignment,
+}
+
 /// Build the shared stable-mode state: topology, workloads, and both
 /// strategies' auxiliary selections.
-fn build_stable(config: &StableConfig) -> StableSetup {
+pub(crate) fn build_stable(config: &StableConfig) -> StableSetup {
+    build_stable_retaining(config).0
+}
+
+/// [`build_stable`] that also hands back the selection aggregates the
+/// monolithic driver would drop. Single construction path: the RNG
+/// stream consumption order is identical to [`build_stable`] by
+/// construction, so a sharded run built through here sees the exact
+/// topology, selections, and workloads of the monolithic run.
+pub(crate) fn build_stable_retaining(config: &StableConfig) -> (StableSetup, SelectionAggregates) {
     let inputs = build_selection_inputs(config);
     let mut rng_select = StdRng::seed_from_u64(config.seed.wrapping_add(3));
 
@@ -333,7 +356,7 @@ fn build_stable(config: &StableConfig) -> StableSetup {
         zipf,
         assignment,
         overlay,
-        pool_weights: _,
+        pool_weights,
     } = inputs;
     // The measurement passes resolve auxiliary sets by *id* from a side
     // table; `node_ids` are in generation order.
@@ -346,15 +369,21 @@ fn build_stable(config: &StableConfig) -> StableSetup {
         .map(|(idx, &n)| (n, idx))
         .collect();
     aux_index.sort_unstable();
-    StableSetup {
-        node_ids,
-        catalog,
-        overlay,
-        aware_sets,
-        oblivious_sets,
-        per_node_workloads,
-        aux_index,
-    }
+    (
+        StableSetup {
+            node_ids,
+            catalog,
+            overlay,
+            aware_sets,
+            oblivious_sets,
+            per_node_workloads,
+            aux_index,
+        },
+        SelectionAggregates {
+            pool_weights,
+            assignment,
+        },
+    )
 }
 
 /// The outcome of one fault-injected stable-mode comparison.

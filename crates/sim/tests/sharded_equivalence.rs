@@ -1,0 +1,143 @@
+//! The sharded engine's bit-identity contract: a [`ShardedOverlay`]
+//! driven by Space-Saving counter deltas must yield byte-identical
+//! selections and reports to the monolithic driver across seeds, shard
+//! counts {1, 4, 16}, and thread counts {1, 4} — and its incremental
+//! optimizer refreshes must equal fresh full recomputes.
+
+use peercache_par::with_threads;
+use peercache_pastry::RoutingMode;
+use peercache_sim::{
+    run_stable, run_stable_sharded, OverlayKind, RankingMode, ShardedOverlay, StableConfig,
+};
+use proptest::prelude::*;
+
+fn pastry_config(nodes: usize, seed: u64) -> StableConfig {
+    let mut config = StableConfig::paper_defaults(
+        OverlayKind::Pastry {
+            digit_bits: 1,
+            mode: RoutingMode::LocalityAware,
+        },
+        nodes,
+        seed,
+    );
+    config.items = 16;
+    config.queries = 600;
+    config.ranking = RankingMode::Identical;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline equivalence: same report and same per-node aware
+    /// sets as the monolithic driver, at every shard × thread count.
+    #[test]
+    fn sharded_report_matches_monolithic(seed in 0u64..1000) {
+        let config = pastry_config(64, seed);
+        let monolithic = run_stable(&config);
+        for shards in [1usize, 4, 16] {
+            for threads in [1usize, 4] {
+                let report = with_threads(threads, || run_stable_sharded(&config, shards));
+                prop_assert_eq!(
+                    &report, &monolithic,
+                    "shards={} threads={}", shards, threads
+                );
+            }
+        }
+    }
+
+    /// Delta-driven refreshes are pure functions of the observation
+    /// multiset: a shard-16 engine refreshed incrementally (two rounds,
+    /// the second diffing against retained optimizers) must match a
+    /// shard-1 engine refreshed once at the end (fresh solves), at both
+    /// thread counts — and the untouched oblivious slabs must keep the
+    /// monolithic report reproducible afterwards.
+    #[test]
+    fn delta_refresh_equals_fresh_recompute(seed in 0u64..1000, obs_seed in 0u64..1000) {
+        let config = pastry_config(48, seed);
+        let mut fresh = ShardedOverlay::build(&config, 1);
+        let mut incremental = ShardedOverlay::build(&config, 16);
+
+        // A deterministic observation stream: (origin, owner) pairs
+        // drawn from the population by index arithmetic.
+        let ids: Vec<_> = fresh.node_ids().to_vec();
+        let n = ids.len() as u64;
+        let idx = |x: u64| usize::try_from(x % n).expect("population index fits");
+        let pair = |i: u64| {
+            let origin = ids[idx(obs_seed.wrapping_mul(31).wrapping_add(i * 7))];
+            let owner = ids[idx(obs_seed.wrapping_mul(17).wrapping_add(i * 13))];
+            (origin, owner)
+        };
+
+        // Round 1: first refresh builds the incremental optimizers.
+        for i in 0..40 {
+            let (origin, owner) = pair(i);
+            fresh.observe(origin, owner);
+            incremental.observe(origin, owner);
+        }
+        let refreshed = with_threads(4, || incremental.refresh_dirty());
+        prop_assert!(refreshed > 0, "round 1 must touch nodes");
+
+        // Round 2: the second refresh exercises the delta path
+        // (update_weight/insert/remove against the retained solvers).
+        for i in 40..80 {
+            let (origin, owner) = pair(i);
+            fresh.observe(origin, owner);
+            incremental.observe(origin, owner);
+        }
+        with_threads(1, || incremental.refresh_dirty());
+        // The fresh engine refreshes once, solving every touched node
+        // from scratch over the full combined weights.
+        fresh.refresh_dirty();
+
+        for &id in &ids {
+            prop_assert_eq!(
+                incremental.aware_set(id),
+                fresh.aware_set(id),
+                "incremental refresh diverged at {}", id
+            );
+        }
+    }
+}
+
+/// Chord takes the full-solve fallback inside the shard refresh; the
+/// equivalence must hold there too.
+#[test]
+fn sharded_matches_monolithic_on_chord() {
+    let mut config = StableConfig::paper_defaults(OverlayKind::Chord, 64, 9);
+    config.items = 16;
+    config.queries = 600;
+    let monolithic = run_stable(&config);
+    for shards in [1usize, 4] {
+        let report = with_threads(4, || run_stable_sharded(&config, shards));
+        assert_eq!(report, monolithic, "chord shards={shards}");
+    }
+}
+
+/// With no observations there is nothing dirty: refresh is a no-op and
+/// the slabs keep reproducing the monolithic report.
+#[test]
+fn refresh_without_observations_is_a_noop() {
+    let config = pastry_config(64, 3);
+    let mut engine = ShardedOverlay::build(&config, 4);
+    assert_eq!(engine.refresh_dirty(), 0);
+    assert_eq!(engine.report(), run_stable(&config));
+}
+
+/// Observing and refreshing must only move the *aware* slab of touched
+/// nodes; the oblivious and core-only passes stay bound to the
+/// monolithic results.
+#[test]
+fn refresh_leaves_oblivious_and_core_passes_intact() {
+    let config = pastry_config(48, 21);
+    let monolithic = run_stable(&config);
+    let mut engine = ShardedOverlay::build(&config, 4);
+    let ids: Vec<_> = engine.node_ids().to_vec();
+    for i in 0..ids.len() {
+        engine.observe(ids[i], ids[(i * 5 + 1) % ids.len()]);
+    }
+    assert_eq!(engine.refresh_dirty(), ids.len(), "every node refreshed");
+    let report = engine.report();
+    assert_eq!(report.oblivious, monolithic.oblivious);
+    assert_eq!(report.core_only, monolithic.core_only);
+}
