@@ -1,0 +1,1278 @@
+//! Pass 4, stage 1: intraprocedural control-flow graphs over the pass-1
+//! token streams.
+//!
+//! For one function body this module builds a [`Cfg`] of basic blocks and
+//! edges by lint-grade recursive descent: `if`/`else if`/`else` chains
+//! and `match` arms branch and re-join, `loop`/`while`/`for` introduce a
+//! header block with a back edge (labeled `break`/`continue` resolve
+//! through a loop stack, `break`-with-value carries its operand effects),
+//! early `return` and the `?` operator edge to a dedicated exit block,
+//! and `let … else` diverges. Each block holds the [`Op`] effects the
+//! dataflow rules L12–L14 interpret: RNG draws on the function's RNG
+//! parameters, calls forwarding an RNG parameter (labelled exactly like
+//! the pass-3 call sites, so [`crate::dataflow`] can look their resolved
+//! targets up in the [`crate::callgraph`]), and reads/clears/grows of
+//! scratch-receiver fields.
+//!
+//! Macro invocations and closures whose tokens mention an RNG parameter
+//! degrade to an *unknown* draw — never a false exact count — and a
+//! `clear()` inside a closure is demoted to a no-op (the closure may run
+//! zero times), while reads and grows inside closures still count. Both
+//! degradations, and the other deliberate approximations, are documented
+//! in DESIGN.md ("Dataflow pass: CFG, draw-balance, and buffer
+//! hygiene").
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::FnNode;
+use crate::items::{ident_at, punct_at, skip_balanced, Tok, TokKind};
+
+/// How many RNG draws one effect consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrawEffect {
+    /// A statically known number of draw calls.
+    Exact(u32),
+    /// Data-dependent consumption (`shuffle`, `fill_bytes`, macros,
+    /// closures) — the lattice absorbs it silently.
+    Unknown,
+}
+
+/// How an operation touches one scratch-receiver field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldAccess {
+    /// Whole-buffer (re)initialization: `clear`, `truncate`, `fill`,
+    /// `resize`, `copy_from_slice`, `clone_from`, or direct assignment.
+    Clear,
+    /// Length growth without initialization: `push`, `extend`, `insert`,
+    /// `append`, `extend_from_slice`, `push_back`.
+    Grow,
+    /// Any other use of the field's contents.
+    Read,
+    /// `recv.field.method(…)` with a method outside the known sets; the
+    /// dataflow pass treats workspace-resolved targets as delegated
+    /// (the callee is analyzed against its own receiver) and opaque
+    /// targets as reads.
+    Call {
+        /// The trailing method name, without the leading dot.
+        method: String,
+    },
+}
+
+/// One effect-bearing operation inside a basic block, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// A direct draw on an RNG parameter (`rng.gen()`, `rng.next_u64()`).
+    Draw {
+        /// 1-based source line.
+        line: usize,
+        /// The drawn method, for diagnostics (`rng.gen`).
+        label: String,
+        /// Statically known draw count or `Unknown`.
+        count: DrawEffect,
+    },
+    /// A call expression whose top-level arguments include an RNG
+    /// parameter; `label` matches the pass-3 call-site label so the
+    /// dataflow pass can resolve callee draw summaries.
+    RngCall {
+        /// 1-based source line.
+        line: usize,
+        /// Pass-3 style label (`helper`, `.method`, `Type::method`).
+        label: String,
+    },
+    /// A method call on the scratch receiver itself (`self.helper(…)`),
+    /// spliced with the callee's per-field summary bottom-up.
+    ScratchCall {
+        /// 1-based source line.
+        line: usize,
+        /// Pass-3 style label (`.helper`).
+        label: String,
+    },
+    /// A direct operation on `recv.field`.
+    Field {
+        /// 1-based source line.
+        line: usize,
+        /// The first-level field name after the receiver.
+        field: String,
+        /// How the operation touches the field.
+        access: FieldAccess,
+    },
+    /// A macro invocation or closure mentioning an RNG parameter:
+    /// unknown draw consumption, never a false exact count.
+    OpaqueDraw {
+        /// 1-based source line.
+        line: usize,
+        /// What degraded (`macro helper!`, `closure`), for diagnostics.
+        what: String,
+    },
+}
+
+impl Op {
+    /// The op's 1-based source line.
+    pub fn line(&self) -> usize {
+        match self {
+            Op::Draw { line, .. }
+            | Op::RngCall { line, .. }
+            | Op::ScratchCall { line, .. }
+            | Op::Field { line, .. }
+            | Op::OpaqueDraw { line, .. } => *line,
+        }
+    }
+}
+
+/// One basic block: its effects and its successor edges.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Effects in source order.
+    pub ops: Vec<Op>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// True for loop headers: the dataflow join widens silently here
+    /// (iteration-dependent totals are not branch divergence).
+    pub loop_head: bool,
+    /// Representative 1-based source line (where the block opens).
+    pub line: usize,
+}
+
+/// The control-flow graph of one function body.
+#[derive(Debug)]
+pub struct Cfg {
+    /// All blocks; indices are stable.
+    pub blocks: Vec<Block>,
+    /// The entry block (holds the first straight-line effects).
+    pub entry: usize,
+    /// The dedicated exit block every `return`, `?` and fall-through
+    /// edges into. It holds no ops.
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Predecessor lists, derived from [`Block::succs`].
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+}
+
+/// The parts of a function signature the dataflow rules consume.
+#[derive(Debug, Clone)]
+pub struct FnSig {
+    /// Parameter names bound to an RNG type (`&mut R` with `R: Rng`,
+    /// `&mut impl Rng`, `&mut StdRng`, …). Includes none or several.
+    pub rng_params: BTreeSet<String>,
+    /// Scratch receivers: `self` when the self type names a workspace or
+    /// scratch struct, plus parameters of such types.
+    pub scratch_params: BTreeSet<String>,
+    /// Token range of the body interior (one past `{` .. the `}`).
+    pub body: (usize, usize),
+}
+
+/// Methods that consume exactly one vendored-RNG draw per call.
+const DRAW_ONE: [&str; 5] = ["gen", "gen_range", "gen_bool", "next_u64", "next_u32"];
+
+/// Methods on an RNG that consume no draws.
+const DRAW_ZERO: [&str; 1] = ["clone"];
+
+/// Field methods that (re)initialize the buffer before reuse.
+const CLEAR_METHODS: [&str; 7] = [
+    "clear",
+    "truncate",
+    "fill",
+    "resize",
+    "copy_from_slice",
+    "clone_from",
+    "rebuild",
+];
+
+/// Field methods that grow the buffer without initializing it.
+const GROW_METHODS: [&str; 6] = [
+    "push",
+    "extend",
+    "extend_from_slice",
+    "insert",
+    "append",
+    "push_back",
+];
+
+/// Field methods that inspect shape only, touching no contents.
+const SHAPE_METHODS: [&str; 4] = ["len", "is_empty", "capacity", "is_full"];
+
+/// Locate `fn_name`'s declaration token and parse its signature: RNG
+/// parameters, scratch receivers, and the body token range. `None` when
+/// the declaration cannot be found or the function has no body.
+pub fn fn_signature(toks: &[Tok], node: &FnNode) -> Option<FnSig> {
+    // The declaring `fn` keyword sits on node.line (1-based).
+    let mut fn_idx = None;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.line + 1 == node.line
+            && matches!(&tok.kind, TokKind::Ident(s) if s == "fn")
+            && ident_at(toks, i + 1) == Some(node.name.as_str())
+        {
+            fn_idx = Some(i);
+            break;
+        }
+    }
+    let mut i = fn_idx? + 2;
+
+    // Generic parameter list: collect type params bounded by Rng/RngCore.
+    let mut rng_types: BTreeSet<String> = BTreeSet::new();
+    if punct_at(toks, i) == Some('<') {
+        let open = i;
+        skip_balanced(toks, &mut i, '<', '>');
+        let mut j = open + 1;
+        while j + 1 < i {
+            if let (Some(param), Some(':')) = (
+                ident_at(toks, j),
+                punct_at(toks, j + 1).unwrap_or(' ').into(),
+            ) {
+                // Scan this param's bounds up to the next top-level comma.
+                let mut depth = 0usize;
+                let mut k = j + 2;
+                let mut bound_hits = false;
+                while k < i {
+                    match punct_at(toks, k) {
+                        Some('<') | Some('(') => depth += 1,
+                        Some('>') | Some(')') => depth = depth.saturating_sub(1),
+                        Some(',') if depth == 0 => break,
+                        _ => {
+                            if matches!(ident_at(toks, k), Some("Rng" | "RngCore")) {
+                                bound_hits = true;
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                if bound_hits {
+                    rng_types.insert(param.to_owned());
+                }
+                j = k + 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+
+    if punct_at(toks, i) != Some('(') {
+        return None;
+    }
+    let params_open = i;
+    skip_balanced(toks, &mut i, '(', ')');
+    let params_close = i - 1;
+
+    let mut rng_params = BTreeSet::new();
+    let mut scratch_params = BTreeSet::new();
+    let scratch_self = node
+        .self_ty
+        .as_deref()
+        .is_some_and(|ty| ty.contains("Workspace") || ty.contains("Scratch"));
+
+    // Split the parameter list at top-level commas.
+    let mut start = params_open + 1;
+    let mut depth = 0usize;
+    let mut k = start;
+    while k <= params_close {
+        let boundary = k == params_close || (depth == 0 && punct_at(toks, k) == Some(','));
+        match punct_at(toks, k) {
+            Some('(') | Some('[') | Some('<') => depth += 1,
+            Some(')') | Some(']') | Some('>') => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        if boundary {
+            classify_param(
+                toks,
+                start,
+                k,
+                &rng_types,
+                scratch_self,
+                &mut rng_params,
+                &mut scratch_params,
+            );
+            start = k + 1;
+        }
+        k += 1;
+    }
+
+    // Skip the return type and any where clause to the body `{`.
+    while i < toks.len() {
+        match punct_at(toks, i) {
+            Some('{') => break,
+            Some(';') => return None, // trait method signature, no body
+            Some('<') => skip_balanced(toks, &mut i, '<', '>'),
+            Some('(') => skip_balanced(toks, &mut i, '(', ')'),
+            _ => i += 1,
+        }
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let open = i;
+    skip_balanced(toks, &mut i, '{', '}');
+    Some(FnSig {
+        rng_params,
+        scratch_params,
+        body: (open + 1, i.saturating_sub(1)),
+    })
+}
+
+/// Classify one parameter's token range `[start, end)` into the RNG /
+/// scratch sets.
+fn classify_param(
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    rng_types: &BTreeSet<String>,
+    scratch_self: bool,
+    rng_params: &mut BTreeSet<String>,
+    scratch_params: &mut BTreeSet<String>,
+) {
+    // Find the pattern/type split: the first top-level `:` not part of a
+    // `::` path.
+    let mut colon = None;
+    let mut depth = 0usize;
+    for k in start..end {
+        match punct_at(toks, k) {
+            Some('(') | Some('[') | Some('<') => depth += 1,
+            Some(')') | Some(']') | Some('>') => depth = depth.saturating_sub(1),
+            Some(':')
+                if depth == 0
+                    && punct_at(toks, k + 1) != Some(':')
+                    && punct_at(toks, k.wrapping_sub(1)) != Some(':') =>
+            {
+                colon = Some(k);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(colon) = colon else {
+        // Receiver form: `self`, `&self`, `&mut self`.
+        let has_self = (start..end).any(|k| ident_at(toks, k) == Some("self"));
+        if has_self && scratch_self {
+            scratch_params.insert("self".to_owned());
+        }
+        return;
+    };
+    // Pattern name: the last ident before the colon (`mut rng` → rng).
+    let mut name = None;
+    for k in (start..colon).rev() {
+        if let Some(id) = ident_at(toks, k) {
+            if id != "mut" {
+                name = Some(id.to_owned());
+                break;
+            }
+        }
+    }
+    let Some(name) = name else { return };
+    // Type idents after the colon.
+    let mut is_rng = false;
+    let mut is_scratch = false;
+    for k in colon + 1..end {
+        if let Some(id) = ident_at(toks, k) {
+            if rng_types.contains(id) || id == "Rng" || id == "RngCore" || id.ends_with("Rng") {
+                is_rng = true;
+            }
+            if id.contains("Workspace") || id.contains("Scratch") {
+                is_scratch = true;
+            }
+        }
+    }
+    if is_rng {
+        rng_params.insert(name.clone());
+    }
+    if is_scratch {
+        scratch_params.insert(name);
+    }
+}
+
+/// Build the control-flow graph of one function body.
+pub fn build_cfg(toks: &[Tok], sig: &FnSig) -> Cfg {
+    let (body_start, body_end) = sig.body;
+    let start_line = toks.get(body_start).map_or(1, |t| t.line + 1);
+    let mut b = Builder {
+        toks,
+        sig,
+        blocks: vec![Block {
+            line: start_line,
+            ..Block::default()
+        }],
+        cur: 0,
+        exit: usize::MAX,
+        loops: Vec::new(),
+        dead: false,
+        end: body_end,
+    };
+    let exit_line = toks.get(body_end).map_or(start_line, |t| t.line + 1);
+    b.blocks.push(Block {
+        line: exit_line,
+        ..Block::default()
+    });
+    b.exit = 1;
+    let mut i = body_start;
+    b.parse(&mut i, Until::End);
+    if !b.dead {
+        let cur = b.cur;
+        let exit = b.exit;
+        b.edge(cur, exit);
+    }
+    Cfg {
+        blocks: b.blocks,
+        entry: 0,
+        exit: 1,
+    }
+}
+
+/// How far one `parse` invocation runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Until {
+    /// To the builder's body end.
+    End,
+    /// To (and consuming) the `}` closing the current level.
+    CloseBrace,
+    /// To (not consuming) the first of these puncts at depth 0.
+    StopBefore(&'static [char]),
+}
+
+struct Builder<'a> {
+    toks: &'a [Tok],
+    sig: &'a FnSig,
+    blocks: Vec<Block>,
+    cur: usize,
+    exit: usize,
+    /// Innermost-last: (label or empty, header block, after block).
+    loops: Vec<(String, usize, usize)>,
+    /// True when the current path has been terminated (break, continue,
+    /// return); the next live statement opens an unreachable block.
+    dead: bool,
+    end: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self, line: usize) -> usize {
+        self.blocks.push(Block {
+            line,
+            ..Block::default()
+        });
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn line_at(&self, i: usize) -> usize {
+        self.toks.get(i).map_or(1, |t| t.line + 1)
+    }
+
+    /// Revive the current path into a fresh unreachable block after a
+    /// terminator, so post-terminator effects never pollute a live block.
+    fn ensure_live(&mut self, line: usize) {
+        if self.dead {
+            self.cur = self.new_block(line);
+            self.dead = false;
+        }
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.ensure_live(op.line());
+        self.blocks[self.cur].ops.push(op);
+    }
+
+    /// Parse statements/expressions until the terminator, building
+    /// blocks and edges, emitting effects into the current block.
+    fn parse(&mut self, i: &mut usize, until: Until) {
+        let mut depth = 0usize;
+        while *i < self.end.min(self.toks.len()) {
+            if let Until::StopBefore(stops) = until {
+                if depth == 0 {
+                    if let Some(c) = punct_at(self.toks, *i) {
+                        if stops.contains(&c) {
+                            return;
+                        }
+                    }
+                }
+            }
+            match &self.toks[*i].kind {
+                TokKind::Punct('}') => {
+                    match until {
+                        Until::CloseBrace => {
+                            *i += 1;
+                            return;
+                        }
+                        _ => return, // unbalanced close: caller's level
+                    }
+                }
+                TokKind::Punct('{') => {
+                    // A nested plain block (or stray struct literal).
+                    *i += 1;
+                    self.parse(i, Until::CloseBrace);
+                }
+                TokKind::Punct('#') => {
+                    // Attribute: skip its bracket group.
+                    *i += 1;
+                    if punct_at(self.toks, *i) == Some('!') {
+                        *i += 1;
+                    }
+                    if punct_at(self.toks, *i) == Some('[') {
+                        skip_balanced(self.toks, i, '[', ']');
+                    }
+                }
+                TokKind::Punct('?') => {
+                    // Try operator: an early edge to the exit block. A
+                    // leading `?` in bounds (`?Sized`) follows `+` or `:`.
+                    let prev = self.toks.get(i.wrapping_sub(1)).map(|t| &t.kind);
+                    let try_pos = matches!(
+                        prev,
+                        Some(TokKind::Ident(_))
+                            | Some(TokKind::Punct(')'))
+                            | Some(TokKind::Punct(']'))
+                            | Some(TokKind::Punct('}'))
+                    );
+                    if try_pos && !self.dead {
+                        // Split the block: draws before the `?` flow to
+                        // the exit, draws after it only down the happy
+                        // path — collapsing them into one out-state
+                        // would hide the early-exit divergence.
+                        let cur = self.cur;
+                        let exit = self.exit;
+                        self.edge(cur, exit);
+                        let line = self.line_at(*i);
+                        let next = self.new_block(line);
+                        self.edge(cur, next);
+                        self.cur = next;
+                    }
+                    *i += 1;
+                }
+                TokKind::Punct('\'') => {
+                    // `'label: loop/while/for`.
+                    if let Some(label) = self.loop_label_at(*i) {
+                        *i += 3; // ' label :
+                        let kw = ident_at(self.toks, *i).unwrap_or("").to_owned();
+                        self.handle_loop(i, &kw, Some(label));
+                    } else {
+                        *i += 1;
+                    }
+                }
+                TokKind::Punct(c) => {
+                    if let Until::StopBefore(_) = until {
+                        match c {
+                            '(' | '[' => depth += 1,
+                            ')' | ']' => {
+                                if depth == 0 {
+                                    return; // caller's closer
+                                }
+                                depth -= 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if *c == '|' && self.try_closure(i) {
+                        continue;
+                    }
+                    *i += 1;
+                }
+                TokKind::Ident(word) => match word.as_str() {
+                    "if" => {
+                        *i += 1;
+                        self.handle_if(i);
+                    }
+                    "match" => {
+                        *i += 1;
+                        self.handle_match(i);
+                    }
+                    "loop" | "while" | "for" => {
+                        let kw = word.clone();
+                        self.handle_loop(i, &kw, None);
+                    }
+                    "break" => {
+                        *i += 1;
+                        self.handle_break_continue(i, true);
+                    }
+                    "continue" => {
+                        *i += 1;
+                        self.handle_break_continue(i, false);
+                    }
+                    "return" => {
+                        *i += 1;
+                        self.parse(i, Until::StopBefore(&[';', ',', ')', '}']));
+                        if !self.dead {
+                            let cur = self.cur;
+                            let exit = self.exit;
+                            self.edge(cur, exit);
+                        }
+                        self.dead = true;
+                    }
+                    "else" => {
+                        // `let … else { diverging }`: the else body exits
+                        // this path; the happy path continues.
+                        *i += 1;
+                        if punct_at(self.toks, *i) == Some('{') {
+                            let saved_cur = self.cur;
+                            let saved_dead = self.dead;
+                            let eb = self.new_block(self.line_at(*i));
+                            if !self.dead {
+                                self.edge(saved_cur, eb);
+                            }
+                            self.cur = eb;
+                            self.dead = false;
+                            *i += 1;
+                            self.parse(i, Until::CloseBrace);
+                            // A well-formed let-else body diverges; if it
+                            // did not, drop the path (lint-grade).
+                            self.cur = saved_cur;
+                            self.dead = saved_dead;
+                        }
+                    }
+                    _ => {
+                        if !self.effect_step(i) {
+                            *i += 1;
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// `'label :` followed by a loop keyword at token `i` (the quote)?
+    fn loop_label_at(&self, i: usize) -> Option<String> {
+        let label = ident_at(self.toks, i + 1)?;
+        if punct_at(self.toks, i + 2) != Some(':') {
+            return None;
+        }
+        match ident_at(self.toks, i + 3) {
+            Some("loop" | "while" | "for") => Some(label.to_owned()),
+            _ => None,
+        }
+    }
+
+    /// `if cond { … } [else if …]* [else { … }]`; `*i` is past the `if`.
+    fn handle_if(&mut self, i: &mut usize) {
+        self.ensure_live(self.line_at(*i));
+        let join = self.new_block(self.line_at(*i));
+        loop {
+            // Condition (effects into the current block).
+            self.parse(i, Until::StopBefore(&['{']));
+            let pre = self.cur;
+            let pre_dead = self.dead;
+            let then = self.new_block(self.line_at(*i));
+            if !pre_dead {
+                self.edge(pre, then);
+            }
+            self.cur = then;
+            self.dead = false;
+            if punct_at(self.toks, *i) == Some('{') {
+                *i += 1;
+                self.parse(i, Until::CloseBrace);
+            }
+            if !self.dead {
+                let cur = self.cur;
+                self.edge(cur, join);
+            }
+            self.cur = pre;
+            self.dead = pre_dead;
+            if ident_at(self.toks, *i) == Some("else") {
+                *i += 1;
+                if ident_at(self.toks, *i) == Some("if") {
+                    *i += 1;
+                    continue; // chain: next condition evaluated from pre
+                }
+                let eb = self.new_block(self.line_at(*i));
+                if !pre_dead {
+                    self.edge(pre, eb);
+                }
+                self.cur = eb;
+                self.dead = false;
+                if punct_at(self.toks, *i) == Some('{') {
+                    *i += 1;
+                    self.parse(i, Until::CloseBrace);
+                }
+                if !self.dead {
+                    let cur = self.cur;
+                    self.edge(cur, join);
+                }
+            } else if !pre_dead {
+                // No else: the condition may fall through directly.
+                self.edge(pre, join);
+            }
+            break;
+        }
+        self.cur = join;
+        self.dead = false;
+    }
+
+    /// `match scrutinee { arms }`; `*i` is past the `match`.
+    fn handle_match(&mut self, i: &mut usize) {
+        self.ensure_live(self.line_at(*i));
+        // Scrutinee effects into the current block.
+        self.parse(i, Until::StopBefore(&['{']));
+        let pre = self.cur;
+        let pre_dead = self.dead;
+        let join = self.new_block(self.line_at(*i));
+        if punct_at(self.toks, *i) != Some('{') {
+            self.cur = join;
+            self.dead = pre_dead;
+            if !pre_dead {
+                self.edge(pre, join);
+            }
+            return;
+        }
+        *i += 1;
+        while *i < self.end.min(self.toks.len()) {
+            if punct_at(self.toks, *i) == Some('}') {
+                *i += 1;
+                break;
+            }
+            // One arm: pattern [+ guard] => body [,]
+            let arm = self.new_block(self.line_at(*i));
+            if !pre_dead {
+                self.edge(pre, arm);
+            }
+            self.cur = arm;
+            self.dead = false;
+            // Pattern + guard, until `=>` at depth 0. Guard draws (for
+            // L12) are emitted into the arm block via effect_step.
+            let mut depth = 0usize;
+            while *i < self.end.min(self.toks.len()) {
+                match punct_at(self.toks, *i) {
+                    Some('(') | Some('[') | Some('{') => {
+                        depth += 1;
+                        *i += 1;
+                    }
+                    Some(')') | Some(']') | Some('}') => {
+                        depth = depth.saturating_sub(1);
+                        *i += 1;
+                    }
+                    Some('=') if depth == 0 && punct_at(self.toks, *i + 1) == Some('>') => {
+                        *i += 2;
+                        break;
+                    }
+                    _ => {
+                        if !self.effect_step(i) {
+                            *i += 1;
+                        }
+                    }
+                }
+            }
+            // Arm body.
+            if punct_at(self.toks, *i) == Some('{') {
+                *i += 1;
+                self.parse(i, Until::CloseBrace);
+            } else {
+                self.parse(i, Until::StopBefore(&[',', '}']));
+            }
+            if punct_at(self.toks, *i) == Some(',') {
+                *i += 1;
+            }
+            if !self.dead {
+                let cur = self.cur;
+                self.edge(cur, join);
+            }
+        }
+        self.cur = join;
+        self.dead = false;
+    }
+
+    /// `loop`/`while cond`/`for pat in iter` bodies; `*i` is at the
+    /// keyword (labels already consumed by the caller).
+    fn handle_loop(&mut self, i: &mut usize, kw: &str, label: Option<String>) {
+        self.ensure_live(self.line_at(*i));
+        *i += 1; // the keyword
+        if kw == "for" {
+            // Pattern until top-level `in`, then the iterator
+            // expression (evaluated once, effects into the
+            // pre-header block).
+            let mut depth = 0usize;
+            while *i < self.end.min(self.toks.len()) {
+                match &self.toks[*i].kind {
+                    TokKind::Punct('(' | '[') => {
+                        depth += 1;
+                        *i += 1;
+                    }
+                    TokKind::Punct(')' | ']') => {
+                        depth = depth.saturating_sub(1);
+                        *i += 1;
+                    }
+                    TokKind::Ident(s) if s == "in" && depth == 0 => {
+                        *i += 1;
+                        break;
+                    }
+                    _ => *i += 1,
+                }
+            }
+            self.parse(i, Until::StopBefore(&['{']));
+        }
+        let pre = self.cur;
+        let pre_dead = self.dead;
+        let header = self.new_block(self.line_at(*i));
+        self.blocks[header].loop_head = true;
+        if !pre_dead {
+            self.edge(pre, header);
+        }
+        let after = self.new_block(self.line_at(*i));
+        if kw == "while" {
+            // The condition re-evaluates each iteration: its effects
+            // live in the header, which may also exit.
+            self.cur = header;
+            self.dead = false;
+            self.parse(i, Until::StopBefore(&['{']));
+            let cond_end = self.cur; // conditions build no blocks, but be safe
+            self.edge(cond_end, after);
+        } else if kw == "for" {
+            self.edge(header, after);
+        }
+        let body = self.new_block(self.line_at(*i));
+        self.edge(header, body);
+        self.loops.push((label.unwrap_or_default(), header, after));
+        self.cur = body;
+        self.dead = false;
+        if punct_at(self.toks, *i) == Some('{') {
+            *i += 1;
+            self.parse(i, Until::CloseBrace);
+        }
+        if !self.dead {
+            let cur = self.cur;
+            self.edge(cur, header); // back edge
+        }
+        self.loops.pop();
+        self.cur = after;
+        self.dead = false;
+    }
+
+    /// `break ['label] [value]` / `continue ['label]`; `*i` is past the
+    /// keyword.
+    fn handle_break_continue(&mut self, i: &mut usize, is_break: bool) {
+        self.ensure_live(self.line_at(*i));
+        let mut label = None;
+        if punct_at(self.toks, *i) == Some('\'') {
+            if let Some(name) = ident_at(self.toks, *i + 1) {
+                label = Some(name.to_owned());
+                *i += 2;
+            }
+        }
+        if is_break {
+            // Break-with-value: operand effects run before the jump.
+            self.parse(i, Until::StopBefore(&[';', ',', ')', '}']));
+        }
+        let target = match &label {
+            Some(name) => self
+                .loops
+                .iter()
+                .rev()
+                .find(|(l, _, _)| l == name)
+                .map(|t| (t.1, t.2)),
+            None => self.loops.last().map(|t| (t.1, t.2)),
+        };
+        let to = match target {
+            Some((header, after)) => {
+                if is_break {
+                    after
+                } else {
+                    header
+                }
+            }
+            None => self.exit, // break outside a loop: lint-grade degrade
+        };
+        if !self.dead {
+            let cur = self.cur;
+            self.edge(cur, to);
+        }
+        self.dead = true;
+    }
+
+    /// A closure literal starting at the `|` at `*i`? If so, consume the
+    /// parameter list and body: RNG mentions degrade to an unknown draw,
+    /// field clears are demoted to no-ops (the closure may run zero
+    /// times) while reads and grows still count. Returns true when
+    /// consumed.
+    fn try_closure(&mut self, i: &mut usize) -> bool {
+        // Closure position: after `(`, `,`, `=`, `{`, `;`, `:` or the
+        // `move` keyword — a `|` after an ident or closer is bitwise-or.
+        let prev = self.toks.get(i.wrapping_sub(1)).map(|t| &t.kind);
+        let closure_pos = match prev {
+            Some(TokKind::Punct('(' | ',' | '=' | '{' | ';' | ':' | '|')) => {
+                // `||` empty-params is handled below; `a || b` has an
+                // operand before the first `|`, caught by the ident arm.
+                !matches!(
+                    self.toks.get(i.wrapping_sub(2)).map(|t| &t.kind),
+                    Some(TokKind::Ident(_)) | Some(TokKind::Punct(')' | ']'))
+                ) || punct_at(self.toks, i.wrapping_sub(1)) != Some('|')
+            }
+            Some(TokKind::Ident(s)) => s == "move" || s == "return",
+            None => true,
+            _ => false,
+        };
+        if !closure_pos {
+            return false;
+        }
+        let params_end;
+        if punct_at(self.toks, *i + 1) == Some('|') {
+            params_end = *i + 1; // `||`
+        } else {
+            // Scan for the closing `|` of the parameter list.
+            let mut j = *i + 1;
+            let mut found = None;
+            while j < self.end.min(self.toks.len()) && j < *i + 64 {
+                match punct_at(self.toks, j) {
+                    Some('|') => {
+                        found = Some(j);
+                        break;
+                    }
+                    Some(';') | Some('{') | Some('}') => break,
+                    _ => j += 1,
+                }
+            }
+            match found {
+                Some(j) => params_end = j,
+                None => return false,
+            }
+        }
+        let body_start = params_end + 1;
+        let mut j = body_start;
+        // Body extent: a braced block, or one expression up to a
+        // top-level `,`, `)`, `;` or `}`.
+        let body_end = if punct_at(self.toks, j) == Some('{') {
+            skip_balanced(self.toks, &mut j, '{', '}');
+            j
+        } else {
+            let mut depth = 0usize;
+            loop {
+                if j >= self.end.min(self.toks.len()) {
+                    break;
+                }
+                match punct_at(self.toks, j) {
+                    Some('(' | '[' | '{') => depth += 1,
+                    Some(')' | ']' | '}') => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    Some(',' | ';') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            j
+        };
+        // Effects inside the closure body.
+        let line = self.line_at(*i);
+        let mentions_rng = (body_start..body_end)
+            .any(|k| ident_at(self.toks, k).is_some_and(|id| self.sig.rng_params.contains(id)));
+        if mentions_rng {
+            self.emit(Op::OpaqueDraw {
+                line,
+                what: "closure".to_owned(),
+            });
+        }
+        // Field effects: scan the body with a demotion marker so clears
+        // become no-ops.
+        let mut k = body_start;
+        while k < body_end {
+            if !self.effect_step_demoted(&mut k) {
+                k += 1;
+            }
+        }
+        *i = body_end;
+        true
+    }
+
+    /// Effect scan inside a closure: field clears demote to no-ops, RNG
+    /// ops were already degraded by the caller.
+    fn effect_step_demoted(&mut self, i: &mut usize) -> bool {
+        let before = self.blocks[self.cur].ops.len();
+        let consumed = self.scratch_chain_step(i);
+        for op in self.blocks[self.cur].ops[before..].iter_mut() {
+            if let Op::Field { access, .. } = op {
+                if *access == FieldAccess::Clear {
+                    *access = FieldAccess::Call {
+                        method: "closure-clear".to_owned(),
+                    };
+                }
+            }
+        }
+        consumed
+    }
+
+    /// One effect-bearing token: RNG draw chains, scratch-field chains,
+    /// macro invocations, RNG-forwarding calls. Returns true when it
+    /// consumed tokens (advancing `*i`).
+    fn effect_step(&mut self, i: &mut usize) -> bool {
+        let Some(name) = ident_at(self.toks, *i) else {
+            return false;
+        };
+        let line = self.line_at(*i);
+
+        // Macro invocation: `name!(…)` / `name![…]` / `name!{…}`.
+        if punct_at(self.toks, *i + 1) == Some('!') {
+            if let Some(open) = punct_at(self.toks, *i + 2) {
+                let close = match open {
+                    '(' => ')',
+                    '[' => ']',
+                    '{' => '}',
+                    _ => ' ',
+                };
+                if close != ' ' {
+                    let mut j = *i + 2;
+                    let arg_start = j + 1;
+                    skip_balanced(self.toks, &mut j, open, close);
+                    let mentions_rng = (arg_start..j.saturating_sub(1)).any(|k| {
+                        ident_at(self.toks, k).is_some_and(|id| self.sig.rng_params.contains(id))
+                    });
+                    if mentions_rng {
+                        self.emit(Op::OpaqueDraw {
+                            line,
+                            what: format!("macro {name}!"),
+                        });
+                    }
+                    *i = j;
+                    return true;
+                }
+            }
+        }
+
+        // Direct draw: `rng.method(…)` (with optional turbofish).
+        if self.sig.rng_params.contains(name) && punct_at(self.toks, *i + 1) == Some('.') {
+            if let Some(method) = ident_at(self.toks, *i + 2) {
+                let mut j = *i + 3;
+                // `rng.gen::<u64>(…)`.
+                if punct_at(self.toks, j) == Some(':') && punct_at(self.toks, j + 1) == Some(':') {
+                    j += 2;
+                    if punct_at(self.toks, j) == Some('<') {
+                        skip_balanced(self.toks, &mut j, '<', '>');
+                    }
+                }
+                if punct_at(self.toks, j) == Some('(') {
+                    let count = if DRAW_ONE.contains(&method) {
+                        DrawEffect::Exact(1)
+                    } else if DRAW_ZERO.contains(&method) {
+                        DrawEffect::Exact(0)
+                    } else {
+                        DrawEffect::Unknown
+                    };
+                    self.emit(Op::Draw {
+                        line,
+                        label: format!("{name}.{method}"),
+                        count,
+                    });
+                    *i = j; // arguments are scanned normally
+                    return true;
+                }
+            }
+        }
+
+        // Scratch-receiver chain: `recv.field…` / `recv.method(…)`.
+        if self.sig.scratch_params.contains(name) {
+            return self.scratch_chain_step(i);
+        }
+
+        // Call forms whose top-level arguments include an RNG param:
+        // `helper(…, rng)`, `.method(rng)`, `Qual::method(…, rng)`.
+        let next = punct_at(self.toks, *i + 1);
+        if next == Some('(') && !is_keyword(name) {
+            let label = if punct_at(self.toks, i.wrapping_sub(1)) == Some('.') {
+                format!(".{name}")
+            } else if punct_at(self.toks, i.wrapping_sub(1)) == Some(':')
+                && punct_at(self.toks, i.wrapping_sub(2)) == Some(':')
+            {
+                match ident_at(self.toks, i.wrapping_sub(3)) {
+                    Some(qual) => format!("{qual}::{name}"),
+                    None => format!("::{name}"),
+                }
+            } else {
+                name.to_owned()
+            };
+            if self.args_mention_rng(*i + 1) {
+                self.emit(Op::RngCall { line, label });
+            }
+            *i += 1; // arguments are scanned normally
+            return true;
+        }
+        false
+    }
+
+    /// Scan a `recv.…` chain starting at the receiver ident, emitting a
+    /// field op (and, for method calls, an RNG-forwarding op when the
+    /// arguments mention an RNG parameter). Returns true when consumed.
+    fn scratch_chain_step(&mut self, i: &mut usize) -> bool {
+        let Some(name) = ident_at(self.toks, *i) else {
+            return false;
+        };
+        if !self.sig.scratch_params.contains(name) {
+            return false;
+        }
+        if punct_at(self.toks, *i + 1) != Some('.') {
+            *i += 1; // bare receiver mention (`&mut self` forward, …)
+            return true;
+        }
+        let line = self.line_at(*i);
+        // `& mut recv.…` — a mutable borrow of the chain?
+        let mut_borrow = ident_at(self.toks, i.wrapping_sub(1)) == Some("mut")
+            && punct_at(self.toks, i.wrapping_sub(2)) == Some('&');
+
+        let first = match ident_at(self.toks, *i + 2) {
+            Some(f) => f.to_owned(),
+            None => {
+                *i += 2; // `self.0` tuple access etc.: treat as opaque
+                return true;
+            }
+        };
+        // Method call directly on the receiver: `recv.helper(…)`.
+        if punct_at(self.toks, *i + 3) == Some('(') {
+            if self.args_mention_rng(*i + 3) {
+                self.emit(Op::RngCall {
+                    line,
+                    label: format!(".{first}"),
+                });
+            }
+            self.emit(Op::ScratchCall {
+                line,
+                label: format!(".{first}"),
+            });
+            *i += 3; // arguments are scanned normally
+            return true;
+        }
+        // Field chain: walk `.seg` segments to the final method or bare
+        // end. The first segment names the tracked field.
+        let mut j = *i + 2; // at `first`
+        let mut method: Option<String> = None;
+        loop {
+            let after_seg = j + 1;
+            match punct_at(self.toks, after_seg) {
+                Some('.') => {
+                    if let Some(seg) = ident_at(self.toks, after_seg + 1) {
+                        if punct_at(self.toks, after_seg + 2) == Some('(') {
+                            method = Some(seg.to_owned());
+                            j = after_seg + 1;
+                            break;
+                        }
+                        j = after_seg + 1;
+                        continue;
+                    }
+                    // `.0` tuple segment: step over.
+                    j = after_seg + 1;
+                    if ident_at(self.toks, j).is_none() {
+                        break;
+                    }
+                    continue;
+                }
+                Some('[') => {
+                    // Index expression: `recv.f[…]` — a write (`= v`) is
+                    // neither a clear nor a read; anything else reads.
+                    let mut k = after_seg;
+                    skip_balanced(self.toks, &mut k, '[', ']');
+                    let is_write = punct_at(self.toks, k) == Some('=')
+                        && punct_at(self.toks, k + 1) != Some('=');
+                    if !is_write {
+                        self.emit(Op::Field {
+                            line,
+                            field: first,
+                            access: FieldAccess::Read,
+                        });
+                    }
+                    *i = k;
+                    return true;
+                }
+                _ => break,
+            }
+        }
+        if let Some(method) = method {
+            // `recv.f[.g…].method(…)`.
+            let call_paren = j + 1;
+            if self.args_mention_rng(call_paren) {
+                self.emit(Op::RngCall {
+                    line,
+                    label: format!(".{method}"),
+                });
+            }
+            let access = if CLEAR_METHODS.contains(&method.as_str()) {
+                FieldAccess::Clear
+            } else if GROW_METHODS.contains(&method.as_str()) {
+                FieldAccess::Grow
+            } else if SHAPE_METHODS.contains(&method.as_str()) {
+                // Shape queries touch no contents.
+                *i = call_paren;
+                return true;
+            } else {
+                FieldAccess::Call { method }
+            };
+            self.emit(Op::Field {
+                line,
+                field: first,
+                access,
+            });
+            *i = call_paren; // arguments are scanned normally
+            return true;
+        }
+        // Bare field use: assignment clears, a mutable borrow is assumed
+        // to be initialized by its consumer (a documented
+        // false-negative class), anything else reads.
+        let after = punct_at(self.toks, j + 1);
+        let assigned = after == Some('=') && punct_at(self.toks, j + 2) != Some('=');
+        let access = if assigned || mut_borrow {
+            FieldAccess::Clear
+        } else {
+            FieldAccess::Read
+        };
+        self.emit(Op::Field {
+            line,
+            field: first,
+            access,
+        });
+        *i = j + 1;
+        true
+    }
+
+    /// Do the top-level tokens of the argument group opening at `open`
+    /// (a `(`) mention an RNG parameter?
+    fn args_mention_rng(&self, open: usize) -> bool {
+        if self.sig.rng_params.is_empty() {
+            return false;
+        }
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < self.toks.len() {
+            match &self.toks[k].kind {
+                TokKind::Punct('(' | '[' | '{') => depth += 1,
+                TokKind::Punct(')' | ']' | '}') => {
+                    depth -= usize::from(depth > 0);
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                TokKind::Ident(s) if depth == 1 && self.sig.rng_params.contains(s) => {
+                    return true;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        false
+    }
+}
+
+/// Keywords that legally precede a parenthesized expression (mirrors the
+/// pass-3 call extraction).
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "in"
+            | "move"
+            | "yield"
+            | "await"
+            | "let"
+            | "mut"
+            | "ref"
+    )
+}

@@ -1,4 +1,4 @@
-//! Workspace walking, the three-pass driver and report assembly.
+//! Workspace walking, the four-pass driver and report assembly.
 //!
 //! Pass 1 reads every `.rs` file once, scans it ([`crate::scan`]),
 //! tokenizes it, parses its item tree ([`crate::items`]) and feeds the
@@ -8,17 +8,23 @@
 //! builds the interprocedural call graph ([`crate::callgraph`]) over the
 //! retained library-file artifacts and, when a `lint.roots` file sits
 //! beside `lint.allow`, runs the reachability rules L9–L11
-//! ([`crate::reach`]). All passes' findings then meet the `lint.allow`
-//! budgets: groups over budget become failing diagnostics, groups under
-//! budget become tightening notes, and every individual finding is
-//! retained in [`Report::findings`] for the SARIF emitter.
+//! ([`crate::reach`]). Pass 4 builds intraprocedural CFGs over the same
+//! token streams ([`crate::cfg`]) and runs the forward-dataflow rules
+//! L12–L14 ([`crate::dataflow`]), composing per-function summaries
+//! through the pass-3 call graph. All passes' findings then meet the
+//! `lint.allow` budgets: groups over budget become failing diagnostics,
+//! groups under budget become tightening notes, stale entries (path gone
+//! from the tree, or a budget with zero remaining violations) become
+//! hard errors, and every individual finding is retained in
+//! [`Report::findings`] for the SARIF emitter.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::allow::Allowlist;
 use crate::callgraph::CallGraph;
+use crate::dataflow::check_dataflow;
 use crate::items::{parse_items, tokenize, Item, Tok};
 use crate::reach::{check_reachability, parse_roots};
 use crate::rules::{check_tokens, FileCtx, FileKind, FlowStep, Rule, Violation};
@@ -40,9 +46,10 @@ pub struct Finding {
     /// True when the finding's (rule, file) group exceeded its
     /// `lint.allow` budget — i.e. it fails the build.
     pub over_budget: bool,
-    /// For reachability findings (L9–L11): the root-to-construct call
-    /// chain, emitted as a SARIF `codeFlows` thread flow. Empty for the
-    /// per-file and symbol-table rules.
+    /// For reachability findings (L9–L11) and dataflow findings
+    /// (L12–L14): the root-to-construct call chain or the
+    /// intraprocedural path, emitted as a SARIF `codeFlows` thread
+    /// flow. Empty for the per-file and symbol-table rules.
     pub flow: Vec<FlowStep>,
 }
 
@@ -124,8 +131,10 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
     let mut report = Report::default();
     // Library-file artifacts retained for the pass-3 call graph.
     let mut lib_files: Vec<(String, Vec<Item>, Vec<Tok>)> = Vec::new();
+    let mut scanned_paths: BTreeSet<String> = BTreeSet::new();
     for file in &files {
         let rel = rel_path(root, file);
+        scanned_paths.insert(rel.clone());
         let source = fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
         let ctx = FileCtx::classify(&rel);
         let lines = scan(&source);
@@ -166,19 +175,32 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
     }
 
     // Pass 3: the interprocedural reachability rules L9–L11, anchored at
-    // the root sets declared in `lint.roots`. No roots file means no
-    // reachability pass (a workspace opts in by declaring its kernels);
-    // a root that no longer resolves is a hard error.
-    if let Ok(roots_text) = fs::read_to_string(root.join("lint.roots")) {
-        let roots = parse_roots(&roots_text)?;
-        let graph = CallGraph::build(&lib_files);
-        for (path, violation) in check_reachability(&graph, &roots)? {
-            report.violations += 1;
-            grouped
-                .entry((violation.rule, path))
-                .or_default()
-                .push(violation);
-        }
+    // the root sets declared in `lint.roots` (a workspace opts in by
+    // declaring its kernels; a root that no longer resolves is a hard
+    // error). The call graph is built unconditionally — pass 4 composes
+    // with it even when no roots file exists.
+    let roots = match fs::read_to_string(root.join("lint.roots")) {
+        Ok(text) => parse_roots(&text)?,
+        Err(_) => Vec::new(),
+    };
+    let graph = CallGraph::build(&lib_files);
+    for (path, violation) in check_reachability(&graph, &roots)? {
+        report.violations += 1;
+        grouped
+            .entry((violation.rule, path))
+            .or_default()
+            .push(violation);
+    }
+
+    // Pass 4: intraprocedural CFG + forward dataflow — L12 draw balance
+    // over the deterministic crates, L13/L14 scratch hygiene from the
+    // declared reuse-cycle roots.
+    for (path, violation) in check_dataflow(&graph, &lib_files, &roots)? {
+        report.violations += 1;
+        grouped
+            .entry((violation.rule, path))
+            .or_default()
+            .push(violation);
     }
 
     for ((rule, path), violations) in &grouped {
@@ -216,10 +238,20 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
             ));
         }
     }
+    // Stale allow entries are hard errors, not notes: a budget whose
+    // path left the tree, or whose violations all burned down, rots
+    // silently and would mask a regression up to its full size.
     for (rule, path, budget) in allow.entries() {
-        if budget > 0 && !grouped.contains_key(&(rule, path.to_owned())) {
-            report.notes.push(format!(
-                "note: stale lint.allow entry {} {path} {budget} — no violations remain",
+        if !scanned_paths.contains(path) {
+            report.diagnostics.push(format!(
+                "lint.allow: stale entry {} {path} {budget} — the path no longer \
+                 exists in the workspace; delete the entry",
+                rule.name()
+            ));
+        } else if budget > 0 && !grouped.contains_key(&(rule, path.to_owned())) {
+            report.diagnostics.push(format!(
+                "lint.allow: stale entry {} {path} {budget} — no violations remain; \
+                 delete the entry (budgets must track burn-down)",
                 rule.name()
             ));
         }

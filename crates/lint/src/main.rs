@@ -4,7 +4,9 @@
 //! which `cargo run -p peercache-lint` sets to the workspace root)
 //! against `lint.allow`, printing `file:line: RULE: message` diagnostics.
 //! When a `lint.roots` file sits at ROOT, the interprocedural
-//! reachability rules L9–L11 run over the workspace call graph too.
+//! reachability rules L9–L11 and the reuse-cycle dataflow rules
+//! L13/L14 run over the workspace call graph too; the draw-balance
+//! rule L12 always runs over the deterministic crates.
 //!
 //! Flags:
 //!
@@ -65,7 +67,7 @@ fn main() -> ExitCode {
                         ExitCode::SUCCESS
                     }
                     None => {
-                        eprintln!("peercache-lint: --explain requires a rule name (L1..L11)");
+                        eprintln!("peercache-lint: --explain requires a rule name (L1..L14)");
                         ExitCode::from(2)
                     }
                 };

@@ -13,7 +13,9 @@
 //!
 //! Comments (`#`) and blank lines are ignored. A root naming a function
 //! the call graph cannot find is a **hard error**, not a skipped entry:
-//! a renamed kernel must not silently disable its gate.
+//! a renamed kernel must not silently disable its gate. The same file
+//! also declares the pass-4 reuse-cycle roots (L13/L14), which this
+//! parser accepts and [`crate::dataflow`] consumes.
 //!
 //! Per rule, one breadth-first traversal runs from all of the rule's
 //! roots at once; every function reached is scanned for the rule's
@@ -34,7 +36,8 @@ use crate::rules::{FlowStep, Rule, Violation};
 /// One parsed `lint.roots` entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RootSpec {
-    /// The reachability rule this root anchors (L9, L10 or L11).
+    /// The rule this root anchors: reachability (L9, L10, L11) or a
+    /// pass-4 reuse cycle (L13, L14 — consumed by [`crate::dataflow`]).
     pub rule: Rule,
     /// Workspace-relative path of the file defining the root function.
     pub path: String,
@@ -63,9 +66,13 @@ pub fn parse_roots(text: &str) -> Result<Vec<RootSpec>, String> {
         };
         let rule = Rule::parse(rule)
             .ok_or_else(|| format!("lint.roots:{}: unknown rule `{rule}`", idx + 1))?;
-        if !matches!(rule, Rule::L9 | Rule::L10 | Rule::L11) {
+        if !matches!(
+            rule,
+            Rule::L9 | Rule::L10 | Rule::L11 | Rule::L13 | Rule::L14
+        ) {
             return Err(format!(
-                "lint.roots:{}: {} is not a reachability rule (only L9/L10/L11 take roots)",
+                "lint.roots:{}: {} is not a rooted rule (only L9/L10/L11 reachability \
+                 and L13/L14 reuse-cycle roots are accepted)",
                 idx + 1,
                 rule.name()
             ));

@@ -1,4 +1,5 @@
-//! The paper-invariant style rules (L1–L8).
+//! The paper-invariant style rules (L1–L8) and the rule registry
+//! (L1–L14).
 //!
 //! | Rule | Scope | Checks |
 //! |------|-------|--------|
@@ -10,6 +11,9 @@
 //! | L6 | library code in deterministic crates (`core`, `sim`, `chord`, `pastry`, `tapestry`, `skipgraph`, `par`) | no `HashMap`/`HashSet` iteration (`iter`, `keys`, `values`, `drain`, `into_iter`, `for … in`) — the order is randomized; use `BTreeMap`/`BTreeSet` or sort first |
 //! | L7 | `pub` items in `crates/*/src` library code | no public item unreferenced by the rest of the workspace (dead API) |
 //! | L8 | library code in `crates/core`, `crates/sim` | no direct `==`/`<` comparison or `partial_cmp` on f64 cost values — use `costs_agree`-style epsilon helpers or `total_cmp` |
+//! | L12 | RNG-taking functions in the deterministic crates | RNG draw balance: every branch of a function taking `&mut` RNG consumes the same draw count ([`crate::dataflow`]) |
+//! | L13 | reuse cycles rooted in `lint.roots` | clear-before-read: scratch fields are written or cleared on every path before first read ([`crate::dataflow`]) |
+//! | L14 | reuse cycles rooted in `lint.roots` | growth-domination: `push`/`extend`/`insert` on reused buffers is dominated by a `clear`/`truncate` ([`crate::dataflow`]) |
 //!
 //! "Library code" excludes `tests/`, `benches/`, `examples/`, `vendor/`
 //! and — per rule, within a file — `#[cfg(test)]` regions. Matching runs
@@ -51,10 +55,18 @@ pub enum Rule {
     /// No entropy/time/ambient-state source reachable from deterministic
     /// entry points.
     L11,
+    /// RNG draw balance: same draw count on every branch of a function
+    /// taking `&mut` RNG in the deterministic crates.
+    L12,
+    /// Clear-before-read on scratch fields in rooted reuse cycles.
+    L13,
+    /// Growth-domination: buffer growth dominated by clear/truncate in
+    /// rooted reuse cycles.
+    L14,
 }
 
 /// Every rule, in order — the SARIF emitter indexes into this.
-pub const ALL_RULES: [Rule; 11] = [
+pub const ALL_RULES: [Rule; 14] = [
     Rule::L1,
     Rule::L2,
     Rule::L3,
@@ -66,6 +78,9 @@ pub const ALL_RULES: [Rule; 11] = [
     Rule::L9,
     Rule::L10,
     Rule::L11,
+    Rule::L12,
+    Rule::L13,
+    Rule::L14,
 ];
 
 impl Rule {
@@ -83,6 +98,9 @@ impl Rule {
             Rule::L9 => "L9",
             Rule::L10 => "L10",
             Rule::L11 => "L11",
+            Rule::L12 => "L12",
+            Rule::L13 => "L13",
+            Rule::L14 => "L14",
         }
     }
 
@@ -100,6 +118,9 @@ impl Rule {
             "L9" => Some(Rule::L9),
             "L10" => Some(Rule::L10),
             "L11" => Some(Rule::L11),
+            "L12" => Some(Rule::L12),
+            "L13" => Some(Rule::L13),
+            "L14" => Some(Rule::L14),
             _ => None,
         }
     }
@@ -118,6 +139,9 @@ impl Rule {
             Rule::L9 => "no allocating construct reachable from solve_into kernels",
             Rule::L10 => "no panic construct reachable from the fault walks",
             Rule::L11 => "no ambient-state source reachable from deterministic entry points",
+            Rule::L12 => "RNG draw count balanced across branches in deterministic crates",
+            Rule::L13 => "scratch fields cleared before first read in rooted reuse cycles",
+            Rule::L14 => "buffer growth dominated by clear/truncate in rooted reuse cycles",
         }
     }
 
@@ -238,6 +262,54 @@ impl Rule {
                  lives there precisely because the contract makes results \
                  independent of it."
             }
+            Rule::L12 => {
+                "L12 — RNG draw balance: every function in the deterministic crates \
+                 that takes an `&mut` RNG parameter must consume the same number of \
+                 draw calls on every branch.\n\nEvery bit-identity guarantee in this \
+                 reproduction — replayable fault walks, shard/thread-count parity, \
+                 the fig3 goldens — rests on the RNG stream advancing identically \
+                 across refactors (§VI replay methodology). A draw moved into one \
+                 `match` arm silently shifts every subsequent decision in the run. \
+                 The dataflow pass (DESIGN.md \"Dataflow pass: CFG, draw-balance, \
+                 and buffer hygiene\") builds an intraprocedural CFG, counts draws \
+                 along every path with callee summaries from the call graph, and \
+                 flags any merge whose incoming paths disagree. Loop-carried and \
+                 data-dependent draw counts (`shuffle`, macros, closures) widen to \
+                 unknown and stay silent — the rule never reports a false count. \
+                 Genuinely branch-dependent draws need a `lint.allow` budget with a \
+                 proof comment explaining why the divergence is replay-safe."
+            }
+            Rule::L13 => {
+                "L13 — clear-before-read: scratch/workspace fields used in a reuse \
+                 cycle rooted in `lint.roots` must be written, `clear()`ed, or \
+                 re-established on every path before their first read.\n\nThe \
+                 zero-alloc kernels (DESIGN.md \"Memory layout & workspace reuse\") \
+                 reuse `ChordWorkspace`/`PastryWorkspace` buffers across solves; a \
+                 path that reads a buffer before re-initializing it leaks the \
+                 previous problem's state into this one — the dirty-buffer \
+                 interleave class `workspace_equivalence.rs` probes with 400+ \
+                 seeds. L13 is the static form: the dataflow pass (DESIGN.md \
+                 \"Dataflow pass: CFG, draw-balance, and buffer hygiene\") tracks \
+                 the cleared-field set along every path from each `L13` root in \
+                 `lint.roots` (join = intersection, so \"cleared\" means cleared on \
+                 EVERY incoming path), splicing per-field callee summaries through \
+                 the call graph, and flags the first uncleared read."
+            }
+            Rule::L14 => {
+                "L14 — growth-domination: `push`/`extend`/`insert`/`append` on a \
+                 reused workspace buffer along an `L14`-rooted kernel must be \
+                 dominated by a `clear`/`truncate` in the same reuse cycle.\n\nThe \
+                 steady-state zero-alloc contract (DESIGN.md \"Memory layout & \
+                 workspace reuse\") holds only if growth never compounds across \
+                 cycles: a `push` onto a buffer that was not emptied this cycle \
+                 grows without bound and eventually reallocates past the warmed \
+                 capacity, which the `count-allocs` runtime gate only catches on \
+                 the inputs a benchmark happens to run. L14 is the static \
+                 complement: the dataflow pass (DESIGN.md \"Dataflow pass: CFG, \
+                 draw-balance, and buffer hygiene\") reuses the L13 cleared-set \
+                 analysis and flags growth on any path where no `clear`/`truncate` \
+                 dominates it."
+            }
         }
     }
 }
@@ -325,8 +397,9 @@ const NUMERIC_TYPES: [&str; 14] = [
 ];
 
 /// The crates bound by the PR 2 determinism contract (parallel sweeps
-/// bit-identical to serial); rule L6 applies to their library code.
-const DETERMINISTIC_CRATES: [&str; 8] = [
+/// bit-identical to serial); rule L6 applies to their library code and
+/// rule L12 to their RNG-taking functions.
+pub(crate) const DETERMINISTIC_CRATES: [&str; 8] = [
     "core",
     "sim",
     "chord",

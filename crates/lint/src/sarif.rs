@@ -3,13 +3,14 @@
 //! The workspace's vendored-std-only policy means no serde derive
 //! machinery here: the report is assembled by string building with
 //! explicit JSON escaping. The emitted document carries one run with the
-//! full L1–L11 rule metadata under `runs[0].tool.driver.rules` and one
+//! full L1–L14 rule metadata under `runs[0].tool.driver.rules` and one
 //! `result` per finding, `level: "error"` for violations over their
 //! `lint.allow` budget and `level: "note"` for allowlisted ones — so
 //! GitHub code scanning annotates regressions loudly while still
 //! surfacing the tracked debt. Reachability findings (L9–L11) carry
-//! their root-to-construct call chain as a `codeFlows` thread flow,
-//! which code scanning renders as a step-through path.
+//! their root-to-construct call chain, and dataflow findings (L12–L14)
+//! their intraprocedural path plus call chain, as a `codeFlows` thread
+//! flow, which code scanning renders as a step-through path.
 
 use crate::engine::Finding;
 use crate::rules::ALL_RULES;

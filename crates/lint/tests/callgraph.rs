@@ -212,6 +212,9 @@ fn index_expressions_fire_l10_but_full_range_slices_do_not() {
 #[test]
 fn roots_parsing_rejects_malformed_and_non_reachability_lines() {
     assert!(parse_roots("# comment\n\nL9 a/b.rs solve_into\n").is_ok());
+    // The pass-4 reuse-cycle rules are rooted too; L12 is always-on and
+    // takes no roots.
+    assert!(parse_roots("L13 a/b.rs solve_into\nL14 a/b.rs solve_into\n").is_ok());
     for bad in [
         "L9 a/b.rs",
         "L9 a/b.rs solve extra",

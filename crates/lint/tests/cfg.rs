@@ -1,0 +1,306 @@
+//! Edge-case coverage for the pass-4 CFG builder (`crates/lint/src/cfg.rs`),
+//! asserted through the public dataflow API: each fixture is a single
+//! `crates/sim` file run through `check_dataflow` with no roots, so the
+//! assertions pin the *observable* L12 semantics — which shapes report a
+//! draw divergence, and which must degrade silently — rather than block
+//! layout internals.
+
+use peercache_lint::items::{parse_items, tokenize};
+use peercache_lint::scan::scan;
+use peercache_lint::{check_dataflow, CallGraph, Rule, Violation};
+
+/// Run pass 4 (no roots) over one fixture file placed in `crates/sim`
+/// and return the L12 violations.
+fn l12(src: &str) -> Vec<Violation> {
+    let lines = scan(src);
+    let toks = tokenize(&lines);
+    let items = parse_items(&toks);
+    let files = vec![("crates/sim/src/fixture.rs".to_string(), items, toks)];
+    let graph = CallGraph::build(&files);
+    check_dataflow(&graph, &files, &[])
+        .expect("no roots, no root errors")
+        .into_iter()
+        .map(|(_, v)| v)
+        .filter(|v| v.rule == Rule::L12)
+        .collect()
+}
+
+#[test]
+fn balanced_if_else_is_clean() {
+    let found = l12("use rand::Rng;\n\
+         pub fn pick<R: Rng + ?Sized>(cond: bool, rng: &mut R) -> u64 {\n\
+             if cond {\n\
+                 rng.gen()\n\
+             } else {\n\
+                 rng.gen()\n\
+             }\n\
+         }\n");
+    assert!(
+        found.is_empty(),
+        "balanced branches must not fire: {found:?}"
+    );
+}
+
+#[test]
+fn imbalanced_if_reports_divergence() {
+    let found = l12("use rand::Rng;\n\
+         pub fn pick<R: Rng + ?Sized>(cond: bool, rng: &mut R) -> u64 {\n\
+             let mut x = 0;\n\
+             if cond {\n\
+                 x = rng.gen();\n\
+             }\n\
+             x\n\
+         }\n");
+    assert_eq!(found.len(), 1, "one merge diverges: {found:?}");
+    assert!(found[0].message.contains("0 vs 1"), "{}", found[0].message);
+    assert!(
+        found[0].flow.len() >= 2,
+        "L12 findings carry an intraprocedural flow: {:?}",
+        found[0].flow
+    );
+}
+
+#[test]
+fn nested_match_with_guards_balanced_is_clean() {
+    // Both outer arms draw exactly once, including through a nested
+    // match with a guard; the guard draw itself is arm-local but every
+    // path through the nested match consumes one draw.
+    let found = l12("use rand::Rng;\n\
+         pub fn walk<R: Rng + ?Sized>(mode: u8, sub: u8, rng: &mut R) -> u64 {\n\
+             match mode {\n\
+                 0 => match sub {\n\
+                     s if s > 3 => rng.gen(),\n\
+                     _ => rng.gen(),\n\
+                 },\n\
+                 _ => rng.gen(),\n\
+             }\n\
+         }\n");
+    assert!(
+        found.is_empty(),
+        "balanced nested match must not fire: {found:?}"
+    );
+}
+
+#[test]
+fn nested_match_with_guard_drawing_in_one_arm_reports() {
+    let found = l12("use rand::Rng;\n\
+         pub fn walk<R: Rng + ?Sized>(mode: u8, rng: &mut R) -> u64 {\n\
+             match mode {\n\
+                 0 => rng.gen::<u64>() + rng.gen::<u64>(),\n\
+                 1 => rng.gen(),\n\
+                 _ => 0,\n\
+             }\n\
+         }\n");
+    assert_eq!(found.len(), 1, "arm draw counts 2/1/0 diverge: {found:?}");
+    assert!(
+        found[0].message.contains("0 vs 1 vs 2"),
+        "{}",
+        found[0].message
+    );
+}
+
+#[test]
+fn loop_draws_widen_silently() {
+    // Draw count depends on the trip count — a loop fact, not branch
+    // divergence. The lattice widens to Unknown and stays silent.
+    let found = l12("use rand::Rng;\n\
+         pub fn sample<R: Rng + ?Sized>(n: usize, rng: &mut R) -> u64 {\n\
+             let mut acc = 0u64;\n\
+             for _ in 0..n {\n\
+                 acc = acc.wrapping_add(rng.gen::<u64>());\n\
+             }\n\
+             acc\n\
+         }\n");
+    assert!(
+        found.is_empty(),
+        "loop-carried draws must widen, not fire: {found:?}"
+    );
+}
+
+#[test]
+fn break_with_value_carries_its_draw() {
+    // `break rng.gen()` draws before leaving the loop; the loop header
+    // widens, so no divergence is reported either way — the test pins
+    // that break-with-value parses and terminates.
+    let found = l12("use rand::Rng;\n\
+         pub fn first<R: Rng + ?Sized>(rng: &mut R) -> u64 {\n\
+             let v = loop {\n\
+                 break rng.gen();\n\
+             };\n\
+             v\n\
+         }\n");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn labeled_break_crosses_loop_levels() {
+    // The labeled break jumps out of both loops; draw counts are
+    // loop-carried (Unknown), so nothing may fire — and the builder
+    // must resolve the label to the *outer* loop without panicking.
+    let found = l12("use rand::Rng;\n\
+         pub fn scan<R: Rng + ?Sized>(n: usize, rng: &mut R) -> u64 {\n\
+             let mut acc = 0u64;\n\
+             'outer: for _ in 0..n {\n\
+                 for _ in 0..n {\n\
+                     if acc > 100 {\n\
+                         break 'outer;\n\
+                     }\n\
+                     acc = acc.wrapping_add(rng.gen::<u64>());\n\
+                 }\n\
+             }\n\
+             acc\n\
+         }\n");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn question_mark_on_option_is_an_early_exit_edge() {
+    // The `?` path leaves with 0 draws, the fall-through path draws
+    // once: the exit merge diverges — exactly the silent-stream-skew
+    // class L12 exists for.
+    let found = l12("use rand::Rng;\n\
+         pub fn lookup<R: Rng + ?Sized>(slot: Option<u32>, rng: &mut R) -> Option<u64> {\n\
+             let x = slot?;\n\
+             let jitter: u64 = rng.gen();\n\
+             Some(jitter + u64::from(x))\n\
+         }\n");
+    assert_eq!(found.len(), 1, "Option `?` divergence must fire: {found:?}");
+    assert!(found[0].message.contains("0 vs 1"), "{}", found[0].message);
+}
+
+#[test]
+fn question_mark_on_result_is_an_early_exit_edge() {
+    let found = l12("use rand::Rng;\n\
+         pub fn lookup<R: Rng + ?Sized>(slot: Result<u32, u8>, rng: &mut R) -> Result<u64, u8> {\n\
+             let x = slot?;\n\
+             let jitter: u64 = rng.gen();\n\
+             Ok(jitter + u64::from(x))\n\
+         }\n");
+    assert_eq!(found.len(), 1, "Result `?` divergence must fire: {found:?}");
+}
+
+#[test]
+fn question_mark_after_balanced_draws_is_clean() {
+    // Every exit — early or fall-through — has consumed the same one
+    // draw, so `?` alone must not fire.
+    let found = l12("use rand::Rng;\n\
+         pub fn lookup<R: Rng + ?Sized>(slot: Option<u32>, rng: &mut R) -> Option<u64> {\n\
+             let jitter: u64 = rng.gen();\n\
+             let x = slot?;\n\
+             Some(jitter + u64::from(x))\n\
+         }\n");
+    assert!(found.is_empty(), "balanced `?` must not fire: {found:?}");
+}
+
+#[test]
+fn macro_opaque_statements_degrade_to_unknown_never_a_false_count() {
+    // A macro consuming the RNG has an unknowable draw count: the arm
+    // it sits in widens to Unknown, which must suppress the report even
+    // though the other arm has a Known count — degrading must never
+    // manufacture a false draw-count.
+    let found = l12("use rand::Rng;\n\
+         pub fn opaque<R: Rng + ?Sized>(cond: bool, rng: &mut R) -> u64 {\n\
+             if cond {\n\
+                 mystery_draws!(rng)\n\
+             } else {\n\
+                 rng.gen()\n\
+             }\n\
+         }\n");
+    assert!(
+        found.is_empty(),
+        "macro-opaque arms must widen, not fire: {found:?}"
+    );
+}
+
+#[test]
+fn macros_not_touching_the_rng_have_no_effect() {
+    let found = l12("use rand::Rng;\n\
+         pub fn log_and_draw<R: Rng + ?Sized>(cond: bool, rng: &mut R) -> u64 {\n\
+             if cond {\n\
+                 debug_assert!(cond, \"still set\");\n\
+                 rng.gen()\n\
+             } else {\n\
+                 rng.gen()\n\
+             }\n\
+         }\n");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn closures_touching_the_rng_widen() {
+    // `map(|_| rng.gen())` runs a data-dependent number of times; the
+    // closure degrades to an unknown draw, suppressing any report.
+    let found = l12("use rand::Rng;\n\
+         pub fn jitter_all<R: Rng + ?Sized>(cond: bool, xs: &mut [u64], rng: &mut R) {\n\
+             if cond {\n\
+                 for x in xs.iter_mut() {\n\
+                     *x = rng.gen();\n\
+                 }\n\
+             } else {\n\
+                 xs.iter_mut().for_each(|x| *x = rng.gen());\n\
+             }\n\
+         }\n");
+    assert!(
+        found.is_empty(),
+        "closure draws must widen, not fire: {found:?}"
+    );
+}
+
+#[test]
+fn early_return_with_differing_draws_reports_at_the_exit() {
+    let found = l12("use rand::Rng;\n\
+         pub fn shortcut<R: Rng + ?Sized>(cond: bool, rng: &mut R) -> u64 {\n\
+             if cond {\n\
+                 return 7;\n\
+             }\n\
+             rng.gen()\n\
+         }\n");
+    assert_eq!(found.len(), 1, "early return skips the draw: {found:?}");
+}
+
+#[test]
+fn rng_forwarding_calls_use_callee_summaries() {
+    // Both arms call a helper that draws exactly once — balance holds
+    // *through* the call graph, so nothing may fire; a third function
+    // whose arms call helpers with different counts must fire.
+    let clean = l12("use rand::Rng;\n\
+         fn one<R: Rng + ?Sized>(rng: &mut R) -> u64 { rng.gen() }\n\
+         pub fn via_calls<R: Rng + ?Sized>(cond: bool, rng: &mut R) -> u64 {\n\
+             if cond { one(rng) } else { one(rng) }\n\
+         }\n");
+    assert!(clean.is_empty(), "{clean:?}");
+
+    let dirty = l12("use rand::Rng;\n\
+         fn one<R: Rng + ?Sized>(rng: &mut R) -> u64 { rng.gen() }\n\
+         fn two<R: Rng + ?Sized>(rng: &mut R) -> u64 { rng.gen::<u64>() + rng.gen::<u64>() }\n\
+         pub fn via_calls<R: Rng + ?Sized>(cond: bool, rng: &mut R) -> u64 {\n\
+             if cond { one(rng) } else { two(rng) }\n\
+         }\n");
+    assert_eq!(
+        dirty
+            .iter()
+            .filter(|v| v.message.contains("via_calls"))
+            .count(),
+        1,
+        "callee summaries must propagate: {dirty:?}"
+    );
+}
+
+#[test]
+fn functions_outside_deterministic_crates_are_exempt() {
+    let lines = scan(
+        "use rand::Rng;\n\
+         pub fn pick<R: Rng + ?Sized>(cond: bool, rng: &mut R) -> u64 {\n\
+             if cond { rng.gen() } else { 0 }\n\
+         }\n",
+    );
+    let toks = tokenize(&lines);
+    let items = parse_items(&toks);
+    let files = vec![("crates/bench/src/fixture.rs".to_string(), items, toks)];
+    let graph = CallGraph::build(&files);
+    let found = check_dataflow(&graph, &files, &[]).expect("no roots");
+    assert!(
+        found.is_empty(),
+        "bench crate is outside L12 scope: {found:?}"
+    );
+}

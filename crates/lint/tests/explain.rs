@@ -1,0 +1,69 @@
+//! Completeness self-test for the rule catalogue: every rule in
+//! `ALL_RULES` must carry a non-empty `--explain` entry that names
+//! itself, a one-line `short_desc`, a `name()`/`parse()` round-trip,
+//! and a row in the README rule table. Adding rule L15 without wiring
+//! its documentation fails here, not in review.
+
+use peercache_lint::{Rule, ALL_RULES};
+
+#[test]
+fn the_catalogue_holds_exactly_the_fourteen_rules() {
+    assert_eq!(ALL_RULES.len(), 14);
+    for n in 1..=14 {
+        let name = format!("L{n}");
+        assert!(
+            ALL_RULES.iter().any(|r| r.name() == name),
+            "rule {name} missing from ALL_RULES"
+        );
+    }
+}
+
+#[test]
+fn every_rule_name_round_trips_through_parse() {
+    for rule in ALL_RULES {
+        assert_eq!(
+            Rule::parse(rule.name()),
+            Some(rule),
+            "parse({}) does not round-trip",
+            rule.name()
+        );
+    }
+    assert_eq!(Rule::parse("L15"), None);
+    assert_eq!(Rule::parse("l1"), None);
+}
+
+#[test]
+fn every_rule_has_a_self_naming_explain_entry_and_short_desc() {
+    for rule in ALL_RULES {
+        let explain = rule.explain();
+        assert!(
+            explain.len() > 80,
+            "{} explain entry is too thin to be useful",
+            rule.name()
+        );
+        assert!(
+            explain.starts_with(&format!("{} — ", rule.name())),
+            "{} explain entry must open by naming its rule: {:?}",
+            rule.name(),
+            &explain[..explain.len().min(40)]
+        );
+        assert!(
+            !rule.short_desc().is_empty(),
+            "{} has no short_desc",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_readme_table_row() {
+    let readme = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"));
+    for rule in ALL_RULES {
+        let row = format!("| {} |", rule.name());
+        assert!(
+            readme.contains(&row),
+            "README rule table is missing a row for {}",
+            rule.name()
+        );
+    }
+}

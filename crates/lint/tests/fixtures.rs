@@ -280,7 +280,7 @@ fn allowlist_budgets_parse_and_apply() {
 #[test]
 fn allowlist_rejects_malformed_lines() {
     for bad in [
-        "L12 some/path.rs 1",
+        "L15 some/path.rs 1",
         "L1 some/path.rs",
         "L1 some/path.rs x",
         "L1 some/path.rs 1 extra",
@@ -348,12 +348,23 @@ fn lint_root_fails_over_budget_and_passes_within() {
 }
 
 #[test]
-fn lint_root_notes_stale_budgets() {
+fn lint_root_fails_stale_budgets() {
+    // Both staleness classes — a budget whose path left the tree and a
+    // budget whose violations all burned down — are hard errors, not
+    // notes: a rotting entry would mask a regression up to its size.
     let ws = TempWorkspace::new();
     ws.write("Cargo.toml", "[workspace]\n");
     ws.write("crates/demo/src/lib.rs", "fn f() {}\n");
     ws.write("lint.allow", "L1 crates/demo/src/lib.rs 2\nL3 gone.rs 1\n");
     let report = peercache_lint::lint_root(&ws.root).expect("lintable tree");
-    assert!(report.ok());
-    assert_eq!(report.notes.len(), 2, "stale entries noted: {report:?}");
+    assert!(!report.ok(), "stale budgets must fail: {report:?}");
+    assert_eq!(
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.contains("stale entry"))
+            .count(),
+        2,
+        "{report:?}"
+    );
 }

@@ -408,14 +408,14 @@ fn sarif_document_carries_rule_metadata_and_locations() {
         .get("rules")
         .and_then(Json::as_array)
         .expect("driver.rules");
-    assert_eq!(rules.len(), 11, "all eleven rules are described");
+    assert_eq!(rules.len(), 14, "all fourteen rules are described");
     let ids: Vec<&str> = rules
         .iter()
         .filter_map(|r| r.get("id").and_then(Json::as_str))
         .collect();
     assert_eq!(
         ids,
-        ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11"]
+        ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12", "L13", "L14"]
     );
     for rule in rules {
         let short = rule

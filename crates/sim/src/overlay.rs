@@ -385,7 +385,10 @@ impl SimOverlay {
         ))
     }
 
-    fn space(&self) -> IdSpace {
+    /// The validated identifier space the overlay was built over —
+    /// total: every constructed network carries one, so callers holding
+    /// an overlay never need to re-validate a bit width.
+    pub(crate) fn space(&self) -> IdSpace {
         match self {
             SimOverlay::Chord(net) => net.config().space,
             SimOverlay::Pastry(net) => net.config().space,
@@ -567,6 +570,12 @@ impl SimOverlay {
     }
 
     /// Node (re-)join. Returns false on duplicates.
+    ///
+    /// L12 proof: only the Pastry arm draws (two join coordinates), but
+    /// the matched variant is fixed for the overlay's lifetime — one
+    /// `SimOverlay` is one substrate — so every call takes the same arm
+    /// and the RNG stream cannot diverge between replays of the same
+    /// configuration. Budgeted in lint.allow.
     pub fn join<R: Rng + ?Sized>(&mut self, id: Id, rng: &mut R) -> bool {
         match self {
             SimOverlay::Chord(net) => net.join(id).is_ok(),

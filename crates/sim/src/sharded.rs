@@ -169,7 +169,9 @@ impl ShardedOverlay {
     /// strategies' selections into the per-shard slabs.
     pub fn build(config: &StableConfig, shards: usize) -> Self {
         let (setup, aggregates) = build_stable_retaining(config);
-        let space = IdSpace::new(config.bits).expect("the build above validated the id width");
+        // Total: the overlay carries the IdSpace the build validated —
+        // no re-validation, no expect (L1 burn-down, was budget 10).
+        let space = setup.overlay.space();
         let layout = ShardLayout::new(config.nodes, shards);
         let stride = config.k.max(1);
         let shards = (0..layout.shards())
