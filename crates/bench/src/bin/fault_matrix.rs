@@ -5,7 +5,9 @@
 
 use peercache_bench::{teeln, FigureCli, Tee};
 use peercache_pastry::RoutingMode;
-use peercache_sim::{fault_matrix, FaultMatrixCell, FaultMatrixConfig, OverlayKind, StableConfig};
+use peercache_sim::{
+    fault_matrix_multi, FaultMatrixCell, FaultMatrixConfig, OverlayKind, StableConfig,
+};
 use serde::Serialize;
 
 /// One substrate's full matrix, as dumped to `--json`.
@@ -32,14 +34,22 @@ fn main() {
     ];
 
     let nodes = (256 / cli.scale.node_divisor).max(16);
-    let mut out = Vec::new();
-    for (system, kind) in systems {
-        let mut stable = StableConfig::paper_defaults(kind, nodes, cli.seed);
-        stable.items = cli.scale.items;
-        stable.queries = cli.scale.queries;
-        let config = FaultMatrixConfig::paper_defaults(stable);
-        let cells = fault_matrix(&config);
+    // One flat fan-out over every (substrate, cell) pair: per-cell fault
+    // decisions are pure seed hashes, so the 48 jobs are independent and
+    // the pool never idles at a per-substrate barrier.
+    let configs: Vec<FaultMatrixConfig> = systems
+        .iter()
+        .map(|&(_, kind)| {
+            let mut stable = StableConfig::paper_defaults(kind, nodes, cli.seed);
+            stable.items = cli.scale.items;
+            stable.queries = cli.scale.queries;
+            FaultMatrixConfig::paper_defaults(stable)
+        })
+        .collect();
+    let matrices = fault_matrix_multi(&configs);
 
+    let mut out = Vec::new();
+    for ((system, _), cells) in systems.iter().zip(matrices) {
         teeln!(tee, "== fault matrix: {system} (n={nodes})");
         teeln!(
             tee,

@@ -17,18 +17,25 @@
 //! `--max-bytes-per-node`, the committed memory ceiling the CI `scale`
 //! job gates against.
 //!
+//! With `--churn`, a third stage runs the scale-tier churn probe
+//! ([`run_scale_churn`]): rounds of membership flips, counter
+//! observations, and dirty-only refreshes at the same population — its
+//! fixed per-node state is reported and the memory gauge (peak heap /
+//! n) covers the probe too, so the CI ceiling holds for the churn
+//! driver at scale, not just the stable one.
+//!
 //! ```text
 //! fig3_scale [--quick] [--n N] [--million] [--seed N] [--threads T]
 //!            [--shards S] [--json PATH] [--max-bytes-per-node B]
-//!            [--skip-parity]
+//!            [--skip-parity] [--churn]
 //! ```
 
 use peercache_bench::{teeln, Tee};
 use peercache_par::with_threads;
 use peercache_pastry::RoutingMode;
 use peercache_sim::{
-    run_scale_stable, run_stable, run_stable_sharded, OverlayKind, QueryMetrics, RankingMode,
-    ScaleConfig, StableConfig,
+    run_scale_churn, run_scale_stable, run_stable, run_stable_sharded, OverlayKind, QueryMetrics,
+    RankingMode, ScaleChurnConfig, ScaleChurnReport, ScaleConfig, StableConfig,
 };
 use serde::Serialize;
 
@@ -79,6 +86,8 @@ struct ScaleDoc {
     parity_n: usize,
     parity: Vec<ParityCell>,
     rows: Vec<ScaleRow>,
+    /// The scale-churn probe's rows (present with `--churn`).
+    churn: Option<ScaleChurnReport>,
     gauge: Option<MemoryGauge>,
 }
 
@@ -90,6 +99,7 @@ struct Args {
     json: Option<String>,
     max_bytes_per_node: Option<u64>,
     skip_parity: bool,
+    churn: bool,
 }
 
 fn parse_args() -> Args {
@@ -101,6 +111,7 @@ fn parse_args() -> Args {
         json: None,
         max_bytes_per_node: None,
         skip_parity: false,
+        churn: false,
     };
     let mut argv = std::env::args().skip(1);
     let positive = |v: Option<String>, what: &str| -> u64 {
@@ -128,10 +139,11 @@ fn parse_args() -> Args {
                 args.max_bytes_per_node = Some(positive(argv.next(), "--max-bytes-per-node"));
             }
             "--skip-parity" => args.skip_parity = true,
+            "--churn" => args.churn = true,
             other => panic!(
                 "unknown argument {other}; usage: [--quick] [--n N] [--million] \
                  [--seed N] [--threads T] [--shards S] [--json PATH] \
-                 [--max-bytes-per-node B] [--skip-parity]"
+                 [--max-bytes-per-node B] [--skip-parity] [--churn]"
             ),
         }
     }
@@ -293,6 +305,44 @@ fn main() {
         row.reduction_pct
     );
 
+    // The churn probe runs inside the gauge window on purpose: the
+    // bytes-per-node ceiling must hold for the churn driver at scale,
+    // not just the stable passes.
+    let churn = args.churn.then(|| {
+        let mut churn_config = ScaleChurnConfig::paper_defaults(args.n, args.seed);
+        churn_config.scale.shards = config.shards;
+        if args.quick {
+            churn_config.queries_per_round = 10_000;
+        }
+        teeln!(
+            tee,
+            "churn: scale probe n={} rounds={} flips/round={} queries/round={}",
+            args.n,
+            churn_config.rounds,
+            churn_config.flips_per_round,
+            churn_config.queries_per_round
+        );
+        let report = run_scale_churn(&churn_config);
+        for (i, round) in report.rounds.iter().enumerate() {
+            teeln!(
+                tee,
+                "  round {i}: flips {:>6}  alive {:>7}  refreshed {:>6}  \
+                 {:>7.3} hops  success {:.4}",
+                round.flips,
+                round.alive,
+                round.refreshed,
+                round.metrics.avg_hops(),
+                round.metrics.success_rate()
+            );
+        }
+        teeln!(
+            tee,
+            "  churn state: {:.1} bytes/node (counters + slab + flags)",
+            report.state_bytes_per_node
+        );
+        report
+    });
+
     let gauge = gauge_peak().map(|peak| {
         let bytes_per_node = peak as f64 / config.nodes as f64;
         teeln!(
@@ -314,6 +364,7 @@ fn main() {
         parity_n: if args.skip_parity { 0 } else { PARITY_N },
         parity,
         rows: vec![row],
+        churn,
         gauge,
     };
     if let Some(path) = &args.json {

@@ -55,7 +55,10 @@ use peercache_freq::{FrequencyEstimator, SpaceSaving};
 use peercache_id::Id;
 use peercache_par::with_threads;
 use peercache_pastry::RoutingMode;
-use peercache_sim::{fig3, OverlayKind, Scale, SelectionBench, StableConfig};
+use peercache_sim::{
+    fault_matrix_multi, fig3, ChurnConfig, ChurnRecomputeBench, FaultMatrixConfig, OverlayKind,
+    Scale, SelectionBench, StableConfig,
+};
 use peercache_workload::{random_ids, Zipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -396,6 +399,76 @@ fn micro_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>)
     );
 }
 
+/// The churn recompute-tick pair at the fig-4 operating point (Pastry,
+/// `n = 1024`, `k = 10`, Zipf 1.2, 250 queries/tick): one tick of the
+/// pre-refactor full path — snapshot every counter, re-solve every
+/// node — against one tick of the retained incremental engine, which
+/// re-solves only dirtied nodes and applies counter deltas to a live
+/// optimizer. Both kernels run at a fixed size regardless of `--quick`
+/// so the names line up with the committed baseline, and both fold
+/// their installed selections into a checksum that must agree — the
+/// in-bench restatement of the bit-identity contract the differential
+/// tests pin. The incremental tick is also held to the zero-alloc
+/// workspace contract.
+fn churn_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>) {
+    const QUERIES_PER_TICK: usize = 250;
+    let config = || {
+        let mut c = ChurnConfig::paper_defaults(1024, 11);
+        c.kind = OverlayKind::Pastry {
+            digit_bits: 1,
+            mode: RoutingMode::LocalityAware,
+        };
+        c
+    };
+    let mut full = ChurnRecomputeBench::new(&config(), QUERIES_PER_TICK);
+    let mut incremental = ChurnRecomputeBench::new(&config(), QUERIES_PER_TICK);
+    // Parity cross-check before timing: the two paths must install
+    // identical selections tick after tick.
+    for tick in 0..3 {
+        let (a, b) = (full.tick_full(), incremental.tick_incremental());
+        assert_eq!(
+            a, b,
+            "full and incremental recompute diverged at warmup tick {tick}"
+        );
+    }
+
+    let full_ns = time_median(profile.samples, profile.warmup, || {
+        std::hint::black_box(full.tick_full());
+    });
+    let inc_ns = time_median(profile.samples, profile.warmup, || {
+        std::hint::black_box(incremental.tick_incremental());
+    });
+    let alloc = allocs_per_op(1, || {
+        std::hint::black_box(incremental.tick_incremental());
+    });
+    require_zero_alloc("churn_recompute_incremental", alloc);
+
+    let speedup = full_ns / inc_ns;
+    for (name, ns, alloc, speedup) in [
+        ("churn_recompute_full", full_ns, None, None),
+        ("churn_recompute_incremental", inc_ns, alloc, Some(speedup)),
+    ] {
+        let note = speedup.map_or(String::new(), |s| format!("  ({s:.2}x vs full tick)"));
+        println!(
+            "  {name:<24} {:<28} {ns:>14.1} ns/op {:>12.2} units{note}",
+            "pastry n=1024 k=10 q/tick=250",
+            ns / calib
+        );
+        kernels.push(KernelReport {
+            kernel: name.to_string(),
+            config: "churn recompute tick, pastry n=1024".to_string(),
+            ns_per_op: ns,
+            units: ns / calib,
+            ops_per_iter: 1,
+            samples: profile.samples,
+            threads: 1,
+            speedup_vs_serial: speedup,
+            alloc_per_op: alloc,
+            gated: true,
+        });
+    }
+}
+
 /// Sweep `par_map_chunked` chunk sizes over the aware-selection fan-out
 /// that dominates fig3's stable builds (the `SELECT_CHUNK` knob in
 /// `crates/sim/src/stable.rs`). The selected sets are identical at every
@@ -472,12 +545,12 @@ fn e2e_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>) {
             ("fig3_paper", Scale::paper()),
         ]
     };
-    for (name, scale) in scales {
+    let mut pair = |name: &str, config: &str, run: &mut dyn FnMut()| {
         let serial = time_median(profile.e2e_samples, 0, || {
-            std::hint::black_box(with_threads(1, || fig3(scale, 1)));
+            with_threads(1, &mut *run);
         });
         let parallel = time_median(profile.e2e_samples, 0, || {
-            std::hint::black_box(with_threads(par_threads, || fig3(scale, 1)));
+            with_threads(par_threads, &mut *run);
         });
         for (suffix, threads, ns, speedup) in [
             ("serial", 1, serial, None),
@@ -492,7 +565,7 @@ fn e2e_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>) {
             );
             kernels.push(KernelReport {
                 kernel,
-                config: "end-to-end figure sweep".to_string(),
+                config: config.to_string(),
                 ns_per_op: ns,
                 units: ns / calib,
                 ops_per_iter: 1,
@@ -503,7 +576,34 @@ fn e2e_kernels(profile: &Profile, calib: f64, kernels: &mut Vec<KernelReport>) {
                 gated: false,
             });
         }
+    };
+    for (name, scale) in scales {
+        pair(name, "end-to-end figure sweep", &mut || {
+            std::hint::black_box(fig3(scale, 1));
+        });
     }
+    // The flattened fault-matrix fan-out: four substrates × twelve cells
+    // as one 48-job wave, the shape `fault_matrix_multi` dispatches.
+    let matrix_configs: Vec<FaultMatrixConfig> = [
+        OverlayKind::Chord,
+        OverlayKind::Pastry {
+            digit_bits: 1,
+            mode: RoutingMode::LocalityAware,
+        },
+        OverlayKind::Tapestry { digit_bits: 1 },
+        OverlayKind::SkipGraph,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let mut stable = StableConfig::paper_defaults(kind, 64, 1);
+        stable.items = Scale::quick().items;
+        stable.queries = Scale::quick().queries;
+        FaultMatrixConfig::paper_defaults(stable)
+    })
+    .collect();
+    pair("fault_matrix_quick", "4 substrates x 12 cells", &mut || {
+        std::hint::black_box(fault_matrix_multi(&matrix_configs));
+    });
 }
 
 /// The bytes-per-node memory gauges: peak live-heap of the monolithic
@@ -613,6 +713,8 @@ fn main() {
     let mut kernels = Vec::new();
     println!("solver micro-kernels (median of {}):", profile.samples);
     micro_kernels(profile, calib, &mut kernels);
+    println!("churn recompute kernels (median of {}):", profile.samples);
+    churn_kernels(profile, calib, &mut kernels);
     println!("selection chunk sweep (median of {}):", profile.samples);
     chunk_sweep_kernels(profile, calib, &mut kernels);
     println!("end-to-end sweeps (median of {}):", profile.e2e_samples);

@@ -410,6 +410,27 @@ impl ChordNetwork {
         Ok(())
     }
 
+    /// [`set_aux`](Self::set_aux) from a borrowed slice, recycling the
+    /// node's installed buffer instead of taking ownership of a fresh
+    /// `Vec`: the churn driver's refresh engine re-installs a retained
+    /// selection every recompute tick, and at warmed capacity this
+    /// installs without allocating. The live-entry filter is identical.
+    ///
+    /// # Errors
+    /// [`NetworkError::NotPresent`].
+    pub fn set_aux_from_slice(&mut self, id: Id, aux: &[Id]) -> Result<(), NetworkError> {
+        let mut live = match self.nodes.get_mut(&id.value()) {
+            Some(node) => std::mem::take(&mut node.aux),
+            None => return Err(NetworkError::NotPresent(id)),
+        };
+        live.clear();
+        live.extend(aux.iter().copied().filter(|&a| self.is_live(a)));
+        if let Some(node) = self.nodes.get_mut(&id.value()) {
+            node.aux = live;
+        }
+        Ok(())
+    }
+
     // ---- routing -----------------------------------------------------------
 
     /// Route a lookup for `key` starting at `from`, following the paper's

@@ -321,11 +321,13 @@ impl PastryOptimizer {
 
     /// [`selection`](Self::selection) writing into caller-owned buffers:
     /// `stack` and `counts` are traversal scratch, `out` receives the
-    /// selection. Allocation free once capacities have warmed up.
+    /// selection. Allocation free once capacities have warmed up — the
+    /// extraction path for retained optimizers that re-select after
+    /// incremental updates without materialising a fresh `Selection`.
     ///
     /// # Errors
     /// [`SelectError::QosInfeasible`] as for `selection`.
-    pub(crate) fn selection_into(
+    pub fn selection_into(
         &self,
         j: usize,
         stack: &mut Vec<(u32, u32)>,

@@ -63,6 +63,12 @@ impl FrequencyEstimator for ExactCounter {
     fn snapshot(&self) -> FrequencySnapshot {
         FrequencySnapshot::from_counts(self.iter())
     }
+
+    fn snapshot_into(&self, out: &mut FrequencySnapshot) {
+        // Counts are keyed by distinct peer, so the refill sums at most
+        // one entry per peer — bit-identical to `snapshot()`.
+        out.refill_from_counts(self.iter());
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +109,17 @@ mod tests {
         assert_eq!(c.estimate(id(1)), 0);
         assert_eq!(c.observations(), 0);
         assert!(c.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let mut c = ExactCounter::new();
+        for v in [3u128, 9, 3, 7, 3, 9] {
+            c.observe(id(v));
+        }
+        let mut out = FrequencySnapshot::from_counts(vec![(id(1), 1)]);
+        c.snapshot_into(&mut out);
+        assert_eq!(out, c.snapshot());
     }
 
     #[test]

@@ -58,4 +58,15 @@ pub trait FrequencyEstimator {
 
     /// Freeze the current estimates into a snapshot for the optimiser.
     fn snapshot(&self) -> FrequencySnapshot;
+
+    /// [`snapshot`](Self::snapshot) into a caller-owned buffer: rebuild
+    /// `out` in place from the current estimates. Semantically identical
+    /// to `*out = self.snapshot()`; estimators whose estimates are
+    /// per-peer counts override this with
+    /// [`FrequencySnapshot::refill_from_counts`] so that, at warmed
+    /// capacity, freezing a snapshot allocates nothing — the refresh
+    /// engines call this on every recompute tick.
+    fn snapshot_into(&self, out: &mut FrequencySnapshot) {
+        *out = self.snapshot();
+    }
 }

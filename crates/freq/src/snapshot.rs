@@ -72,6 +72,68 @@ impl FrequencySnapshot {
         Self::from_pairs(counts.into_iter().map(|(p, c)| (p, c as f64)))
     }
 
+    /// Rebuild this snapshot **in place** from raw `(peer, weight)`
+    /// pairs — the zero-alloc counterpart of
+    /// [`from_pairs`](Self::from_pairs): once the entry buffer's
+    /// capacity has warmed up, refilling allocates nothing.
+    ///
+    /// Semantics match `from_pairs` (non-finite and non-positive weights
+    /// dropped, duplicates summed, entries sorted by peer) with one
+    /// bit-level caveat: the sort is *unstable*, so when the input holds
+    /// **three or more** entries for one peer the summation order — and
+    /// thus the exact f64 bits — may differ from `from_pairs`. With at
+    /// most two entries per peer the sum is a single two-operand IEEE
+    /// addition, which is commutative, so the result is bit-identical.
+    /// Every estimator and refresh-engine call site feeds at most two
+    /// entries per peer (a base weight plus one counter estimate).
+    pub fn refill_from_pairs<I>(&mut self, pairs: I)
+    where
+        I: IntoIterator<Item = (Id, f64)>,
+    {
+        self.entries.clear();
+        self.entries.extend(
+            pairs
+                .into_iter()
+                .filter(|(_, w)| w.is_finite() && *w > 0.0)
+                .map(|(peer, weight)| SnapshotEntry { peer, weight }),
+        );
+        self.entries.sort_unstable_by_key(|e| e.peer);
+        self.entries.dedup_by(|dup, keep| {
+            if dup.peer == keep.peer {
+                keep.weight += dup.weight;
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    /// [`refill_from_pairs`](Self::refill_from_pairs) over integer
+    /// counts — the in-place counterpart of
+    /// [`from_counts`](Self::from_counts).
+    pub fn refill_from_counts<I>(&mut self, counts: I)
+    where
+        I: IntoIterator<Item = (Id, u64)>,
+    {
+        self.refill_from_pairs(counts.into_iter().map(|(p, c)| (p, c as f64)));
+    }
+
+    /// Rebuild this snapshot **in place** as a filtered copy of
+    /// `source`: keep exactly the entries whose peer satisfies `keep`,
+    /// preserving order and weights. The in-place counterpart of
+    /// [`without`](Self::without) for callers that already know the
+    /// exclusion test (e.g. a sorted core-neighbor set to binary-search)
+    /// — no exclusion vector is materialised and, at warmed capacity,
+    /// nothing allocates.
+    pub fn refill_filtered<F>(&mut self, source: &FrequencySnapshot, mut keep: F)
+    where
+        F: FnMut(Id) -> bool,
+    {
+        self.entries.clear();
+        self.entries
+            .extend(source.entries.iter().filter(|e| keep(e.peer)).copied());
+    }
+
     /// The entries, sorted by peer id.
     pub fn entries(&self) -> &[SnapshotEntry] {
         &self.entries
@@ -226,5 +288,35 @@ mod tests {
     fn weight_of_missing_is_zero() {
         let s = FrequencySnapshot::from_counts(vec![(id(1), 5)]);
         assert_eq!(s.weight_of(id(42)), 0.0);
+    }
+
+    #[test]
+    fn refill_matches_from_pairs_on_two_way_duplicates() {
+        let pairs = vec![(id(5), 2.5), (id(1), 1.0), (id(5), 3.25), (id(2), 4.0)];
+        let fresh = FrequencySnapshot::from_pairs(pairs.clone());
+        let mut refilled = FrequencySnapshot::default();
+        refilled.refill_from_pairs(pairs.clone());
+        assert_eq!(refilled, fresh);
+        // Refilling again over stale contents fully replaces them.
+        refilled.refill_from_pairs(pairs);
+        assert_eq!(refilled, fresh);
+    }
+
+    #[test]
+    fn refill_drops_invalid_weights_like_from_pairs() {
+        let pairs = vec![(id(1), 0.0), (id(2), -1.0), (id(3), f64::NAN), (id(4), 2.0)];
+        let mut s = FrequencySnapshot::from_counts(vec![(id(9), 7)]);
+        s.refill_from_pairs(pairs.clone());
+        assert_eq!(s, FrequencySnapshot::from_pairs(pairs));
+        assert_eq!(s.weight_of(id(9)), 0.0, "stale entries are replaced");
+    }
+
+    #[test]
+    fn refill_filtered_matches_without() {
+        let s = FrequencySnapshot::from_counts(vec![(id(1), 5), (id(2), 9), (id(3), 2)]);
+        let excluded = [id(2), id(9)];
+        let mut filtered = FrequencySnapshot::default();
+        filtered.refill_filtered(&s, |p| excluded.binary_search(&p).is_err());
+        assert_eq!(filtered, s.without(excluded.iter().copied()));
     }
 }

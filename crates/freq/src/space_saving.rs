@@ -166,6 +166,12 @@ impl FrequencyEstimator for SpaceSaving {
     fn snapshot(&self) -> FrequencySnapshot {
         FrequencySnapshot::from_counts(self.entries.iter().map(|(&p, s)| (p, s.count)))
     }
+
+    fn snapshot_into(&self, out: &mut FrequencySnapshot) {
+        // Monitored peers are distinct, so the refill sums at most one
+        // entry per peer — bit-identical to `snapshot()`.
+        out.refill_from_counts(self.entries.iter().map(|(&p, s)| (p, s.count)));
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +257,17 @@ mod tests {
         let true_count = 400;
         assert!(est >= true_count, "no under-estimation: {est}");
         assert!(est <= true_count + n / 20, "over-estimation bounded: {est}");
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let mut ss = SpaceSaving::new(4);
+        for i in 0..100u128 {
+            ss.observe(id(i % 7));
+        }
+        let mut out = FrequencySnapshot::default();
+        ss.snapshot_into(&mut out);
+        assert_eq!(out, ss.snapshot());
     }
 
     #[test]

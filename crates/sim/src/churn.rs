@@ -21,7 +21,24 @@ use serde::Serialize;
 use crate::engine::{exp_sample, EventQueue};
 use crate::metrics::{reduction_pct, FaultMetrics, QueryMetrics};
 use crate::overlay::{OverlayKind, SelectScratch, SimOverlay};
+use crate::refresh::ChurnRefresh;
 use crate::stable::RankingMode;
+
+/// How the driver recomputes frequency-aware auxiliary sets at
+/// recompute ticks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RecomputeMode {
+    /// The incremental engine (§IV-C): each live node retains its
+    /// optimizer across ticks, observations mark nodes dirty, and a
+    /// recompute tick costs `O(dirty · k · b)`. The default — installed
+    /// selections (and thus every hop metric) are bit-identical to
+    /// [`Full`](Self::Full), which the differential suite enforces.
+    Incremental,
+    /// The pre-refactor path: snapshot the node's counter and run a
+    /// full solve at every tick. Kept as the differential baseline and
+    /// for the `churn_recompute_full` kernel.
+    Full,
+}
 
 /// Configuration of one churn-mode comparison run.
 #[derive(Clone, Debug)]
@@ -57,6 +74,9 @@ pub struct ChurnConfig {
     /// Injected fault rates; [`FaultConfig::none`] reproduces the
     /// fault-free driver bit for bit.
     pub faults: FaultConfig,
+    /// How aware selections are recomputed (bit-identical either way;
+    /// [`RecomputeMode::Incremental`] is the fast default).
+    pub recompute: RecomputeMode,
 }
 
 impl ChurnConfig {
@@ -79,6 +99,7 @@ impl ChurnConfig {
             warmup: 1800.0,
             seed,
             faults: FaultConfig::none(),
+            recompute: RecomputeMode::Incremental,
         }
     }
 }
@@ -138,6 +159,10 @@ pub fn run_churn_once(config: &ChurnConfig, strategy: Strategy) -> QueryMetrics 
 pub fn run_churn_once_faulted(config: &ChurnConfig, strategy: Strategy) -> FaultMetrics {
     assert!(config.nodes > 0 && config.items > 0);
     assert!(config.query_rate > 0.0 && config.mean_lifetime > 0.0);
+    assert!(
+        config.alpha.is_finite() && config.alpha >= 0.0,
+        "Zipf exponent must be finite and non-negative"
+    );
     let space = IdSpace::new(config.bits).expect("valid id width");
     let mut rng_topology = StdRng::seed_from_u64(config.seed);
     let mut rng_workload = StdRng::seed_from_u64(config.seed.wrapping_add(1));
@@ -147,7 +172,10 @@ pub fn run_churn_once_faulted(config: &ChurnConfig, strategy: Strategy) -> Fault
 
     let node_ids = random_ids(space, config.nodes, &mut rng_topology);
     let catalog = ItemCatalog::random(space, config.items, &mut rng_topology);
-    let zipf = Zipf::new(config.items, config.alpha).expect("valid Zipf");
+    // Preconditions asserted above make this infallible (L1 burn-down).
+    let Ok(zipf) = Zipf::new(config.items, config.alpha) else {
+        unreachable!("item count and exponent are asserted valid above");
+    };
     let assignment = match config.ranking {
         RankingMode::Identical => RankingAssignment::identical(config.items, config.nodes),
         RankingMode::Pool(p) => {
@@ -204,6 +232,16 @@ pub fn run_churn_once_faulted(config: &ChurnConfig, strategy: Strategy) -> Fault
     // recomputes (live-origin sampling is now O(log n) through the
     // incrementally maintained `Liveness` set).
     let mut select_scratch = SelectScratch::new();
+    // The incremental engine (default mode): retained per-node
+    // optimizers fed by dirty marks and churn events, replacing the
+    // per-tick snapshot + full solve. `Full` keeps the pre-refactor arm
+    // as the differential baseline. Only the aware strategy consults
+    // the engine; the oblivious arm (and every RNG stream) is untouched
+    // by the mode, so the two modes replay identical schedules.
+    let mut engine = match config.recompute {
+        RecomputeMode::Incremental => Some(ChurnRefresh::new(&overlay, config.k, config.nodes)),
+        RecomputeMode::Full => None,
+    };
     while let Some((now, event)) = queue.pop() {
         if now > config.duration {
             break;
@@ -236,6 +274,9 @@ pub fn run_churn_once_faulted(config: &ChurnConfig, strategy: Strategy) -> Fault
                         for hop in &route.trace.path {
                             if let Some(&i) = index_of.get(hop) {
                                 counters[i].observe(owner);
+                                if let Some(engine) = engine.as_mut() {
+                                    engine.mark_observed(i);
+                                }
                             }
                         }
                     }
@@ -258,10 +299,16 @@ pub fn run_churn_once_faulted(config: &ChurnConfig, strategy: Strategy) -> Fault
                     if overlay.live_ids().len() > 1 {
                         overlay.fail(node_ids[idx]);
                         liveness.set(idx, false);
+                        if let Some(engine) = engine.as_mut() {
+                            engine.on_flip(idx);
+                        }
                     }
                 } else {
                     overlay.join(node_ids[idx], &mut rng_churn);
                     liveness.set(idx, true);
+                    if let Some(engine) = engine.as_mut() {
+                        engine.on_flip(idx);
+                    }
                 }
             }
             Event::Stabilize(idx) => {
@@ -276,22 +323,46 @@ pub fn run_churn_once_faulted(config: &ChurnConfig, strategy: Strategy) -> Fault
                     continue;
                 }
                 let node = node_ids[idx];
-                let selection = match strategy {
-                    Strategy::Aware => {
-                        let freqs = counters[idx].snapshot();
-                        if freqs.is_empty() {
-                            continue;
+                match strategy {
+                    // The aware recompute: through the incremental
+                    // engine by default — counter deltas flow into the
+                    // retained optimizer, clean nodes re-install their
+                    // cached selection — or the pre-refactor
+                    // snapshot + full-solve path under `Full`. Both
+                    // install identical sets through the same
+                    // live-entry filter.
+                    Strategy::Aware => match engine.as_mut() {
+                        Some(engine) => {
+                            if let Some(aux) =
+                                engine.recompute_aware(&overlay, idx, node, &counters[idx])
+                            {
+                                overlay.set_aux_from_slice(node, aux);
+                            }
                         }
-                        overlay.select_aware_into(node, &freqs, config.k, &mut select_scratch)
-                    }
+                        None => {
+                            let freqs = counters[idx].snapshot();
+                            if freqs.is_empty() {
+                                continue;
+                            }
+                            if let Ok(sel) = overlay.select_aware_into(
+                                node,
+                                &freqs,
+                                config.k,
+                                &mut select_scratch,
+                            ) {
+                                overlay.set_aux(node, sel.aux);
+                            }
+                        }
+                    },
                     // The baseline ignores observations entirely: random
                     // per-slice picks from the live ring (§VI-A).
                     Strategy::Oblivious => {
-                        overlay.select_oblivious_uniform(node, config.k, &mut rng_select)
+                        if let Ok(sel) =
+                            overlay.select_oblivious_uniform(node, config.k, &mut rng_select)
+                        {
+                            overlay.set_aux(node, sel.aux);
+                        }
                     }
-                };
-                if let Ok(sel) = selection {
-                    overlay.set_aux(node, sel.aux);
                 }
             }
         }

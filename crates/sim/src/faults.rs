@@ -100,42 +100,61 @@ pub struct FaultMatrixCell {
 /// first cell is the inflation baseline (fault-free when the rate lists
 /// start at `0.0`). Output is bit-identical at any thread count.
 pub fn fault_matrix(config: &FaultMatrixConfig) -> Vec<FaultMatrixCell> {
-    let mut grid: Vec<(f64, f64, f64)> = Vec::new();
-    for &loss in &config.loss_rates {
-        for &stale in &config.stale_rates {
-            for &crash in &config.crash_rates {
-                grid.push((loss, stale, crash));
+    fault_matrix_multi(std::slice::from_ref(config))
+        .pop()
+        .unwrap_or_default()
+}
+
+/// Run several fault matrices as **one** fan-out: every `(config,
+/// loss, stale, crash)` grid point across all sweeps becomes an
+/// independent job in a single [`peercache_par::par_map`] call, so a
+/// four-substrate sweep saturates the pool with 48 jobs instead of
+/// draining four 12-job waves with a barrier between substrates.
+///
+/// Per-cell fault decisions derive purely from `(run_seed, ids, hop,
+/// attempt)` hashes — no cross-cell state — so the flattening changes
+/// scheduling only, never results. Output order matches the input
+/// `configs` order, cells within each matrix in the nested `loss →
+/// stale → crash` order with the first cell as the inflation baseline.
+pub fn fault_matrix_multi(configs: &[FaultMatrixConfig]) -> Vec<Vec<FaultMatrixCell>> {
+    let mut jobs: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for (ci, config) in configs.iter().enumerate() {
+        for &loss in &config.loss_rates {
+            for &stale in &config.stale_rates {
+                for &crash in &config.crash_rates {
+                    jobs.push((ci, loss, stale, crash));
+                }
             }
         }
     }
-    let reports = peercache_par::par_map(&grid, |_, &(loss, stale, crash)| {
+    let reports = peercache_par::par_map(&jobs, |_, &(ci, loss, stale, crash)| {
+        let config = &configs[ci];
         run_stable_faulted(&config.stable, &config.cell_faults(loss, stale, crash))
     });
 
     let inflation = |hops: f64, baseline_hops: f64| hops / baseline_hops;
-    let baseline = reports.first().cloned();
-    grid.iter()
-        .zip(reports)
-        .map(|(&(loss, stale, crash), report)| {
-            let base = baseline.as_ref().unwrap_or(&report);
-            FaultMatrixCell {
-                loss_rate: loss,
-                stale_rate: stale,
-                crash_rate: crash,
-                hop_inflation_aware: inflation(
-                    report.aware.base.avg_hops(),
-                    base.aware.base.avg_hops(),
-                ),
-                hop_inflation_oblivious: inflation(
-                    report.oblivious.base.avg_hops(),
-                    base.oblivious.base.avg_hops(),
-                ),
-                hop_inflation_core_only: inflation(
-                    report.core_only.base.avg_hops(),
-                    base.core_only.base.avg_hops(),
-                ),
-                report,
-            }
-        })
-        .collect()
+    let mut out: Vec<Vec<FaultMatrixCell>> = configs.iter().map(|_| Vec::new()).collect();
+    let mut baselines: Vec<Option<StableFaultReport>> = vec![None; configs.len()];
+    for (&(ci, loss, stale, crash), report) in jobs.iter().zip(reports) {
+        let base = baselines[ci].get_or_insert_with(|| report.clone());
+        out[ci].push(FaultMatrixCell {
+            loss_rate: loss,
+            stale_rate: stale,
+            crash_rate: crash,
+            hop_inflation_aware: inflation(
+                report.aware.base.avg_hops(),
+                base.aware.base.avg_hops(),
+            ),
+            hop_inflation_oblivious: inflation(
+                report.oblivious.base.avg_hops(),
+                base.oblivious.base.avg_hops(),
+            ),
+            hop_inflation_core_only: inflation(
+                report.core_only.base.avg_hops(),
+                base.core_only.base.avg_hops(),
+            ),
+            report,
+        });
+    }
+    out
 }

@@ -18,6 +18,10 @@
 //! * [`churn`] — the churn-mode driver (§VI-C: exponential alive/dead
 //!   periods, periodic stabilization and auxiliary recomputation, paired
 //!   schedules across strategies).
+//! * [`refresh`] — the substrate-generic incremental refresh engine
+//!   (§IV-C): retained per-node optimizers absorbing counter deltas, the
+//!   churn driver's dirty-tracking recompute path, and the flat counter
+//!   slab the scale-tier churn probe runs on.
 //! * [`faults`] — the fault-matrix sweep over the deterministic
 //!   fault-injection layer (loss × staleness × crash).
 //! * [`experiments`] — one runner per figure of the paper's evaluation.
@@ -31,19 +35,24 @@ pub mod experiments;
 pub mod faults;
 pub mod metrics;
 pub mod overlay;
+pub mod refresh;
 pub mod scale;
 pub mod sharded;
 pub mod stable;
 
 pub use churn::{
     run_churn, run_churn_faulted, run_churn_once, run_churn_once_faulted, ChurnConfig,
-    ChurnFaultReport, ChurnReport, Strategy,
+    ChurnFaultReport, ChurnReport, RecomputeMode, Strategy,
 };
 pub use experiments::{fig3, fig4, fig5, fig6, render_table, FigureRow, Scale};
-pub use faults::{fault_matrix, FaultMatrixCell, FaultMatrixConfig};
+pub use faults::{fault_matrix, fault_matrix_multi, FaultMatrixCell, FaultMatrixConfig};
 pub use metrics::{reduction_pct, FaultMetrics, HopAccumulator, QueryMetrics};
 pub use overlay::{OverlayKind, QueryOutcome, SimOverlay};
-pub use scale::{run_scale_stable, ScaleConfig, ScaleReport};
+pub use refresh::ChurnRecomputeBench;
+pub use scale::{
+    run_scale_churn, run_scale_stable, ScaleChurnConfig, ScaleChurnReport, ScaleChurnRound,
+    ScaleConfig, ScaleReport,
+};
 pub use sharded::{run_stable_sharded, shard_count_for, ShardedOverlay};
 pub use stable::{
     run_stable, run_stable_faulted, RankingMode, SelectionBench, StableConfig, StableFaultReport,

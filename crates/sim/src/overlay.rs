@@ -211,6 +211,20 @@ impl SimOverlay {
         }
     }
 
+    /// [`set_aux`](Self::set_aux) from a borrowed slice, recycling the
+    /// node's installed buffer — the refresh engine re-installs a
+    /// retained selection every recompute tick, and at warmed capacity
+    /// this installs without allocating. Same live-entry filter, same
+    /// result.
+    pub fn set_aux_from_slice(&mut self, node: Id, aux: &[Id]) -> bool {
+        match self {
+            SimOverlay::Chord(net) => net.set_aux_from_slice(node, aux).is_ok(),
+            SimOverlay::Pastry(net) => net.set_aux_from_slice(node, aux).is_ok(),
+            SimOverlay::Tapestry(net) => net.set_aux_from_slice(node, aux).is_ok(),
+            SimOverlay::SkipGraph(net) => net.set_aux_from_slice(node, aux).is_ok(),
+        }
+    }
+
     /// Route one query from `from` for `key`.
     pub fn query(&mut self, from: Id, key: Id) -> QueryOutcome {
         self.query_with_path(from, key).0

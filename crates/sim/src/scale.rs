@@ -38,6 +38,7 @@ use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
 use crate::metrics::{reduction_pct, HopAccumulator, QueryMetrics};
+use crate::refresh::CounterSlab;
 use crate::sharded::{AuxSlab, ShardLayout, QUERY_CHUNK};
 
 /// Configuration of one scale run (Pastry substrate only — fig3's).
@@ -456,6 +457,293 @@ pub fn run_scale_stable(config: &ScaleConfig) -> ScaleReport {
     }
 }
 
+/// Configuration of the scale-churn probe: the churn driver's
+/// flip → observe → refresh cycle re-homed onto the virtual arena, at
+/// populations the materialised driver cannot hold.
+#[derive(Clone, Debug)]
+pub struct ScaleChurnConfig {
+    /// The underlying scale parameters (population, `k`, α, shards…).
+    /// `scale.queries` is ignored — the churn probe routes
+    /// [`queries_per_round`](Self::queries_per_round) per round.
+    pub scale: ScaleConfig,
+    /// Flip → route → refresh rounds to run.
+    pub rounds: usize,
+    /// Membership flips (alive ↔ dead toggles) drawn per round.
+    pub flips_per_round: usize,
+    /// Queries routed — and observed into the counters — per round.
+    pub queries_per_round: usize,
+    /// Monitored peers per node counter (the Space-Saving stride of the
+    /// [`CounterSlab`]); clamped to `[1, 255]`.
+    pub counter_stride: usize,
+}
+
+impl ScaleChurnConfig {
+    /// Churn-probe defaults at population `nodes`: the fig3 scale
+    /// parameters, 4 rounds of 1 % membership flips, 25 000 queries per
+    /// round, and 8 monitored peers per node (193 B of counter state).
+    pub fn paper_defaults(nodes: usize, seed: u64) -> Self {
+        ScaleChurnConfig {
+            scale: ScaleConfig::paper_defaults(nodes, seed),
+            rounds: 4,
+            flips_per_round: (nodes / 100).max(1),
+            queries_per_round: 25_000,
+            counter_stride: 8,
+        }
+    }
+}
+
+/// One round of the scale-churn probe.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ScaleChurnRound {
+    /// Membership flips applied this round.
+    pub flips: usize,
+    /// Alive population after the flips.
+    pub alive: usize,
+    /// Nodes whose aux set was re-solved (dirty ∩ alive).
+    pub refreshed: usize,
+    /// Routing metrics of the round's query stream (aware sets).
+    pub metrics: QueryMetrics,
+}
+
+/// The outcome of [`run_scale_churn`].
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ScaleChurnReport {
+    /// Per-round flip/refresh/routing rows.
+    pub rounds: Vec<ScaleChurnRound>,
+    /// Fixed per-node churn state (counters + aux slab + flags), the
+    /// component the bytes-per-node CI gauge holds to its ceiling.
+    pub state_bytes_per_node: f64,
+}
+
+/// The first alive rank at or after `rank`, walking the sorted ring.
+/// Total: the flip loop never kills the last alive member.
+fn walk_alive(alive: &[bool], rank: usize) -> usize {
+    let n = alive.len();
+    (0..n)
+        .map(|d| (rank + d) % n)
+        .find(|&r| alive[r])
+        .expect("the flip loop keeps at least one member alive")
+}
+
+/// The scale tier of the churn driver (ROADMAP item 1's remainder,
+/// closed by the incremental refresh engine): each round flips a slice
+/// of the membership, routes a query stream over the live aware sets,
+/// streams the `(origin, owner)` observations into a fixed-stride
+/// [`CounterSlab`], and re-solves **only** the dirty alive nodes — the
+/// same observe-then-refresh-dirty cycle as [`ChurnRefresh`], with the
+/// retained optimizers traded for bounded counters so per-node state
+/// stays a fixed few hundred bytes at `n = 10⁵`.
+///
+/// **Documented divergences from the materialised churn driver** (see
+/// DESIGN.md "Incremental refresh under churn"): the arena's membership
+/// is immutable, so dead nodes stay routable waypoints — death clears a
+/// node's aux set, counters, and query eligibility, and an owner that
+/// dies hands its observations to the next alive successor on the ring.
+/// Everything is a pure function of the config: routing is read-only
+/// fan-out, observations apply serially in stream order, and each dirty
+/// node's re-solve depends only on its own counters — so the report is
+/// bit-identical at any shard and thread count, which the invariance
+/// test below and the CI scale job pin down.
+///
+/// [`ChurnRefresh`]: crate::refresh::ChurnRefresh
+///
+/// # Panics
+/// Panics on nonsensical configurations (zero nodes/items/rounds) —
+/// experiment definitions, not runtime inputs.
+pub fn run_scale_churn(config: &ScaleChurnConfig) -> ScaleChurnReport {
+    let sc = &config.scale;
+    assert!(sc.nodes > 1 && sc.items > 0 && config.rounds > 0);
+    let space = IdSpace::new(sc.bits).expect("valid id width");
+    let mut rng_topology = StdRng::seed_from_u64(sc.seed);
+
+    let node_ids = random_ids(space, sc.nodes, &mut rng_topology);
+    let catalog = ItemCatalog::random(space, sc.items, &mut rng_topology);
+    let arena = PastryArena::new(
+        PastryConfig::new(space, sc.digit_bits).with_mode(sc.mode),
+        node_ids,
+    );
+    let n = arena.len();
+
+    let zipf = Zipf::new(sc.items, sc.alpha).expect("valid Zipf");
+    let workload = NodeWorkload::new(zipf, Ranking::identity(sc.items));
+    let owner_ranks: Vec<usize> = (0..sc.items)
+        .map(|i| {
+            let owner = arena.true_owner(catalog.key(i)).expect("non-empty arena");
+            arena.rank_of(owner).expect("owners are members")
+        })
+        .collect();
+
+    // Fixed per-node churn state: flags, bounded counters, and one
+    // aware slab per shard — no oblivious pass and no retained
+    // optimizers at this tier.
+    let layout = ShardLayout::new(n, sc.shards);
+    let stride = sc.k.max(1);
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    let mut dirty = vec![false; n];
+    let mut counters = CounterSlab::new(config.counter_stride, n);
+    struct ChurnShard {
+        start: usize,
+        aware: AuxSlab,
+    }
+    let mut shards: Vec<ChurnShard> = (0..layout.shards())
+        .map(|s| {
+            let (start, end) = layout.bounds(s);
+            ChurnShard {
+                start,
+                aware: AuxSlab::new(stride, end - start),
+            }
+        })
+        .collect();
+    let state_bytes = counters.footprint_bytes()
+        + n * stride * std::mem::size_of::<Id>()
+        + n * std::mem::size_of::<usize>()
+        + 2 * n;
+
+    let mut rng_churn = StdRng::seed_from_u64(sc.seed.wrapping_add(5));
+    let mut rng_queries = StdRng::seed_from_u64(sc.seed.wrapping_add(2));
+    let mut rounds_out = Vec::with_capacity(config.rounds);
+
+    for _ in 0..config.rounds {
+        // 1. Membership flips. Death clears the node's aux set (its
+        //    pointers must stop resolving for routes passing through
+        //    it) and drops its dirty mark; rejoin re-dirties so the
+        //    refresh pass re-solves from the surviving counter weights
+        //    — the slab equivalent of the engine's rejoin path.
+        let mut flips = 0;
+        for _ in 0..config.flips_per_round {
+            let rank = rng_churn.gen_range(0..n);
+            if alive[rank] {
+                if alive_count <= 1 {
+                    continue;
+                }
+                alive[rank] = false;
+                alive_count -= 1;
+                dirty[rank] = false;
+                let shard = &mut shards[layout.shard_of(rank)];
+                let start = shard.start;
+                shard.aware.set(rank - start, &[]);
+            } else {
+                alive[rank] = true;
+                alive_count += 1;
+                dirty[rank] = true;
+            }
+            flips += 1;
+        }
+
+        // 2. One round's query stream: alive origins (a dead draw walks
+        //    to its alive successor — one RNG draw either way, so the
+        //    stream is independent of the flip history's shape), routed
+        //    chunk-parallel over read-only slabs. Each chunk returns
+        //    its accumulator plus the `(origin, observed owner)` pairs;
+        //    chunks come back in stream order.
+        let queries: Vec<(usize, usize)> = (0..config.queries_per_round)
+            .map(|_| {
+                let origin = walk_alive(&alive, rng_queries.gen_range(0..n));
+                (origin, workload.sample_item(&mut rng_queries))
+            })
+            .collect();
+        let resolve = |id: Id| -> &[Id] {
+            const NO_AUX: &[Id] = &[];
+            let Some(rank) = arena.rank_of(id) else {
+                return NO_AUX;
+            };
+            let shard = &shards[layout.shard_of(rank)];
+            shard.aware.get(rank - shard.start)
+        };
+        let chunk_results = peercache_par::par_map_chunked(&queries, QUERY_CHUNK, |_, chunk| {
+            let mut acc = HopAccumulator::new();
+            let mut observations = Vec::with_capacity(chunk.len());
+            let mut scratch = ArenaScratch::new();
+            for &(origin, item) in chunk {
+                let from = arena.ids()[origin];
+                let key = catalog.key(item);
+                match arena.route_with_aux(from, key, resolve, &mut scratch) {
+                    Some(route) => acc.record(route.is_success(), route.hops, 0),
+                    None => acc.record(false, 0, 0),
+                }
+                let owner_rank = walk_alive(&alive, owner_ranks[item]);
+                observations.push((origin, arena.ids()[owner_rank]));
+            }
+            vec![(acc, observations)]
+        });
+
+        // 3. Serial application in stream order: merge the hop
+        //    accumulators and absorb the observations into the counter
+        //    slab, dirty-marking each observer (self-ownership teaches
+        //    a node nothing — it already owns the key).
+        let mut total = HopAccumulator::new();
+        for (acc, observations) in &chunk_results {
+            total.merge(acc);
+            for &(origin, owner) in observations {
+                if owner != arena.ids()[origin] {
+                    counters.observe(origin, owner);
+                    dirty[origin] = true;
+                }
+            }
+        }
+
+        // 4. Shard-parallel refresh of dirty ∩ alive nodes only — the
+        //    scale form of the engine's clean-skip. Candidates are the
+        //    node's own bounded counter entries, minus itself and its
+        //    core set, minus dead members.
+        let refreshed: usize = peercache_par::par_map_mut(&mut shards, |s, shard| {
+            let (start, end) = layout.bounds(s);
+            let mut workspace = PastryWorkspace::new();
+            let mut core = Vec::new();
+            let mut snap = FrequencySnapshot::default();
+            let mut count = 0usize;
+            for rank in start..end {
+                if !dirty[rank] || !alive[rank] || counters.is_empty(rank) {
+                    continue;
+                }
+                let node = arena.ids()[rank];
+                arena.core_neighbors_into(rank, &mut core);
+                counters.snapshot_into(rank, &mut snap);
+                let candidates: Vec<Candidate> = snap
+                    .iter()
+                    .filter(|&(id, _)| {
+                        id != node
+                            && core.binary_search(&id).is_err()
+                            && arena.rank_of(id).is_some_and(|r| alive[r])
+                    })
+                    .map(|(id, w)| Candidate::new(id, w))
+                    .collect();
+                let problem =
+                    PastryProblem::new(space, sc.digit_bits, node, core.clone(), candidates, sc.k)
+                        .expect("scale-churn problems are well-formed");
+                let aux = &workspace
+                    .solve_into(&problem)
+                    .expect("scale-churn problems are well-formed")
+                    .aux;
+                shard.aware.set(rank - start, aux);
+                count += 1;
+            }
+            count
+        })
+        .into_iter()
+        .sum();
+        for rank in 0..n {
+            if alive[rank] {
+                dirty[rank] = false;
+            }
+        }
+
+        rounds_out.push(ScaleChurnRound {
+            flips,
+            alive: alive_count,
+            refreshed,
+            metrics: total.into_metrics(),
+        });
+    }
+
+    let state_bytes_per_node = state_bytes as f64 / n as f64;
+    ScaleChurnReport {
+        rounds: rounds_out,
+        state_bytes_per_node,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +788,53 @@ mod tests {
         let threaded = peercache_par::with_threads(4, || run_scale_stable(&quick_config(384, 7)));
         assert_eq!(base, threaded, "thread count must not affect results");
         let serial = peercache_par::with_threads(1, || run_scale_stable(&quick_config(384, 7)));
+        assert_eq!(base, serial);
+    }
+
+    fn quick_churn_config(nodes: usize, shards: usize) -> ScaleChurnConfig {
+        let mut config = ScaleChurnConfig::paper_defaults(nodes, 13);
+        config.scale.shards = shards;
+        config.rounds = 3;
+        config.flips_per_round = nodes / 8;
+        config.queries_per_round = 1_500;
+        config
+    }
+
+    #[test]
+    fn scale_churn_flips_observe_and_refresh() {
+        let report = run_scale_churn(&quick_churn_config(512, 4));
+        assert_eq!(report.rounds.len(), 3);
+        for (i, round) in report.rounds.iter().enumerate() {
+            assert_eq!(round.metrics.issued, 1_500, "round {i}");
+            assert!(round.flips > 0, "round {i} flipped nobody");
+            assert!(round.alive >= 1 && round.alive <= 512);
+            assert!(round.refreshed > 0, "round {i} refreshed nobody");
+            assert!(round.refreshed <= round.alive);
+            assert!(
+                round.metrics.success_rate() > 0.95,
+                "round {i} success {}",
+                round.metrics.success_rate()
+            );
+        }
+        // k=9 slab (144 B) + stride-8 counters (193 B) + flags: well
+        // under the CI ceiling even before the arena ids are counted.
+        assert!(
+            report.state_bytes_per_node < 1024.0,
+            "churn state {} B/node",
+            report.state_bytes_per_node
+        );
+    }
+
+    #[test]
+    fn scale_churn_is_invariant_to_shard_and_thread_count() {
+        let base = run_scale_churn(&quick_churn_config(384, 1));
+        let sharded = run_scale_churn(&quick_churn_config(384, 7));
+        assert_eq!(base, sharded, "shard count must not affect results");
+        let threaded =
+            peercache_par::with_threads(4, || run_scale_churn(&quick_churn_config(384, 7)));
+        assert_eq!(base, threaded, "thread count must not affect results");
+        let serial =
+            peercache_par::with_threads(1, || run_scale_churn(&quick_churn_config(384, 7)));
         assert_eq!(base, serial);
     }
 

@@ -25,10 +25,6 @@
 //! [`HopAccumulator`]s, one per fixed-size query chunk, merged in chunk
 //! order — no per-pass vector of outcomes is ever materialised.
 
-use std::iter::once;
-
-use peercache_core::pastry::PastryOptimizer;
-use peercache_core::{Candidate, PastryProblem};
 use peercache_freq::{FrequencyEstimator, FrequencySnapshot, SpaceSaving};
 use peercache_id::{Id, IdSpace};
 use rand::rngs::StdRng;
@@ -36,6 +32,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::metrics::{reduction_pct, HopAccumulator, QueryMetrics};
 use crate::overlay::{OverlayKind, SelectScratch};
+use crate::refresh::{PastryParams, RetainedPastry};
 use crate::stable::{
     build_stable_retaining, SelectionAggregates, StableConfig, StableReport, StableSetup,
 };
@@ -131,15 +128,23 @@ struct ShardState {
     oblivious: AuxSlab,
     /// Per-node Space-Saving counters of observed accesses (by owner).
     counters: Vec<SpaceSaving>,
-    /// The candidate pool each node's current selection was solved
-    /// against — the "old" side of the next counter-delta diff.
-    mirrors: Vec<FrequencySnapshot>,
-    /// Retained incremental solvers (Pastry/Tapestry kinds), built
-    /// lazily on a node's first refresh, then updated in `O(k·b)`.
-    opts: Vec<Option<PastryOptimizer>>,
+    /// Retained incremental solvers (Pastry/Tapestry kinds): optimizer,
+    /// mirror pool, and selection scratch per node, built lazily on a
+    /// node's first refresh, then updated in `O(k·b)` per delta.
+    retained: Vec<RetainedPastry>,
     dirty: Vec<bool>,
     scratch: SelectScratch,
     core_buf: Vec<Id>,
+    /// `core_buf` sorted — the binary-searchable exclusion set the pool
+    /// refill filters against.
+    core_sorted: Vec<Id>,
+    /// Counter snapshot buffer (`snapshot_into` target).
+    snap: FrequencySnapshot,
+    /// Base pool weights + counter weights, rebuilt in place per node.
+    combined: FrequencySnapshot,
+    /// `combined` minus the node and its core set — the candidate pool
+    /// handed to (and then swapped into) the retained solver.
+    pool: FrequencySnapshot,
 }
 
 /// Which strategy's slab a measurement pass resolves pointers from.
@@ -189,11 +194,14 @@ impl ShardedOverlay {
                     aware,
                     oblivious,
                     counters: vec![SpaceSaving::new(config.items.max(1)); count],
-                    mirrors: vec![FrequencySnapshot::from_pairs(std::iter::empty()); count],
-                    opts: (0..count).map(|_| None).collect(),
+                    retained: (0..count).map(|_| RetainedPastry::new()).collect(),
                     dirty: vec![false; count],
                     scratch: SelectScratch::new(),
                     core_buf: Vec::new(),
+                    core_sorted: Vec::new(),
+                    snap: FrequencySnapshot::default(),
+                    combined: FrequencySnapshot::default(),
+                    pool: FrequencySnapshot::default(),
                 }
             })
             .collect();
@@ -368,107 +376,57 @@ impl ShardState {
             let slot = self.start + local;
             let node = setup.node_ids[slot];
             // Exact base popularities plus the live counter snapshot;
-            // `from_pairs` sums duplicate owners, so a counted owner's
-            // weight rises above its base instead of replacing it.
+            // the refill sums duplicate owners (at most two entries per
+            // peer: base + counter, so bit-identical to `from_pairs`),
+            // and a counted owner's weight rises above its base instead
+            // of replacing it. All buffers are shard-local and recycled,
+            // so a steady-state refresh tick allocates nothing.
             let base = &aggregates.pool_weights[aggregates.assignment.pool_index(slot)];
-            let combined = FrequencySnapshot::from_pairs(
-                base.iter().chain(self.counters[local].snapshot().iter()),
-            );
+            self.counters[local].snapshot_into(&mut self.snap);
+            self.combined
+                .refill_from_pairs(base.iter().chain(self.snap.iter()));
             setup.overlay.core_neighbors_into(node, &mut self.core_buf);
-            let pool = combined.without(self.core_buf.iter().copied().chain(once(node)));
-            let aux = match kind {
+            self.core_sorted.clear();
+            self.core_sorted.extend_from_slice(&self.core_buf);
+            self.core_sorted.sort_unstable();
+            match kind {
                 OverlayKind::Pastry { digit_bits, .. } | OverlayKind::Tapestry { digit_bits } => {
-                    Self::refresh_incremental(
-                        &mut self.opts[local],
-                        &self.mirrors[local],
-                        &pool,
+                    let Self {
+                        retained,
+                        aware,
+                        combined,
+                        pool,
+                        core_buf,
+                        core_sorted,
+                        ..
+                    } = self;
+                    pool.refill_filtered(combined, |p| {
+                        p != node && core_sorted.binary_search(&p).is_err()
+                    });
+                    let params = PastryParams {
                         node,
-                        &self.core_buf,
                         digit_bits,
-                        config.k,
+                        k: config.k,
                         space,
-                    )
+                    };
+                    // Stable mode never changes a node's core set, so
+                    // the core delta is always empty.
+                    let aux = retained[local]
+                        .refresh(pool, &params, core_buf, &[], &[])
+                        .expect("stable problems are well-formed");
+                    aware.set(local, aux);
                 }
                 OverlayKind::Chord | OverlayKind::SkipGraph => {
-                    setup
+                    let aux = setup
                         .overlay
-                        .select_aware_into(node, &combined, config.k, &mut self.scratch)
+                        .select_aware_into(node, &self.combined, config.k, &mut self.scratch)
                         .expect("stable problems are well-formed")
-                        .aux
+                        .aux;
+                    self.aware.set(local, &aux);
                 }
-            };
-            self.aware.set(local, &aux);
-            self.mirrors[local] = pool;
+            }
         }
         refreshed
-    }
-
-    /// The incremental path: diff the sorted old/new candidate pools and
-    /// apply only the delta to the retained optimizer, then re-select.
-    /// Every mutator fully recomputes the affected trie spine, so the
-    /// selection equals a fresh solve over `pool` — the property the
-    /// sharded equivalence tests pin down.
-    #[allow(clippy::too_many_arguments)]
-    fn refresh_incremental(
-        opt_slot: &mut Option<PastryOptimizer>,
-        mirror: &FrequencySnapshot,
-        pool: &FrequencySnapshot,
-        node: Id,
-        core: &[Id],
-        digit_bits: u8,
-        k: usize,
-        space: IdSpace,
-    ) -> Vec<Id> {
-        let opt = match opt_slot {
-            Some(opt) => {
-                let mut old = mirror.iter().peekable();
-                let mut new = pool.iter().peekable();
-                // Sorted-merge diff: snapshots are ordered by id.
-                loop {
-                    match (old.peek().copied(), new.peek().copied()) {
-                        (Some((oid, ow)), Some((nid, nw))) if oid == nid => {
-                            old.next();
-                            new.next();
-                            if ow.to_bits() != nw.to_bits() {
-                                opt.update_weight(nid, nw)
-                                    .expect("delta ids come from the live candidate pool");
-                            }
-                        }
-                        (Some((oid, _)), Some((nid, _))) if oid < nid => {
-                            old.next();
-                            opt.remove(oid)
-                                .expect("delta ids come from the live candidate pool");
-                        }
-                        (Some(_), Some((nid, nw))) => {
-                            new.next();
-                            opt.insert(Candidate::new(nid, nw))
-                                .expect("delta ids come from the live candidate pool");
-                        }
-                        (Some((oid, _)), None) => {
-                            old.next();
-                            opt.remove(oid)
-                                .expect("delta ids come from the live candidate pool");
-                        }
-                        (None, Some((nid, nw))) => {
-                            new.next();
-                            opt.insert(Candidate::new(nid, nw))
-                                .expect("delta ids come from the live candidate pool");
-                        }
-                        (None, None) => break,
-                    }
-                }
-                opt
-            }
-            None => {
-                let candidates = pool.iter().map(|(id, w)| Candidate::new(id, w)).collect();
-                let problem =
-                    PastryProblem::new(space, digit_bits, node, core.to_vec(), candidates, k)
-                        .expect("stable problems are well-formed");
-                let opt = PastryOptimizer::new(&problem).expect("stable problems are well-formed");
-                opt_slot.insert(opt)
-            }
-        };
-        opt.select().expect("stable problems are well-formed").aux
     }
 }
 

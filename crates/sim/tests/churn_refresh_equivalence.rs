@@ -1,0 +1,105 @@
+//! The churn refresh engine's bit-identity contract: a churn run whose
+//! `Recompute` ticks go through the retained incremental engine
+//! ([`RecomputeMode::Incremental`], the default) must yield **identical**
+//! metrics to the pre-refactor full path ([`RecomputeMode::Full`]) —
+//! across substrates, seeds, fault configurations (whose mid-route
+//! `forget` evictions drift the core sets between ticks), churn rates
+//! (join/leave/rejoin interleavings), and thread counts. Both modes
+//! consume exactly the same RNG streams, so equality is byte-for-byte,
+//! not statistical.
+
+use peercache_par::with_threads;
+use peercache_pastry::RoutingMode;
+use peercache_sim::faults::FaultConfig;
+use peercache_sim::{run_churn_once_faulted, ChurnConfig, OverlayKind, RecomputeMode, Strategy};
+use proptest::prelude::*;
+
+const KINDS: [OverlayKind; 4] = [
+    OverlayKind::Chord,
+    OverlayKind::Pastry {
+        digit_bits: 1,
+        mode: RoutingMode::LocalityAware,
+    },
+    OverlayKind::Tapestry { digit_bits: 2 },
+    OverlayKind::SkipGraph,
+];
+
+fn config(kind: OverlayKind, seed: u64, mean_lifetime: f64) -> ChurnConfig {
+    let mut config = ChurnConfig::paper_defaults(48, seed);
+    config.kind = kind;
+    config.items = 32;
+    config.duration = 600.0;
+    config.warmup = 150.0;
+    config.mean_lifetime = mean_lifetime;
+    config.query_rate = 6.0;
+    config
+}
+
+/// Run one scenario under both recompute modes and assert equality.
+fn assert_modes_agree(mut config: ChurnConfig, label: &str) -> Result<(), TestCaseError> {
+    config.recompute = RecomputeMode::Full;
+    let full = run_churn_once_faulted(&config, Strategy::Aware);
+    config.recompute = RecomputeMode::Incremental;
+    for threads in [1usize, 4] {
+        let incremental =
+            with_threads(threads, || run_churn_once_faulted(&config, Strategy::Aware));
+        prop_assert_eq!(
+            &incremental,
+            &full,
+            "{} diverged at threads={}",
+            label,
+            threads
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fault-free churn: flips exercise the engine's invalidate (own
+    /// flip), dead-aux handling (install filter), and rejoin-with-
+    /// surviving-counter-weight paths on every substrate.
+    #[test]
+    fn incremental_matches_full_under_churn(seed in 0u64..1000) {
+        for kind in KINDS {
+            assert_modes_agree(config(kind, seed, 300.0), "fault-free")?;
+        }
+    }
+
+    /// Fast churn (short lifetimes) piles join/leave/rejoin
+    /// interleavings onto the retained state; slow churn leaves long
+    /// clean-skip stretches. Both must stay bit-identical.
+    #[test]
+    fn incremental_matches_full_across_churn_rates(
+        seed in 0u64..1000,
+        fast in proptest::bool::ANY,
+    ) {
+        let lifetime = if fast { 120.0 } else { 900.0 };
+        for kind in [KINDS[1], KINDS[3]] {
+            assert_modes_agree(config(kind, seed, lifetime), "churn-rate")?;
+        }
+    }
+
+    /// Faulted churn: mid-route `forget` evictions shrink core sets
+    /// between recompute ticks, driving the engine's core-delta
+    /// (`remove_core`) and re-solve paths.
+    #[test]
+    fn incremental_matches_full_under_faults(seed in 0u64..1000) {
+        let faults = FaultConfig {
+            crash_rate: 0.02,
+            unresponsive_rate: 0.0,
+            loss_rate: 0.1,
+            stale_rate: 0.2,
+            staleness_age: 512,
+            delay_jitter: 2,
+            max_retries: 2,
+            backoff_base: 4,
+        };
+        for kind in KINDS {
+            let mut c = config(kind, seed, 250.0);
+            c.faults = faults.clone();
+            assert_modes_agree(c, "faulted")?;
+        }
+    }
+}
