@@ -2,7 +2,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure, RouteTrace};
+use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure, RouteTrace, StepScratch, WalkStep};
 use peercache_id::{Id, IdSpace};
 
 use crate::node::ChordNode;
@@ -643,7 +643,6 @@ impl ChordNetwork {
         if !self.nodes.contains_key(&from.value()) {
             return Err(NetworkError::NotPresent(from));
         }
-        let space = self.config.space;
         let Some(true_owner) = self.true_owner(key) else {
             return Err(NetworkError::NotPresent(from));
         };
@@ -652,80 +651,106 @@ impl ChordNetwork {
         }
         let mut current = from;
         let mut trace = RouteTrace::start(from);
-        let mut aux_buf: Vec<Id> = Vec::new();
-        let mut dead_local: Vec<Id> = Vec::new();
+        let mut scratch = StepScratch::new();
         loop {
-            if trace.hops >= self.config.hop_limit {
-                return Ok(FaultedRoute {
-                    outcome: Err(LookupFailure::HopLimit),
-                    trace,
-                });
-            }
-            if current == key {
-                return Ok(FaultedRoute {
-                    outcome: Ok(current),
-                    trace,
-                });
-            }
-            // The walk only steps to probed-live candidates, so `current`
-            // is always present; if the map ever disagrees, degrade to a
-            // dead end rather than panic (rule L10).
-            let Some(node) = self.nodes.get(&current.value()) else {
-                return Ok(FaultedRoute {
-                    outcome: Err(LookupFailure::DeadEnd(current)),
-                    trace,
-                });
-            };
-            plan.resolve_aux(space, current, aux_of(current), &mut aux_buf);
-            let mut candidates: Vec<Id> = node
-                .known_neighbors_with(&aux_buf)
-                .into_iter()
-                .filter(|&w| space.between_open_closed(current, w, key))
-                .collect();
-            candidates.sort_by_key(|&w| space.clockwise_distance(w, key));
-            // Sorted core view, for spotting aux-only candidates.
-            let core = node.known_neighbors_with(&[]);
-            let mut aux_banned = false;
-            dead_local.clear();
-            let mut next = None;
-            for w in candidates {
-                let aux_only = core.binary_search(&w).is_err();
-                if aux_banned && aux_only {
-                    continue;
+            match self.lookup_step_faults(
+                current,
+                key,
+                true_owner,
+                &aux_of,
+                plan,
+                &mut trace,
+                &mut scratch,
+            ) {
+                WalkStep::Forward(next) => {
+                    trace.hops += 1;
+                    trace.path.push(next);
+                    current = next;
                 }
-                if plan.probe(current, w, trace.hops, self.is_live(w), &mut trace) {
-                    next = Some(w);
-                    break;
-                }
-                dead_local.push(w);
-                if aux_only && !aux_banned && !plan.is_transparent() {
-                    aux_banned = true;
-                    trace.fallbacks += 1;
-                }
+                WalkStep::Done(outcome) => return Ok(FaultedRoute { outcome, trace }),
             }
-            if let Some(w) = next {
-                trace.hops += 1;
-                trace.path.push(w);
-                current = w;
+        }
+    }
+
+    /// One arrival of [`lookup_with_aux_faults`](Self::lookup_with_aux_faults):
+    /// the full decision made at `current` — hop-budget check, staleness
+    /// resolution of its cached pointers, candidate ranking, and the
+    /// probe loop — ending in a forward or a terminal outcome. The
+    /// monolithic walk and the `peercache-node` event loop both drive
+    /// this same function, so their probe sequences are bit-identical.
+    ///
+    /// The caller owns the hop accounting: on [`WalkStep::Forward`] it
+    /// must charge `trace.hops += 1` and extend `trace.path` before the
+    /// next step. `true_owner` is the owner of `key` computed once per
+    /// walk (see [`true_owner`](Self::true_owner)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn lookup_step_faults<'a, F>(
+        &'a self,
+        current: Id,
+        key: Id,
+        true_owner: Id,
+        aux_of: F,
+        plan: &FaultPlan,
+        trace: &mut RouteTrace,
+        scratch: &mut StepScratch,
+    ) -> WalkStep
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        let space = self.config.space;
+        if trace.hops >= self.config.hop_limit {
+            return WalkStep::Done(Err(LookupFailure::HopLimit));
+        }
+        if current == key {
+            return WalkStep::Done(Ok(current));
+        }
+        // The walk only steps to probed-live candidates, so `current`
+        // is always present; if the map ever disagrees, degrade to a
+        // dead end rather than panic (rule L10).
+        let Some(node) = self.nodes.get(&current.value()) else {
+            return WalkStep::Done(Err(LookupFailure::DeadEnd(current)));
+        };
+        plan.resolve_aux(space, current, aux_of(current), &mut scratch.aux);
+        let mut candidates: Vec<Id> = node
+            .known_neighbors_with(&scratch.aux)
+            .into_iter()
+            .filter(|&w| space.between_open_closed(current, w, key))
+            .collect();
+        candidates.sort_by_key(|&w| space.clockwise_distance(w, key));
+        // Sorted core view, for spotting aux-only candidates.
+        let core = node.known_neighbors_with(&[]);
+        let mut aux_banned = false;
+        scratch.dead.clear();
+        for w in candidates {
+            let aux_only = core.binary_search(&w).is_err();
+            if aux_banned && aux_only {
                 continue;
             }
-            // `lookup` forgets the dead candidates it probed before
-            // reading `successor()`; skipping exactly those entries
-            // reproduces that post-repair successor view read-only.
-            let believed = node.successors.iter().find(|s| !dead_local.contains(s));
-            let owns = match believed {
-                None => true,
-                Some(&s) => space.between_closed_open(current, key, s),
-            };
-            let outcome = if current == true_owner {
-                Ok(current)
-            } else if owns {
-                Err(LookupFailure::WrongOwner(current))
-            } else {
-                Err(LookupFailure::DeadEnd(current))
-            };
-            return Ok(FaultedRoute { outcome, trace });
+            if plan.probe(current, w, trace.hops, self.is_live(w), trace) {
+                return WalkStep::Forward(w);
+            }
+            scratch.dead.push(w);
+            if aux_only && !aux_banned && !plan.is_transparent() {
+                aux_banned = true;
+                trace.fallbacks += 1;
+            }
         }
+        // `lookup` forgets the dead candidates it probed before
+        // reading `successor()`; skipping exactly those entries
+        // reproduces that post-repair successor view read-only.
+        let believed = node.successors.iter().find(|s| !scratch.dead.contains(s));
+        let owns = match believed {
+            None => true,
+            Some(&s) => space.between_closed_open(current, key, s),
+        };
+        let outcome = if current == true_owner {
+            Ok(current)
+        } else if owns {
+            Err(LookupFailure::WrongOwner(current))
+        } else {
+            Err(LookupFailure::DeadEnd(current))
+        };
+        WalkStep::Done(outcome)
     }
 
     /// Evict `dead` from `id`'s routing structures. The fault-injected

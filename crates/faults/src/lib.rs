@@ -22,8 +22,10 @@
 
 mod liveness;
 mod plan;
+mod step;
 mod trace;
 
 pub use liveness::Liveness;
 pub use plan::{FaultConfig, FaultPlan};
+pub use step::{StepScratch, WalkStep};
 pub use trace::{FaultedRoute, LookupFailure, RouteTrace};

@@ -1,0 +1,76 @@
+//! The per-arrival step interface shared by the substrate fault walks.
+//!
+//! Each substrate's fault-injected walk decomposes into *arrivals*: the
+//! work done at one node — resolve cached pointers, rank candidates,
+//! probe until one answers — ending in either a forward to the next node
+//! or a terminal outcome. [`WalkStep`] is that decision, and a
+//! [`StepScratch`] carries the per-arrival buffers so a driver can run
+//! the step function hop by hop without reallocating.
+//!
+//! Two drivers consume the same step functions: the monolithic
+//! `*_with_aux_faults` loops (sim mode) and the `peercache-node` event
+//! loop, which delivers one arrival per `Lookup` message. Because every
+//! fault decision in a [`FaultPlan`](crate::FaultPlan) is a pure hash —
+//! no RNG state, no ordering dependence — both drivers observe
+//! bit-identical probe sequences, traces, and outcomes.
+
+use peercache_id::Id;
+
+use crate::trace::LookupFailure;
+
+/// The decision one arrival produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalkStep {
+    /// Forward the lookup to this (probed-live) node. The driver charges
+    /// the hop: `trace.hops += 1`, `trace.path.push(next)`.
+    Forward(Id),
+    /// The walk ends here with this outcome.
+    Done(Result<Id, LookupFailure>),
+}
+
+/// Reusable per-arrival buffers for the step functions.
+///
+/// `aux` holds the staleness-resolved auxiliary pointers of the current
+/// node; `dead` the candidates that timed out *at this arrival* (the
+/// chord terminal reads it to reproduce the post-repair successor view).
+/// Both are overwritten at each arrival — a driver allocates one scratch
+/// per in-flight lookup and reuses it across hops.
+#[derive(Clone, Debug, Default)]
+pub struct StepScratch {
+    /// Staleness-resolved auxiliary pointers of the current node.
+    pub aux: Vec<Id>,
+    /// Candidates that timed out at the current arrival.
+    pub dead: Vec<Id>,
+}
+
+impl StepScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        StepScratch::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_starts_empty() {
+        let s = StepScratch::new();
+        assert!(s.aux.is_empty());
+        assert!(s.dead.is_empty());
+    }
+
+    #[test]
+    fn steps_compare_structurally() {
+        assert_eq!(WalkStep::Forward(Id::new(3)), WalkStep::Forward(Id::new(3)));
+        assert_ne!(
+            WalkStep::Forward(Id::new(3)),
+            WalkStep::Done(Ok(Id::new(3)))
+        );
+        assert_eq!(
+            WalkStep::Done(Err(LookupFailure::HopLimit)),
+            WalkStep::Done(Err(LookupFailure::HopLimit))
+        );
+    }
+}

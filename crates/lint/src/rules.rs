@@ -399,7 +399,7 @@ const NUMERIC_TYPES: [&str; 14] = [
 /// The crates bound by the PR 2 determinism contract (parallel sweeps
 /// bit-identical to serial); rule L6 applies to their library code and
 /// rule L12 to their RNG-taking functions.
-pub(crate) const DETERMINISTIC_CRATES: [&str; 8] = [
+pub(crate) const DETERMINISTIC_CRATES: [&str; 9] = [
     "core",
     "sim",
     "chord",
@@ -408,6 +408,7 @@ pub(crate) const DETERMINISTIC_CRATES: [&str; 8] = [
     "skipgraph",
     "par",
     "faults",
+    "node",
 ];
 
 /// Run every applicable per-file rule over one source text and return
@@ -433,7 +434,11 @@ pub fn check_tokens(ctx: &FileCtx, lines: &[ScannedLine], toks: &[Tok]) -> Vec<V
     let l4 = lib && (ctx.in_crate("id") || ctx.in_crate("freq") || ctx.in_crate("core"));
     let l5 = lib;
     let l6 = lib && DETERMINISTIC_CRATES.iter().any(|c| ctx.in_crate(c));
-    let l8 = lib && (ctx.in_crate("core") || ctx.in_crate("sim") || ctx.in_crate("faults"));
+    let l8 = lib
+        && (ctx.in_crate("core")
+            || ctx.in_crate("sim")
+            || ctx.in_crate("faults")
+            || ctx.in_crate("node"));
 
     let tested = |line: usize| in_test.get(line).copied().unwrap_or(false);
 

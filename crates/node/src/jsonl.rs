@@ -1,0 +1,135 @@
+//! A minimal, total parser for the peer store's JSON-lines rows.
+//!
+//! The vendored `serde_json` shim is serialization-only, and the bench
+//! crate's report parser reads every number as `f64` — lossy above
+//! 2⁵³, which 128-bit peer identifiers routinely exceed. The store
+//! therefore carries its own reader for the one shape it writes: a flat
+//! JSON object whose values are nonnegative integers, parsed at full
+//! `u128` precision.
+//!
+//! The parser is total by construction — reachable from
+//! `PeerStore::load` (an L10 panic-free root), so it never indexes,
+//! unwraps, or panics: any malformed byte yields `None` and the caller
+//! degrades gracefully.
+
+/// Parse one line of the form `{"key":123,"other":456}` (whitespace
+/// tolerant) into its fields in source order. Returns `None` on any
+/// deviation: non-object lines, string/float/negative values, escaped
+/// keys, duplicate-brace noise, or trailing garbage.
+pub(crate) fn parse_flat_u128(line: &str) -> Option<Vec<(String, u128)>> {
+    let mut chars = line.chars().peekable();
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            if chars.next()? != '"' {
+                return None;
+            }
+            let mut key = String::new();
+            loop {
+                let c = chars.next()?;
+                if c == '"' {
+                    break;
+                }
+                // The store's keys are plain identifiers; an escape
+                // marks a line this writer never produced.
+                if c == '\\' {
+                    return None;
+                }
+                key.push(c);
+            }
+            skip_ws(&mut chars);
+            if chars.next()? != ':' {
+                return None;
+            }
+            skip_ws(&mut chars);
+            let mut digits = String::new();
+            while let Some(c) = chars.peek().copied() {
+                if c.is_ascii_digit() {
+                    digits.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            if digits.is_empty() {
+                return None;
+            }
+            let value: u128 = digits.parse().ok()?;
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => {}
+                Some('}') => break,
+                _ => return None,
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_none() {
+        Some(fields)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(' ' | '\t' | '\r')) {
+        chars.next();
+    }
+}
+
+/// The value of `key` in parsed `fields`, if present.
+pub(crate) fn field(fields: &[(String, u128)], key: &str) -> Option<u128> {
+    fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_writer_shape_at_full_precision() {
+        let line = format!("{{\"id\":{},\"last_seen\":7}}", u128::MAX);
+        let fields = parse_flat_u128(&line).expect("well-formed line");
+        assert_eq!(field(&fields, "id"), Some(u128::MAX));
+        assert_eq!(field(&fields, "last_seen"), Some(7));
+        assert_eq!(field(&fields, "absent"), None);
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_empty_objects() {
+        let fields = parse_flat_u128("  { \"a\" : 1 , \"b\" : 2 }  ").expect("spaced line");
+        assert_eq!(fields, vec![("a".to_string(), 1), ("b".to_string(), 2)]);
+        assert_eq!(parse_flat_u128("{}"), Some(Vec::new()));
+        assert_eq!(parse_flat_u128(" {  } "), Some(Vec::new()));
+    }
+
+    #[test]
+    fn rejects_everything_else() {
+        for bad in [
+            "",
+            "[1]",
+            "{\"a\":}",
+            "{\"a\":-1}",
+            "{\"a\":1.5}",
+            "{\"a\":\"x\"}",
+            "{\"a\":1",
+            "{\"a\":1}}",
+            "{\"a\\n\":1}",
+            "{\"a\":1}{",
+            "{\"a\":340282366920938463463374607431768211456}", // u128::MAX + 1
+            "null",
+            "{\"a\" 1}",
+        ] {
+            assert_eq!(parse_flat_u128(bad), None, "accepted: {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Typed messages and the virtual-clock envelope ordering.
+
+use peercache_faults::RouteTrace;
+use peercache_id::Id;
+
+/// Virtual time, in ticks. The runtime's clock only moves when a
+/// message is delivered; nothing ever reads a wall clock.
+pub type Tick = u64;
+
+/// One in-flight lookup: the walk state a `Lookup` message carries from
+/// arrival to arrival. Each delivery runs exactly one substrate step
+/// (`peercache_faults::WalkStep`) against this state.
+#[derive(Clone, Debug)]
+pub struct LookupJob {
+    /// Index of this query in the runtime's submission order.
+    pub query: usize,
+    /// The node that issued the lookup.
+    pub origin: Id,
+    /// The key being looked up.
+    pub key: Id,
+    /// The true owner of `key`, computed once at submission.
+    pub true_owner: Id,
+    /// The node this message is addressed to (the next arrival).
+    pub current: Id,
+    /// Everything the walk did so far.
+    pub trace: RouteTrace,
+}
+
+/// A typed runtime message. Every delivery is mediated by the run's
+/// `FaultPlan`: joins of plan-crashed nodes are dropped, and lookup /
+/// probe contacts go through the plan's probe channel.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// A node announces itself at boot; delivery registers it iff it is
+    /// substrate-live and not plan-crashed.
+    Join {
+        /// The joining node.
+        node: Id,
+    },
+    /// One lookup arrival (boxed: the job carries a full trace).
+    Lookup(Box<LookupJob>),
+    /// A standalone liveness probe (reconnection / maintenance), fed to
+    /// the local peer store's reliability scores.
+    Probe {
+        /// The probing node.
+        from: Id,
+        /// The probed node.
+        to: Id,
+    },
+    /// Peer-store maintenance at `node`: expire stale entries by
+    /// virtual age and enforce the capacity bound.
+    Refresh {
+        /// The node whose store refreshes.
+        node: Id,
+    },
+}
+
+/// A message scheduled for delivery at a virtual tick. Envelopes order
+/// by `(at, seq)` — the sequence number is unique per envelope, so the
+/// delivery order is total and replayable regardless of how the
+/// runtime's queue breaks ties internally.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Delivery tick.
+    pub at: Tick,
+    /// Enqueue sequence number (unique, monotone).
+    pub seq: u64,
+    /// The payload.
+    pub message: Message,
+}
+
+impl PartialEq for Envelope {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for Envelope {}
+
+impl PartialOrd for Envelope {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Envelope {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(at: Tick, seq: u64) -> Envelope {
+        Envelope {
+            at,
+            seq,
+            message: Message::Join { node: Id::new(1) },
+        }
+    }
+
+    #[test]
+    fn envelopes_order_by_tick_then_sequence() {
+        assert!(env(0, 1) < env(1, 0));
+        assert!(env(1, 0) < env(1, 1));
+        assert_eq!(env(2, 3), env(2, 3));
+        let mut heap = std::collections::BinaryHeap::new();
+        for e in [env(1, 2), env(0, 1), env(1, 1), env(0, 0)] {
+            heap.push(std::cmp::Reverse(e));
+        }
+        let order: Vec<(Tick, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|std::cmp::Reverse(e)| (e.at, e.seq))
+            .collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 1), (1, 2)]);
+    }
+}

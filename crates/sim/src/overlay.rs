@@ -5,7 +5,7 @@
 use peercache_chord::{ChordConfig, ChordNetwork};
 use peercache_core::{baseline, chord, pastry, Candidate, ChordProblem, PastryProblem};
 use peercache_core::{SelectError, Selection};
-use peercache_faults::{FaultPlan, FaultedRoute};
+use peercache_faults::{FaultPlan, FaultedRoute, RouteTrace, StepScratch, WalkStep};
 use peercache_freq::FrequencySnapshot;
 use peercache_id::{Id, IdSpace};
 use peercache_pastry::{PastryConfig, PastryNetwork, RoutingMode};
@@ -322,6 +322,49 @@ impl SimOverlay {
             SimOverlay::SkipGraph(net) => net.search_with_aux_faults(from, key, aux_of, plan).ok(),
         };
         routed.unwrap_or_else(|| FaultedRoute::origin_down(from))
+    }
+
+    /// One arrival of [`query_with_aux_faults`](Self::query_with_aux_faults):
+    /// the decision the substrate makes at `current` for `key`, through
+    /// the same per-hop step functions the monolithic walks drive. The
+    /// `peercache-node` event loop delivers one arrival per `Lookup`
+    /// message; because every fault decision in `plan` is a pure hash,
+    /// the resulting probe sequence — and trace — is bit-identical to
+    /// the monolithic walk's.
+    ///
+    /// The caller owns the origin checks (substrate-dead or plan-crashed
+    /// origin → `OriginDown`) and the hop accounting on
+    /// [`WalkStep::Forward`] (`trace.hops += 1`, `trace.path.push`).
+    /// `true_owner` is [`true_owner`](Self::true_owner) computed once per
+    /// walk.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_step_faults<'a, F>(
+        &'a self,
+        current: Id,
+        key: Id,
+        true_owner: Id,
+        aux_of: F,
+        plan: &FaultPlan,
+        trace: &mut RouteTrace,
+        scratch: &mut StepScratch,
+    ) -> WalkStep
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        match self {
+            SimOverlay::Chord(net) => {
+                net.lookup_step_faults(current, key, true_owner, aux_of, plan, trace, scratch)
+            }
+            SimOverlay::Pastry(net) => {
+                net.route_step_faults(current, key, true_owner, aux_of, plan, trace, scratch)
+            }
+            SimOverlay::Tapestry(net) => {
+                net.route_step_faults(current, key, true_owner, aux_of, plan, trace, scratch)
+            }
+            SimOverlay::SkipGraph(net) => {
+                net.search_step_faults(current, key, true_owner, aux_of, plan, trace, scratch)
+            }
+        }
     }
 
     /// [`query_with_aux_faults`](Self::query_with_aux_faults) over the

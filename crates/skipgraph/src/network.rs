@@ -2,7 +2,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure, RouteTrace};
+use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure, RouteTrace, StepScratch, WalkStep};
 use peercache_id::{Id, IdSpace};
 
 use crate::{SearchOutcome, SearchResult};
@@ -588,7 +588,6 @@ impl SkipGraphNetwork {
         if !self.nodes.contains_key(&from.value()) {
             return Err(NetworkError::NotPresent(from));
         }
-        let space = self.config.space;
         let Some(true_owner) = self.true_owner(key) else {
             return Err(NetworkError::NotPresent(from));
         };
@@ -597,70 +596,94 @@ impl SkipGraphNetwork {
         }
         let mut current = from;
         let mut trace = RouteTrace::start(from);
-        let mut aux_buf: Vec<Id> = Vec::new();
+        let mut scratch = StepScratch::new();
         loop {
-            if trace.hops >= self.config.hop_limit {
-                return Ok(FaultedRoute {
-                    outcome: Err(LookupFailure::HopLimit),
-                    trace,
-                });
-            }
-            if current == key {
-                return Ok(FaultedRoute {
-                    outcome: Ok(current),
-                    trace,
-                });
-            }
-            // The walk only steps to probed-live candidates, so `current`
-            // is always present; if the map ever disagrees, degrade to a
-            // dead end rather than panic (rule L10).
-            let Some(node) = self.nodes.get(&current.value()) else {
-                return Ok(FaultedRoute {
-                    outcome: Err(LookupFailure::DeadEnd(current)),
-                    trace,
-                });
-            };
-            plan.resolve_aux(space, current, aux_of(current), &mut aux_buf);
-            let mut candidates: Vec<Id> = node
-                .known_neighbors_with(&aux_buf)
-                .into_iter()
-                .filter(|&w| space.between_open_closed(current, w, key))
-                .collect();
-            candidates.sort_by_key(|&w| space.clockwise_distance(w, key));
-            // Sorted core view, for spotting aux-only candidates.
-            let core = node.known_neighbors_with(&[]);
-            let mut aux_banned = false;
-            let mut next = None;
-            for w in candidates {
-                let aux_only = core.binary_search(&w).is_err();
-                if aux_banned && aux_only {
-                    continue;
-                }
-                if plan.probe(current, w, trace.hops, self.is_live(w), &mut trace) {
-                    next = Some(w);
-                    break;
-                }
-                if aux_only && !aux_banned && !plan.is_transparent() {
-                    aux_banned = true;
-                    trace.fallbacks += 1;
-                }
-            }
-            match next {
-                Some(w) => {
+            match self.search_step_faults(
+                current,
+                key,
+                true_owner,
+                &aux_of,
+                plan,
+                &mut trace,
+                &mut scratch,
+            ) {
+                WalkStep::Forward(next) => {
                     trace.hops += 1;
-                    trace.path.push(w);
-                    current = w;
+                    trace.path.push(next);
+                    current = next;
                 }
-                None => {
-                    let outcome = if current == true_owner {
-                        Ok(current)
-                    } else {
-                        Err(LookupFailure::WrongOwner(current))
-                    };
-                    return Ok(FaultedRoute { outcome, trace });
-                }
+                WalkStep::Done(outcome) => return Ok(FaultedRoute { outcome, trace }),
             }
         }
+    }
+
+    /// One arrival of [`search_with_aux_faults`](Self::search_with_aux_faults):
+    /// the full decision made at `current` — hop-budget check, staleness
+    /// resolution of its cached pointers, candidate ranking, and the
+    /// probe loop — ending in a forward or a terminal outcome. The
+    /// monolithic walk and the `peercache-node` event loop both drive
+    /// this same function, so their probe sequences are bit-identical.
+    ///
+    /// The caller owns the hop accounting: on [`WalkStep::Forward`] it
+    /// must charge `trace.hops += 1` and extend `trace.path` before the
+    /// next step. `true_owner` is the owner of `key` computed once per
+    /// walk (see [`true_owner`](Self::true_owner)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_step_faults<'a, F>(
+        &'a self,
+        current: Id,
+        key: Id,
+        true_owner: Id,
+        aux_of: F,
+        plan: &FaultPlan,
+        trace: &mut RouteTrace,
+        scratch: &mut StepScratch,
+    ) -> WalkStep
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        let space = self.config.space;
+        if trace.hops >= self.config.hop_limit {
+            return WalkStep::Done(Err(LookupFailure::HopLimit));
+        }
+        if current == key {
+            return WalkStep::Done(Ok(current));
+        }
+        // The walk only steps to probed-live candidates, so `current`
+        // is always present; if the map ever disagrees, degrade to a
+        // dead end rather than panic (rule L10).
+        let Some(node) = self.nodes.get(&current.value()) else {
+            return WalkStep::Done(Err(LookupFailure::DeadEnd(current)));
+        };
+        plan.resolve_aux(space, current, aux_of(current), &mut scratch.aux);
+        let mut candidates: Vec<Id> = node
+            .known_neighbors_with(&scratch.aux)
+            .into_iter()
+            .filter(|&w| space.between_open_closed(current, w, key))
+            .collect();
+        candidates.sort_by_key(|&w| space.clockwise_distance(w, key));
+        // Sorted core view, for spotting aux-only candidates.
+        let core = node.known_neighbors_with(&[]);
+        let mut aux_banned = false;
+        for w in candidates {
+            let aux_only = core.binary_search(&w).is_err();
+            if aux_banned && aux_only {
+                continue;
+            }
+            if plan.probe(current, w, trace.hops, self.is_live(w), trace) {
+                return WalkStep::Forward(w);
+            }
+            if aux_only && !aux_banned && !plan.is_transparent() {
+                aux_banned = true;
+                trace.fallbacks += 1;
+            }
+        }
+        let outcome = if current == true_owner {
+            Ok(current)
+        } else {
+            Err(LookupFailure::WrongOwner(current))
+        };
+        WalkStep::Done(outcome)
     }
 
     /// Evict `dead` from `id`'s routing structures. The fault-injected

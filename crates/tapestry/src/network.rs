@@ -2,7 +2,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure, RouteTrace};
+use peercache_faults::{FaultPlan, FaultedRoute, LookupFailure, RouteTrace, StepScratch, WalkStep};
 use peercache_id::{Id, IdSpace};
 
 use crate::{RouteOutcome, RouteResult};
@@ -615,17 +615,64 @@ impl TapestryNetwork {
         }
         let mut current = from;
         let mut trace = RouteTrace::start(from);
-        let mut aux_buf: Vec<Id> = Vec::new();
-        let mut aux_banned = false;
-        plan.resolve_aux(self.config.space, current, aux_of(current), &mut aux_buf);
+        let mut scratch = StepScratch::new();
         loop {
-            if trace.hops >= self.config.hop_limit {
-                return Ok(FaultedRoute {
-                    outcome: Err(LookupFailure::HopLimit),
-                    trace,
-                });
+            match self.route_step_faults(
+                current,
+                key,
+                true_owner,
+                &aux_of,
+                plan,
+                &mut trace,
+                &mut scratch,
+            ) {
+                WalkStep::Forward(next) => {
+                    trace.hops += 1;
+                    trace.path.push(next);
+                    current = next;
+                }
+                WalkStep::Done(outcome) => return Ok(FaultedRoute { outcome, trace }),
             }
-            let extra: &[Id] = if aux_banned { &[] } else { &aux_buf };
+        }
+    }
+
+    /// One arrival of [`route_with_aux_faults`](Self::route_with_aux_faults):
+    /// the full decision made at `current` — hop-budget check, staleness
+    /// resolution of its cached pointers, and the decide/probe loop with
+    /// its aux→core fallback — ending in a forward or a terminal outcome.
+    /// The monolithic walk and the `peercache-node` event loop both drive
+    /// this same function, so their probe sequences are bit-identical.
+    ///
+    /// The caller owns the hop accounting: on [`WalkStep::Forward`] it
+    /// must charge `trace.hops += 1` and extend `trace.path` before the
+    /// next step. `true_owner` is the owner of `key` computed once per
+    /// walk (see [`true_owner`](Self::true_owner)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_step_faults<'a, F>(
+        &'a self,
+        current: Id,
+        key: Id,
+        true_owner: Id,
+        aux_of: F,
+        plan: &FaultPlan,
+        trace: &mut RouteTrace,
+        scratch: &mut StepScratch,
+    ) -> WalkStep
+    where
+        F: Fn(Id) -> &'a [Id],
+    {
+        if trace.hops >= self.config.hop_limit {
+            return WalkStep::Done(Err(LookupFailure::HopLimit));
+        }
+        plan.resolve_aux(
+            self.config.space,
+            current,
+            aux_of(current),
+            &mut scratch.aux,
+        );
+        let mut aux_banned = false;
+        loop {
+            let extra: &[Id] = if aux_banned { &[] } else { &scratch.aux };
             match self.next_hop_excluding(current, key, extra, &trace.dead_probed) {
                 None => {
                     let excluded = |w: Id| {
@@ -646,15 +693,11 @@ impl TapestryNetwork {
                     } else {
                         Err(LookupFailure::WrongOwner(current))
                     };
-                    return Ok(FaultedRoute { outcome, trace });
+                    return WalkStep::Done(outcome);
                 }
                 Some(next) => {
-                    if plan.probe(current, next, trace.hops, self.is_live(next), &mut trace) {
-                        trace.hops += 1;
-                        trace.path.push(next);
-                        current = next;
-                        aux_banned = false;
-                        plan.resolve_aux(self.config.space, current, aux_of(current), &mut aux_buf);
+                    if plan.probe(current, next, trace.hops, self.is_live(next), trace) {
+                        return WalkStep::Forward(next);
                     } else if !plan.is_transparent() && !aux_banned {
                         // Probe failure already excluded `next` via
                         // `trace.dead_probed`; if it was a cached pointer

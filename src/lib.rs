@@ -23,7 +23,9 @@
 //! | [`tapestry`] | `peercache-tapestry` | Tapestry overlay (surrogate routing; §I's Pastry-transfer claim) |
 //! | [`skipgraph`] | `peercache-skipgraph` | skip-graph overlay (membership-vector levels; §I's Chord-transfer claim) |
 //! | [`workload`] | `peercache-workload` | Zipf samplers, popularity rankings, item catalogs |
+//! | [`faults`] | `peercache-faults` | deterministic fault plans, traced routes, walk steps |
 //! | [`sim`] | `peercache-sim` | deterministic event simulation + the paper's experiments |
+//! | [`node`] | `peercache-node` | deterministic event-loop node runtime + persistent peer store |
 //!
 //! ## Quickstart
 //!
@@ -59,8 +61,10 @@
 
 pub use peercache_chord as chord;
 pub use peercache_core as select;
+pub use peercache_faults as faults;
 pub use peercache_freq as freq;
 pub use peercache_id as id;
+pub use peercache_node as node;
 pub use peercache_pastry as pastry;
 pub use peercache_sim as sim;
 pub use peercache_skipgraph as skipgraph;

@@ -161,3 +161,54 @@ fn facade_reexports_are_usable() {
     let err = ChordProblem::new(space, id, vec![id], vec![], 1).unwrap_err();
     assert!(matches!(err, peercache::SelectError::InvalidProblem(_)));
 }
+
+#[test]
+fn node_lifecycle_workflow_persists_and_reconnects() {
+    use peercache::faults::{FaultConfig, FaultPlan};
+    use peercache::node::{NodeRuntime, PeerStore, StoreConfig};
+    use peercache::sim::{OverlayKind, RuntimeFixture, StableConfig};
+
+    // The full downstream lifecycle: build a world, host it in the
+    // runtime, let lookups feed the owner's peer store, persist it,
+    // reboot, and reconnect in reliability order.
+    let mut config = StableConfig::paper_defaults(OverlayKind::Chord, 48, 33);
+    config.queries = 1_500;
+    let fixture = RuntimeFixture::build(&config);
+    let faults = FaultConfig {
+        unresponsive_rate: 0.15,
+        loss_rate: 0.05,
+        ..FaultConfig::default()
+    };
+    let owner = fixture.node_ids()[0];
+
+    let mut runtime = NodeRuntime::new(fixture.overlay(), FaultPlan::new(config.seed, &faults));
+    runtime.install_aux(fixture.aware_table());
+    runtime.attach_store(owner, PeerStore::new(StoreConfig::default()));
+    for (origin, key) in fixture.queries() {
+        runtime.submit(origin, key);
+    }
+    runtime.run();
+    let (_, store) = runtime.detach_store().expect("store attached");
+    assert!(!store.is_empty(), "lookup traffic must populate the store");
+    assert!(
+        store.entries().iter().any(|e| e.successes + e.failures > 0),
+        "scores must be fed by RouteTrace outcomes"
+    );
+
+    // Persist → reboot → reconnect. The reloaded store is identical and
+    // reconnection walks it by score (golden-pinned in the node crate).
+    let dir = std::env::temp_dir().join("peercache-api-workflow");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("peers.jsonl");
+    store.save(&path).expect("save");
+    let reloaded = PeerStore::load(&path, StoreConfig::default());
+    assert_eq!(reloaded, store);
+
+    let mut reboot = NodeRuntime::new(fixture.overlay(), FaultPlan::new(config.seed, &faults));
+    reboot.attach_store(owner, reloaded);
+    let connected = reboot.reconnect();
+    assert!(!connected.is_empty(), "a healthy overlay reconnects peers");
+    let (_, after) = reboot.detach_store().expect("store attached");
+    assert!(after.len() >= store.len());
+    std::fs::remove_file(&path).expect("cleanup");
+}

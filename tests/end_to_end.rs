@@ -121,3 +121,32 @@ fn rows_serialise_to_json() {
     assert!(json.contains("\"figure\":\"fig6\""));
     assert!(json.contains("reduction_pct"));
 }
+
+#[test]
+fn node_runtime_reproduces_the_sim_through_the_facade() {
+    use peercache::faults::FaultPlan;
+    use peercache::node::NodeRuntime;
+    use peercache::sim::{run_stable, OverlayKind, RuntimeFixture, StableConfig};
+
+    // The event-loop runtime and the monolithic driver must agree
+    // bit-for-bit when both are reached the way a downstream user
+    // reaches them: through the facade crate.
+    for kind in [OverlayKind::Chord, OverlayKind::SkipGraph] {
+        let mut config = StableConfig::paper_defaults(kind, 64, 21);
+        config.queries = 2_000;
+        let reference = run_stable(&config);
+        let fixture = RuntimeFixture::build(&config);
+        let mut runtime = NodeRuntime::new(fixture.overlay(), FaultPlan::transparent(config.seed));
+        runtime.install_aux(fixture.aware_table());
+        for (origin, key) in fixture.queries() {
+            runtime.submit(origin, key);
+        }
+        runtime.run();
+        assert_eq!(
+            runtime.query_metrics(),
+            reference.aware,
+            "{kind:?}: runtime and sim disagree"
+        );
+        assert_eq!(runtime.joined().len(), config.nodes);
+    }
+}
